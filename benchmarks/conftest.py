@@ -1,0 +1,80 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of the
+repository's ablations) and writes the formatted report to
+``benchmarks/results/<name>.txt`` so the numbers can be inspected and pasted
+into EXPERIMENTS.md.
+
+Two scales are supported:
+
+* the default "quick" scale runs a representative subset of circuits with a
+  reduced reference budget and few repeated runs — it finishes in a couple of
+  minutes and already shows the paper's qualitative results;
+* setting the environment variable ``REPRO_FULL_SCALE=1`` switches to the
+  full circuit list of the paper's tables and larger budgets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.circuits.iscas89 import SMALL_CIRCUIT_NAMES, TABLE_CIRCUIT_NAMES
+from repro.core.config import EstimationConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Quick-scale circuit subset: spans small to mid-size benchmarks.
+QUICK_CIRCUITS = ("s27", "s208", "s298", "s344", "s386", "s420", "s832", "s1238", "s1494")
+
+
+def full_scale() -> bool:
+    """True when the harness should run at the paper's full scale."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "no")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_circuits() -> tuple[str, ...]:
+    """Circuits included in the table benchmarks at the current scale."""
+    if full_scale():
+        return TABLE_CIRCUIT_NAMES
+    return QUICK_CIRCUITS
+
+
+@pytest.fixture(scope="session")
+def small_bench_circuits() -> tuple[str, ...]:
+    """Circuits used for the repeated-run (Table 2 / ablation) benchmarks."""
+    if full_scale():
+        return SMALL_CIRCUIT_NAMES
+    return ("s27", "s298", "s344", "s386", "s832")
+
+
+@pytest.fixture(scope="session")
+def reference_cycles() -> int:
+    """Budget of the long-simulation reference estimate."""
+    return 200_000 if full_scale() else 40_000
+
+
+@pytest.fixture(scope="session")
+def repeated_runs() -> int:
+    """Number of repeated estimation runs per circuit (paper: 1,000)."""
+    return 100 if full_scale() else 15
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> EstimationConfig:
+    """The paper's estimation settings (Section V)."""
+    return EstimationConfig()
+
+
+def write_report(results_dir: Path, name: str, text: str) -> None:
+    """Persist a formatted report alongside the benchmark run."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

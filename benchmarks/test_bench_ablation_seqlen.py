@@ -1,0 +1,43 @@
+"""Ablation benchmark C: runs-test sequence-length sensitivity.
+
+The paper argues for a sequence length of 320: shorter sequences make the
+hypothesis-test outcome fluctuate, longer ones only add simulation cost.
+Expected shape: the spread (standard deviation) of the selected independence
+interval does not keep improving beyond a few hundred samples, while the
+selection cost grows linearly with the sequence length.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_scale, write_report
+from repro.experiments.ablation_seqlen import format_seqlen_ablation, run_seqlen_ablation
+
+
+def test_bench_ablation_seqlen(benchmark, paper_config, results_dir):
+    circuits = ("s298", "s1494") if full_scale() else ("s298",)
+    runs = 30 if full_scale() else 12
+    lengths = (80, 160, 320, 640, 1280) if full_scale() else (80, 160, 320, 640)
+
+    def run():
+        return run_seqlen_ablation(
+            circuit_names=circuits,
+            sequence_lengths=lengths,
+            runs_per_setting=runs,
+            config=paper_config,
+            seed=2025,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_seqlen_ablation(result)
+    write_report(results_dir, "ablation_seqlen", report)
+    print("\n" + report)
+
+    for circuit in circuits:
+        rows = [row for row in result.rows if row.circuit == circuit]
+        rows.sort(key=lambda row: row.sequence_length)
+        # Selection cost grows with the sequence length...
+        assert rows[-1].mean_selection_cycles > rows[0].mean_selection_cycles
+        # ...while the selected interval stays small at every length.
+        assert all(row.interval_max <= 12 for row in rows)
+        # At 320 and above the procedure essentially always converges.
+        assert all(row.converged_fraction >= 0.9 for row in rows if row.sequence_length >= 320)

@@ -1,0 +1,44 @@
+"""Ablation benchmark A: stopping-criterion comparison.
+
+Section IV of the paper picks the order-statistics criterion "because it
+provides a good tradeoff between simulation accuracy and efficiency" over the
+CLT and Kolmogorov-Smirnov alternatives.  Expected shape: the CLT rule needs
+the fewest samples, the KS rule by far the most, the order-statistics rule
+sits in between, and all three deliver estimates within a few percent of the
+reference.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_scale, write_report
+from repro.experiments.ablation_stopping import (
+    format_stopping_ablation,
+    run_stopping_ablation,
+)
+
+
+def test_bench_ablation_stopping(benchmark, paper_config, reference_cycles, results_dir):
+    circuits = ("s298", "s386", "s832", "s1494") if full_scale() else ("s298", "s386", "s832")
+
+    def run():
+        return run_stopping_ablation(
+            circuit_names=circuits,
+            criteria=("order-statistic", "clt", "ks"),
+            config=paper_config,
+            reference_cycles=reference_cycles,
+            seed=2025,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_stopping_ablation(result)
+    write_report(results_dir, "ablation_stopping", report)
+    print("\n" + report)
+
+    clt_samples = result.mean_sample_size("clt")
+    order_samples = result.mean_sample_size("order-statistic")
+    ks_samples = result.mean_sample_size("ks")
+    # Robustness/efficiency ordering claimed by the paper.
+    assert clt_samples <= order_samples <= ks_samples
+    # All criteria still produce accurate estimates.
+    for row in result.rows:
+        assert row.relative_error < 0.08, row

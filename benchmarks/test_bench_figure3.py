@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 3 (runs-test z statistic vs trial interval).
+
+Paper reference (Figure 3): for circuit s1494 and a power sequence of length
+10,000, the z statistic starts large (around 30-40 at interval 0, i.e. strong
+serial correlation) and falls below the acceptance threshold within a few
+clock cycles.  The expected *shape* is the fast decay; absolute z values
+depend on the circuit analogue.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_scale, write_report
+from repro.experiments.figure3 import format_figure3, run_figure3
+
+
+def test_bench_figure3(benchmark, results_dir):
+    """Regenerate the Figure 3 sweep on the s1494 analogue."""
+    sequence_length = 10_000 if full_scale() else 1_200
+    max_interval = 30 if full_scale() else 16
+
+    def run():
+        return run_figure3(
+            circuit_name="s1494",
+            max_interval=max_interval,
+            sequence_length=sequence_length,
+            significance_level=0.20,
+            seed=2025,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_figure3(result)
+    write_report(results_dir, "figure3", report)
+    print("\n" + report)
+
+    z_values = [point.z_statistic for point in result.points]
+    # Shape check 1: strong correlation at interval 0.
+    assert z_values[0] > result.acceptance_threshold
+    # Shape check 2: the statistic decays and the hypothesis is eventually accepted.
+    accepted_at = result.first_accepted_interval()
+    assert accepted_at is not None and accepted_at <= 12
+    # Shape check 3: the tail of the curve sits well below the starting value.
+    tail_average = sum(z_values[-10:]) / 10
+    assert tail_average < z_values[0]

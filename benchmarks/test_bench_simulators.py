@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the simulation substrates.
+
+These do not correspond to a table in the paper; they document the raw
+simulation throughput that the CPU-time column of Table 1 is built on, and
+the cost ratio between the cheap zero-delay phase and the general-delay
+(event-driven) power measurement that motivates the two-phase sampling
+scheme of Section IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.iscas89 import build_circuit
+from repro.power.capacitance import CapacitanceModel
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+_CYCLES = 200
+
+
+def _run_zero_delay(circuit, width, cycles=_CYCLES):
+    caps = CapacitanceModel().node_capacitances(circuit)
+    simulator = ZeroDelaySimulator(circuit, width=width, node_capacitance=caps)
+    stimulus = BernoulliStimulus(circuit.num_inputs, 0.5)
+    rng = np.random.default_rng(1)
+    simulator.randomize_state(rng)
+    simulator.settle(stimulus.next_pattern(rng, width=width))
+    total = 0.0
+    for _ in range(cycles):
+        total += simulator.step_and_measure(stimulus.next_pattern(rng, width=width))
+    return total
+
+
+def _run_event_driven(circuit, cycles=_CYCLES):
+    caps = CapacitanceModel().node_capacitances(circuit)
+    simulator = EventDrivenSimulator(circuit, node_capacitance=caps)
+    stimulus = BernoulliStimulus(circuit.num_inputs, 0.5)
+    rng = np.random.default_rng(1)
+    simulator.randomize_state(rng)
+    simulator.settle(stimulus.next_pattern(rng, width=1))
+    total = 0.0
+    for _ in range(cycles):
+        total += simulator.cycle(stimulus.next_pattern(rng, width=1))
+    return total
+
+
+def test_bench_zero_delay_single_lane_s1494(benchmark):
+    """Single-chain zero-delay throughput on a mid-size circuit."""
+    circuit = build_circuit("s1494")
+    total = benchmark(_run_zero_delay, circuit, 1)
+    assert total > 0
+
+
+def test_bench_zero_delay_64_lanes_s1494(benchmark):
+    """64-lane bit-parallel throughput (the reference-estimator configuration)."""
+    circuit = build_circuit("s1494")
+    total = benchmark(_run_zero_delay, circuit, 64)
+    assert total > 0
+
+
+def test_bench_event_driven_s1494(benchmark):
+    """General-delay event-driven throughput (the glitch-aware power engine)."""
+    circuit = build_circuit("s1494")
+    total = benchmark(_run_event_driven, circuit)
+    assert total > 0
+
+
+def test_bench_zero_delay_large_circuit_s5378(benchmark):
+    """Single-chain zero-delay throughput on the smallest 'large' benchmark."""
+    circuit = build_circuit("s5378")
+    total = benchmark.pedantic(_run_zero_delay, args=(circuit, 1, 100), rounds=1, iterations=1)
+    assert total > 0

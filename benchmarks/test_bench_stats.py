@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the statistical kernels (runs test, stopping criteria).
+
+These quantify the (negligible) analysis overhead that the paper's flow adds
+on top of circuit simulation: a runs test on a 320-sample sequence and one
+stopping-criterion evaluation per 32 new samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.randomness import runs_test_on_values
+from repro.stats.stopping import make_stopping_criterion
+
+
+def test_bench_runs_test_paper_length(benchmark):
+    """Runs test on the paper's sequence length of 320."""
+    rng = np.random.default_rng(0)
+    sequence = rng.gamma(4.0, 1.0, size=320).tolist()
+    result = benchmark(runs_test_on_values, sequence, 0.20)
+    assert result.sequence_length > 0
+
+
+def test_bench_runs_test_figure3_length(benchmark):
+    """Runs test on the Figure 3 sequence length of 10,000."""
+    rng = np.random.default_rng(1)
+    sequence = rng.gamma(4.0, 1.0, size=10_000).tolist()
+    result = benchmark(runs_test_on_values, sequence, 0.20)
+    assert result.sequence_length > 0
+
+
+def test_bench_order_statistic_criterion(benchmark):
+    """One evaluation of the paper's stopping criterion on a 4,000-point sample."""
+    rng = np.random.default_rng(2)
+    sample = rng.gamma(4.0, 1.0, size=4_000).tolist()
+    criterion = make_stopping_criterion("order-statistic")
+    decision = benchmark(criterion.evaluate, sample)
+    assert decision.sample_size == 4_000
+
+
+def test_bench_ks_criterion(benchmark):
+    """One evaluation of the Kolmogorov-Smirnov criterion on a 4,000-point sample."""
+    rng = np.random.default_rng(3)
+    sample = rng.gamma(4.0, 1.0, size=4_000).tolist()
+    criterion = make_stopping_criterion("ks")
+    decision = benchmark(criterion.evaluate, sample)
+    assert decision.sample_size == 4_000

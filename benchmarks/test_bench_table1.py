@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 1 (power estimation results per circuit).
+
+Paper reference (Table 1): per circuit, the long-simulation power "SIM", the
+independence interval selected by the runs test, the DIPE estimate, the
+sample size and the CPU time.  Expected shape (not absolute values):
+intervals of a few cycles, estimates within the 5 % / 0.99 specification of
+the reference, sample sizes of a few hundred to a few thousand.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, bench_circuits, reference_cycles, paper_config, results_dir):
+    """Regenerate Table 1 and check the paper's qualitative claims hold."""
+
+    def run():
+        return run_table1(
+            circuit_names=bench_circuits,
+            config=paper_config,
+            reference_cycles=reference_cycles,
+            seed=2025,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table1(result)
+    write_report(results_dir, "table1", report)
+    print("\n" + report)
+
+    assert len(result.rows) == len(bench_circuits)
+    for row in result.rows:
+        # Paper claim 1: accurate estimates (within the 5 % spec of the reference,
+        # with a little slack for the reference's own noise).
+        assert row.relative_error < 0.07, row
+        # Paper claim 2: an independence interval of a few clock cycles suffices.
+        assert 0 <= row.independence_interval <= 12, row
+        # Sample sizes in the paper's range (hundreds to thousands).
+        assert 64 <= row.sample_size <= 20_000, row

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 2 (repeated-run simulation summary).
+
+Paper reference (Table 2): over 1,000 runs per circuit, the min/max/average
+independence interval, the average sample size, the average percentage
+deviation from the reference (around 1 %) and the fraction of runs violating
+the specification (near zero).  The run count is reduced at quick scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_report
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2(
+    benchmark, small_bench_circuits, repeated_runs, reference_cycles, paper_config, results_dir
+):
+    """Regenerate Table 2 and check the repeated-run accuracy claims."""
+
+    def run():
+        return run_table2(
+            circuit_names=small_bench_circuits,
+            runs_per_circuit=repeated_runs,
+            config=paper_config,
+            reference_cycles=reference_cycles,
+            seed=2025,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table2(result)
+    write_report(results_dir, "table2", report)
+    print("\n" + report)
+
+    for row in result.rows:
+        # Average deviation stays well below the 5 % specification (paper: ~1 %).
+        assert row.deviation_avg_pct < 5.0, row
+        # Interval statistics behave like the paper's: small, with modest spread.
+        assert row.interval_min <= row.interval_avg <= row.interval_max <= 12, row
+        # Violations of the specification are rare.
+        assert row.violation_pct <= 20.0, row

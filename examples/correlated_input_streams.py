@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Correlated input streams: DIPE handles them with no extra modelling work.
+
+The paper stresses that, unlike probabilistic techniques that must model
+signal statistics explicitly, DIPE "does not make assumptions on input
+pattern statistics": temporally or spatially correlated input streams flow
+through exactly the same machinery, and the runs test automatically selects a
+longer independence interval when the combined input+state process mixes more
+slowly.
+
+This example sweeps the temporal correlation of the primary inputs and shows
+(a) how the selected independence interval reacts and (b) that the estimate
+still tracks a long-simulation reference driven by the same streams.
+
+Run with::
+
+    python examples/correlated_input_streams.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DipeEstimator,
+    EstimationConfig,
+    LagOneMarkovStimulus,
+    SpatiallyCorrelatedStimulus,
+    build_circuit,
+    estimate_reference_power,
+)
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    circuit = build_circuit("s298")
+    config = EstimationConfig()
+
+    table = TextTable(
+        headers=["Input model", "I.I.", "Samples", "Estimate (mW)", "Reference (mW)", "Err (%)"],
+        precision=3,
+    )
+
+    scenarios = [
+        ("iid p=0.5 (paper setting)", lambda: LagOneMarkovStimulus(circuit.num_inputs, 0.5, 0.0)),
+        ("Markov rho=0.5", lambda: LagOneMarkovStimulus(circuit.num_inputs, 0.5, 0.5)),
+        ("Markov rho=0.9", lambda: LagOneMarkovStimulus(circuit.num_inputs, 0.5, 0.9)),
+        ("spatial coupling=0.9", lambda: SpatiallyCorrelatedStimulus(circuit.num_inputs, 1, 0.9)),
+    ]
+
+    for label, make_stimulus in scenarios:
+        reference = estimate_reference_power(
+            circuit, make_stimulus(), total_cycles=80_000, rng=1
+        )
+        estimate = DipeEstimator(circuit, stimulus=make_stimulus(), config=config, rng=2).estimate()
+        table.add_row(
+            [
+                label,
+                estimate.independence_interval,
+                estimate.sample_size,
+                estimate.average_power_mw,
+                reference.average_power_mw,
+                100 * estimate.relative_error_to(reference.average_power_w),
+            ]
+        )
+
+    print(f"Circuit {circuit.name}: effect of input-stream correlation on DIPE\n")
+    print(table.render())
+    print(
+        "\nNote how stronger temporal correlation slows the mixing of the power"
+        "\nprocess, so the runs test selects a longer independence interval —"
+        "\nwhile the estimates keep tracking the matching reference simulation."
+    )
+
+
+if __name__ == "__main__":
+    main()

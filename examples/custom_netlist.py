@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bring your own circuit: parse an ISCAS89-style .bench netlist and estimate it.
+
+Users with access to the original ISCAS89 benchmark files (or any gate-level
+design exported in the ``.bench`` format) can run the identical flow on them.
+This example builds a small traffic-light-style controller inline, writes it
+out, parses it back, validates it, and runs both baseline estimators and DIPE
+on it.
+
+Run with::
+
+    python examples/custom_netlist.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ConsecutiveCycleEstimator,
+    DipeEstimator,
+    EstimationConfig,
+    estimate_reference_power,
+    parse_bench,
+    BernoulliStimulus,
+)
+from repro.netlist.validate import validate_netlist
+from repro.simulation.compiled import CompiledCircuit
+from repro.utils.tables import TextTable
+
+# A small synchronous controller: a 2-bit state machine that advances when the
+# SENSOR input is asserted and exposes a decoded one-hot output.
+CONTROLLER_BENCH = """
+# traffic-light-style controller
+INPUT(SENSOR)
+INPUT(RESET)
+OUTPUT(GO)
+OUTPUT(WAIT)
+
+S0 = DFF(NS0)
+S1 = DFF(NS1)
+
+NRESET = NOT(RESET)
+ADV    = AND(SENSOR, NRESET)
+NS0T   = XOR(S0, ADV)
+CARRY  = AND(S0, ADV)
+NS1T   = XOR(S1, CARRY)
+NS0    = AND(NS0T, NRESET)
+NS1    = AND(NS1T, NRESET)
+
+NGO0   = NOT(S0)
+GO     = AND(NGO0, S1)
+WAIT   = AND(S0, S1)
+"""
+
+
+def main() -> None:
+    netlist = parse_bench(CONTROLLER_BENCH, name="controller")
+    issues = validate_netlist(netlist)
+    print(f"Parsed {netlist.name!r}: {netlist.num_gates} gates, {netlist.num_latches} flip-flops")
+    for issue in issues:
+        print(f"  validation: {issue}")
+
+    circuit = CompiledCircuit.from_netlist(netlist)
+    stimulus = BernoulliStimulus(circuit.num_inputs, [0.7, 0.05])  # busy sensor, rare reset
+    config = EstimationConfig()
+
+    reference = estimate_reference_power(
+        circuit, BernoulliStimulus(circuit.num_inputs, [0.7, 0.05]), total_cycles=100_000, rng=1
+    )
+
+    table = TextTable(
+        headers=["Estimator", "Power (mW)", "Err vs ref (%)", "Samples", "Cycles"], precision=4
+    )
+    dipe = DipeEstimator(circuit, stimulus=stimulus, config=config, rng=2).estimate()
+    consecutive = ConsecutiveCycleEstimator(
+        circuit,
+        stimulus=BernoulliStimulus(circuit.num_inputs, [0.7, 0.05]),
+        config=config,
+        rng=3,
+    ).estimate()
+    for estimate in (dipe, consecutive):
+        table.add_row(
+            [
+                estimate.method,
+                estimate.average_power_mw,
+                100 * estimate.relative_error_to(reference.average_power_w),
+                estimate.sample_size,
+                estimate.cycles_simulated,
+            ]
+        )
+
+    print(f"\nReference power ({reference.total_cycles} cycles): {reference.average_power_mw:.4f} mW\n")
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

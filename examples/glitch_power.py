@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Glitch power: zero-delay versus general-delay power measurement.
+
+The paper's two-phase scheme uses cheap zero-delay simulation while crossing
+the independence interval and a general-delay simulator for the cycles where
+power is actually sampled, so that hazard (glitch) transitions contribute to
+the estimate.  This example quantifies the difference on benchmark analogues:
+the same DIPE flow is run once with the zero-delay power engine and once with
+the event-driven engine under two delay models, and the glitch overhead is
+reported per circuit.
+
+Run with::
+
+    python examples/glitch_power.py
+"""
+
+from __future__ import annotations
+
+from repro import DipeEstimator, EstimationConfig, build_circuit
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    circuits = ("s27", "s298", "s344", "s386")
+    functional_config = EstimationConfig(power_simulator="zero-delay")
+    glitch_config = EstimationConfig(power_simulator="event-driven")
+
+    table = TextTable(
+        headers=["Circuit", "Zero-delay (mW)", "General-delay (mW)", "Glitch overhead (%)"],
+        precision=4,
+    )
+
+    for name in circuits:
+        circuit = build_circuit(name)
+        functional = DipeEstimator(circuit, config=functional_config, rng=1).estimate()
+        glitchy = DipeEstimator(circuit, config=glitch_config, rng=1).estimate()
+        overhead = 100.0 * (glitchy.average_power_w / functional.average_power_w - 1.0)
+        table.add_row(
+            [name, functional.average_power_mw, glitchy.average_power_mw, overhead]
+        )
+
+    print("Functional (zero-delay) vs glitch-aware (event-driven) power estimates\n")
+    print(table.render())
+    print(
+        "\nThe general-delay estimate is systematically higher because reconvergent"
+        "\npaths with unequal arrival times produce hazard transitions that the"
+        "\nzero-delay model cannot see; the statistical machinery is identical in"
+        "\nboth runs — only the power engine for the sampled cycles changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 of the paper on a configurable set of benchmark circuits.
+
+Prints the same columns as the paper's Table 1: the long-simulation reference
+power (SIM), the selected independence interval (I.I.), the DIPE estimate,
+the sample size and the CPU time.
+
+Run with::
+
+    python examples/reproduce_table1.py                # quick subset
+    python examples/reproduce_table1.py --all          # all 24 circuits of the paper
+    python examples/reproduce_table1.py s298 s1494     # explicit circuit list
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuits.iscas89 import SMALL_CIRCUIT_NAMES, TABLE_CIRCUIT_NAMES
+from repro.core.config import EstimationConfig
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("circuits", nargs="*", help="benchmark circuit names (default: quick subset)")
+    parser.add_argument("--all", action="store_true", help="run all 24 circuits of the paper's tables")
+    parser.add_argument(
+        "--reference-cycles", type=int, default=50_000,
+        help="cycles for the long-simulation reference (paper: 1,000,000)",
+    )
+    parser.add_argument("--seed", type=int, default=2025, help="master random seed")
+    args = parser.parse_args()
+
+    if args.all:
+        names = TABLE_CIRCUIT_NAMES
+    elif args.circuits:
+        names = tuple(args.circuits)
+    else:
+        names = SMALL_CIRCUIT_NAMES
+
+    config = EstimationConfig()  # the paper's settings
+    print(f"Estimating {len(names)} circuits with alpha={config.significance_level}, "
+          f"max error {config.max_relative_error:.0%} @ {config.confidence:.0%} confidence\n")
+
+    result = run_table1(
+        circuit_names=names,
+        config=config,
+        reference_cycles=args.reference_cycles,
+        seed=args.seed,
+    )
+    print(format_table1(result))
+    print(f"\nMean |error| vs reference : {100 * result.mean_relative_error():.2f} %")
+    print(f"Max  |error| vs reference : {100 * result.max_relative_error():.2f} %")
+
+
+if __name__ == "__main__":
+    main()

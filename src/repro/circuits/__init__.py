@@ -1,0 +1,51 @@
+"""Benchmark and example circuits.
+
+Three sources of circuits are provided:
+
+* :mod:`repro.circuits.library` — small canonical sequential circuits
+  (the real ISCAS89 ``s27``, counters, shift registers, LFSRs) used by the
+  unit tests, the FSM ground-truth comparisons and the examples.
+* :mod:`repro.circuits.generators` — a deterministic synthetic sequential
+  circuit generator used to build circuits of arbitrary size.
+* :mod:`repro.circuits.iscas89` — the registry of ISCAS89-**like** analogues
+  of the 24 benchmark circuits in the paper's Tables 1 and 2.  The original
+  netlists are not redistributable inside this repository, so each name maps
+  to a synthetic circuit with the same primary-input, primary-output,
+  flip-flop and gate counts, generated deterministically from the circuit
+  name (see DESIGN.md, "Substitutions").
+"""
+
+from repro.circuits.library import (
+    binary_counter,
+    johnson_counter,
+    lfsr,
+    parity_tracker,
+    s27,
+    shift_register,
+    toggle_cell,
+)
+from repro.circuits.generators import SyntheticCircuitSpec, generate_sequential_circuit
+from repro.circuits.iscas89 import (
+    CIRCUIT_SPECS,
+    TABLE_CIRCUIT_NAMES,
+    build_circuit,
+    circuit_summary,
+    list_circuits,
+)
+
+__all__ = [
+    "s27",
+    "binary_counter",
+    "johnson_counter",
+    "shift_register",
+    "lfsr",
+    "toggle_cell",
+    "parity_tracker",
+    "SyntheticCircuitSpec",
+    "generate_sequential_circuit",
+    "CIRCUIT_SPECS",
+    "TABLE_CIRCUIT_NAMES",
+    "build_circuit",
+    "list_circuits",
+    "circuit_summary",
+]

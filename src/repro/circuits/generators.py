@@ -1,0 +1,192 @@
+"""Deterministic synthetic sequential-circuit generator.
+
+The ISCAS89 netlists evaluated in the paper cannot be redistributed inside
+this repository, so the benchmark registry (:mod:`repro.circuits.iscas89`)
+builds *analogues*: synthetic circuits with the same primary-input,
+primary-output, flip-flop and gate counts, generated deterministically from
+the circuit name.  The generator is also exposed directly so users can
+produce circuits of arbitrary size for their own experiments.
+
+Construction rules (all driven by a seeded RNG, hence fully reproducible):
+
+* gate fan-ins are drawn from the existing signal pool (primary inputs,
+  flip-flop outputs and previously created gate outputs), with a bias toward
+  recently created gates so realistic logic depth develops;
+* gate types are drawn from a weighted mix that includes XOR/XNOR cells,
+  which keeps internal signal probabilities away from 0/1 and prevents the
+  state from getting stuck — the circuits must behave like "live" FSMs for
+  the power process to be interesting;
+* every flip-flop's next-state function is an XOR of a random internal gate
+  with either a primary input or another state bit, guaranteeing that the
+  state both feeds back on itself and responds to the inputs (the two
+  ingredients of the temporal correlation the paper studies);
+* primary outputs prefer so-far-unused gate outputs, minimising dangling
+  logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import RandomSource, spawn_rng
+
+#: Gate-type mix used for the random internal logic.
+_GATE_TYPE_WEIGHTS: list[tuple[GateType, float]] = [
+    (GateType.NAND, 0.24),
+    (GateType.NOR, 0.14),
+    (GateType.AND, 0.10),
+    (GateType.OR, 0.10),
+    (GateType.XOR, 0.16),
+    (GateType.XNOR, 0.06),
+    (GateType.NOT, 0.14),
+    (GateType.BUFF, 0.06),
+]
+
+#: Fan-in distribution for multi-input gate types.
+_FANIN_CHOICES = (2, 2, 2, 3, 3, 4)
+
+
+@dataclass(frozen=True)
+class SyntheticCircuitSpec:
+    """Target shape of a synthetic sequential circuit.
+
+    ``num_gates`` counts combinational gates only (flip-flops are extra), to
+    match how the ISCAS89 circuit sizes are usually quoted.
+    """
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_latches: int
+    num_gates: int
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 1:
+            raise ValueError("a synthetic circuit needs at least one primary input")
+        if self.num_outputs < 1:
+            raise ValueError("a synthetic circuit needs at least one primary output")
+        if self.num_latches < 0:
+            raise ValueError("num_latches must be non-negative")
+        minimum_gates = 2 * self.num_latches + self.num_outputs + 1
+        if self.num_gates < minimum_gates:
+            raise ValueError(
+                f"num_gates must be at least {minimum_gates} to accommodate the "
+                "next-state logic of every latch and the output buffers"
+            )
+
+
+def _weighted_gate_type(rng: np.random.Generator) -> GateType:
+    weights = np.array([weight for _, weight in _GATE_TYPE_WEIGHTS])
+    index = rng.choice(len(_GATE_TYPE_WEIGHTS), p=weights / weights.sum())
+    return _GATE_TYPE_WEIGHTS[index][0]
+
+
+def _pick_fanin(
+    rng: np.random.Generator, pool: list[str], count: int, recency_bias: float
+) -> list[str]:
+    """Pick *count* distinct signals from *pool*, biased toward the newest entries."""
+    count = min(count, len(pool))
+    positions = np.arange(len(pool), dtype=float)
+    weights = 1.0 + recency_bias * positions
+    weights /= weights.sum()
+    chosen = rng.choice(len(pool), size=count, replace=False, p=weights)
+    return [pool[int(index)] for index in chosen]
+
+
+def generate_sequential_circuit(
+    spec: SyntheticCircuitSpec,
+    seed: RandomSource = None,
+    recency_bias: float = 0.15,
+) -> Netlist:
+    """Generate a random sequential circuit matching *spec*.
+
+    The result is structurally valid by construction: the combinational block
+    is a DAG (gates only read already-created signals), every latch data pin
+    is driven, and every declared primary output has a driver.
+    """
+    rng = spawn_rng(seed)
+    netlist = Netlist(name=spec.name)
+
+    input_names = [f"PI{i}" for i in range(spec.num_inputs)]
+    for name in input_names:
+        netlist.add_input(name)
+
+    state_names = [f"FF{i}" for i in range(spec.num_latches)]
+    for name in state_names:
+        netlist.add_latch(name, f"NS_{name}")
+
+    # Signals available as gate fan-in, oldest first.
+    pool: list[str] = list(input_names) + list(state_names)
+
+    # Reserve two gates per latch for the next-state logic and one output
+    # buffer per primary output; the rest of the gate budget is random logic.
+    random_gate_budget = spec.num_gates - 2 * spec.num_latches - spec.num_outputs
+    internal_outputs: list[str] = []
+    for index in range(random_gate_budget):
+        gate_type = _weighted_gate_type(rng)
+        if gate_type in (GateType.NOT, GateType.BUFF):
+            fanin_count = 1
+        else:
+            fanin_count = int(rng.choice(_FANIN_CHOICES))
+        inputs = _pick_fanin(rng, pool, fanin_count, recency_bias)
+        output = f"N{index}"
+        netlist.add_gate(output, gate_type, inputs)
+        pool.append(output)
+        internal_outputs.append(output)
+
+    # Next-state logic: NS_FFi = XOR(mixer_i, anchor_i) where the mixer is a
+    # random internal gate output (or input when no internal logic exists)
+    # and the anchor alternates between a primary input and a state bit.
+    remaining_gates = 2 * spec.num_latches
+    for index, state_name in enumerate(state_names):
+        if internal_outputs:
+            mixer = internal_outputs[int(rng.integers(0, len(internal_outputs)))]
+        else:
+            mixer = input_names[int(rng.integers(0, len(input_names)))]
+        if index % 2 == 0 or spec.num_latches == 1:
+            anchor = input_names[int(rng.integers(0, len(input_names)))]
+        else:
+            anchor = state_names[int(rng.integers(0, len(state_names)))]
+        helper = f"NSAUX_{state_name}"
+        helper_type = GateType.NAND if index % 3 else GateType.NOR
+        helper_inputs = _pick_fanin(rng, pool, 2, recency_bias)
+        netlist.add_gate(helper, helper_type, helper_inputs)
+        pool.append(helper)
+        remaining_gates -= 1
+
+        netlist.add_gate(f"NS_{state_name}", GateType.XOR, [mixer, anchor, helper][:3])
+        pool.append(f"NS_{state_name}")
+        remaining_gates -= 1
+
+    # Primary outputs: prefer gate outputs that nothing reads yet.
+    fanout = netlist.fanout_map()
+    unused = [name for name in internal_outputs if not fanout.get(name)]
+    rng.shuffle(unused)
+    for index in range(spec.num_outputs):
+        po_name = f"PO{index}"
+        netlist.add_output(po_name)
+        if unused:
+            source = unused.pop()
+        elif internal_outputs:
+            source = internal_outputs[int(rng.integers(0, len(internal_outputs)))]
+        else:
+            source = pool[int(rng.integers(0, len(pool)))]
+        netlist.add_gate(po_name, GateType.BUFF, [source])
+
+    return netlist
+
+
+def seed_from_name(name: str, salt: int = 0x5E0) -> int:
+    """Derive a stable integer seed from a circuit name.
+
+    Python's built-in ``hash`` is randomised per process, so a simple
+    deterministic polynomial hash is used instead.
+    """
+    value = salt
+    for character in name:
+        value = (value * 131 + ord(character)) % (2**31 - 1)
+    return value

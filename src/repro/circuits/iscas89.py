@@ -1,0 +1,141 @@
+"""Registry of ISCAS89-like benchmark analogues.
+
+The paper's experiments (Tables 1 and 2, Figure 3) run on 24 ISCAS89
+sequential benchmarks.  The original netlists are not redistributable inside
+this repository, so each benchmark name maps to a **synthetic analogue**: a
+circuit produced by :mod:`repro.circuits.generators` with the same
+primary-input, primary-output, flip-flop and (approximate) gate counts,
+generated deterministically from the benchmark name.  The statistical
+phenomena the paper studies — temporally correlated per-cycle power, fast
+phi-mixing, accuracy of the interval-selected estimator — depend on the
+circuit being a live gate-level FSM of comparable size, not on the exact
+ISCAS89 logic functions, so the analogues reproduce the *shape* of the
+paper's results (see DESIGN.md, "Substitutions").
+
+Users with access to the real ISCAS89 ``.bench`` files can load them with
+:func:`repro.netlist.parse_bench_file` and run the identical experiment
+harnesses on them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.circuits.generators import (
+    SyntheticCircuitSpec,
+    generate_sequential_circuit,
+    seed_from_name,
+)
+from repro.circuits.library import s27
+from repro.netlist.netlist import Netlist
+from repro.simulation.compiled import CompiledCircuit
+
+#: Published size of every benchmark used in the paper's tables:
+#: (primary inputs, primary outputs, flip-flops, gates).
+CIRCUIT_SPECS: dict[str, tuple[int, int, int, int]] = {
+    "s27": (4, 1, 3, 10),
+    "s208": (10, 1, 8, 96),
+    "s298": (3, 6, 14, 119),
+    "s344": (9, 11, 15, 160),
+    "s349": (9, 11, 15, 161),
+    "s382": (3, 6, 21, 158),
+    "s386": (7, 7, 6, 159),
+    "s400": (3, 6, 21, 162),
+    "s420": (18, 1, 16, 196),
+    "s444": (3, 6, 21, 181),
+    "s510": (19, 7, 6, 211),
+    "s526": (3, 6, 21, 193),
+    "s641": (35, 24, 19, 379),
+    "s713": (35, 23, 19, 393),
+    "s820": (18, 19, 5, 289),
+    "s832": (18, 19, 5, 287),
+    "s838": (34, 1, 32, 390),
+    "s1196": (14, 14, 18, 529),
+    "s1238": (14, 14, 18, 508),
+    "s1423": (17, 5, 74, 657),
+    "s1488": (8, 19, 6, 653),
+    "s1494": (8, 19, 6, 647),
+    "s5378": (35, 49, 179, 2779),
+    "s9234": (36, 39, 211, 5597),
+    "s15850": (77, 150, 534, 9772),
+}
+
+#: The 24 circuits appearing in Tables 1 and 2 of the paper, in table order.
+TABLE_CIRCUIT_NAMES: tuple[str, ...] = (
+    "s208",
+    "s298",
+    "s344",
+    "s349",
+    "s382",
+    "s386",
+    "s400",
+    "s420",
+    "s444",
+    "s510",
+    "s526",
+    "s641",
+    "s713",
+    "s820",
+    "s832",
+    "s838",
+    "s1196",
+    "s1238",
+    "s1423",
+    "s1488",
+    "s1494",
+    "s5378",
+    "s9234",
+    "s15850",
+)
+
+#: Circuits small enough for the quick default experiment configurations.
+SMALL_CIRCUIT_NAMES: tuple[str, ...] = tuple(
+    name for name in TABLE_CIRCUIT_NAMES if CIRCUIT_SPECS[name][3] <= 700
+)
+
+
+def list_circuits() -> list[str]:
+    """Return every registered benchmark name (including ``s27``)."""
+    return sorted(CIRCUIT_SPECS, key=lambda name: (len(name), name))
+
+
+def build_netlist(name: str) -> Netlist:
+    """Build the netlist for benchmark *name*.
+
+    ``s27`` is the real ISCAS89 netlist; every other name is a synthetic
+    analogue generated deterministically from the name, so repeated calls —
+    and different machines — always obtain the identical circuit.
+    """
+    if name not in CIRCUIT_SPECS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(list_circuits())}"
+        )
+    if name == "s27":
+        return s27()
+    num_inputs, num_outputs, num_latches, num_gates = CIRCUIT_SPECS[name]
+    spec = SyntheticCircuitSpec(
+        name=name,
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        num_latches=num_latches,
+        num_gates=num_gates,
+    )
+    return generate_sequential_circuit(spec, seed=seed_from_name(name))
+
+
+@lru_cache(maxsize=None)
+def build_circuit(name: str) -> CompiledCircuit:
+    """Build and compile benchmark *name* (cached — circuits are immutable)."""
+    return CompiledCircuit.from_netlist(build_netlist(name))
+
+
+def circuit_summary(name: str) -> dict[str, int]:
+    """Return the size summary of benchmark *name* as a dictionary."""
+    circuit = build_circuit(name)
+    return {
+        "inputs": circuit.num_inputs,
+        "outputs": len(circuit.primary_outputs),
+        "latches": circuit.num_latches,
+        "gates": circuit.num_gates,
+        "nets": circuit.num_nets,
+    }

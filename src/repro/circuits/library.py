@@ -1,0 +1,195 @@
+"""Small canonical sequential circuits.
+
+These circuits are small enough for exhaustive FSM analysis
+(:mod:`repro.fsm`), which makes them the ground truth used throughout the
+test suite: the statistical estimators must converge to their exact average
+power.  ``s27`` is the real (public) ISCAS89 netlist and doubles as the
+golden test case for the ``.bench`` parser.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.bench import parse_bench
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Netlist
+
+#: The ISCAS89 s27 benchmark netlist (4 inputs, 1 output, 3 flip-flops, 10 gates).
+S27_BENCH = """
+# s27 -- ISCAS89 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> Netlist:
+    """Return the ISCAS89 ``s27`` benchmark circuit."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+def toggle_cell() -> Netlist:
+    """A single T flip-flop: the state toggles whenever the enable input is 1.
+
+    The smallest possible sequential circuit with feedback; its 2-state FSM
+    and exact power are trivial to compute by hand, which makes it the
+    sharpest unit-test target.
+    """
+    netlist = Netlist(name="toggle_cell")
+    netlist.add_input("EN")
+    netlist.add_output("Q")
+    netlist.add_latch("Q", "D")
+    netlist.add_gate("D", GateType.XOR, ["EN", "Q"])
+    return netlist
+
+
+def binary_counter(bits: int = 4, with_enable: bool = True) -> Netlist:
+    """A *bits*-wide synchronous binary up-counter.
+
+    When ``with_enable`` the counter advances only on cycles where the
+    ``EN`` input is 1, so the state chain depends on the primary input — the
+    situation the paper's sequential-circuit analysis targets.
+    """
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    netlist = Netlist(name=f"counter{bits}")
+    if with_enable:
+        netlist.add_input("EN")
+        carry = "EN"
+    else:
+        netlist.add_input("TIE1_IN")
+        carry = None  # a constant-1 carry is synthesised below
+
+    for bit in range(bits):
+        netlist.add_output(f"Q{bit}")
+        netlist.add_latch(f"Q{bit}", f"D{bit}")
+
+    if not with_enable:
+        # Free-running counter: the carry into bit 0 is constant 1, modelled
+        # as OR of an input with its complement to stay within the gate set.
+        netlist.add_gate("NOT_TIE", GateType.NOT, ["TIE1_IN"])
+        netlist.add_gate("CARRY_IN", GateType.OR, ["TIE1_IN", "NOT_TIE"])
+        carry = "CARRY_IN"
+
+    for bit in range(bits):
+        netlist.add_gate(f"D{bit}", GateType.XOR, [f"Q{bit}", carry])
+        if bit < bits - 1:
+            next_carry = f"C{bit}"
+            netlist.add_gate(next_carry, GateType.AND, [f"Q{bit}", carry])
+            carry = next_carry
+    return netlist
+
+
+def shift_register(length: int = 4) -> Netlist:
+    """A serial-in shift register of the given *length* (plus a parity output)."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    netlist = Netlist(name=f"shift{length}")
+    netlist.add_input("SI")
+    netlist.add_output("SO")
+    netlist.add_output("PARITY")
+    previous = "SI"
+    for stage in range(length):
+        q_name = f"Q{stage}"
+        netlist.add_latch(q_name, previous if stage == 0 else f"B{stage}")
+        if stage > 0:
+            netlist.add_gate(f"B{stage}", GateType.BUFF, [previous])
+        previous = q_name
+    netlist.add_gate("SO", GateType.BUFF, [previous])
+    parity_terms = [f"Q{stage}" for stage in range(length)]
+    if len(parity_terms) == 1:
+        netlist.add_gate("PARITY", GateType.BUFF, parity_terms)
+    else:
+        netlist.add_gate("PARITY", GateType.XOR, parity_terms)
+    return netlist
+
+
+def lfsr(bits: int = 5, taps: tuple[int, ...] | None = None) -> Netlist:
+    """A Fibonacci linear-feedback shift register XOR-ed with a scrambling input.
+
+    The external input keeps the chain aperiodic and input-dependent (a pure
+    autonomous LFSR would cycle deterministically, which makes for a poor
+    statistical test case).  Default taps give a maximal-length polynomial
+    for 5 bits; other widths fall back to a two-tap feedback.
+    """
+    if bits < 2:
+        raise ValueError("bits must be at least 2")
+    if taps is None:
+        taps = (bits - 1, bits - 3) if bits >= 4 else (bits - 1, 0)
+    for tap in taps:
+        if not 0 <= tap < bits:
+            raise ValueError(f"tap {tap} outside register width {bits}")
+    netlist = Netlist(name=f"lfsr{bits}")
+    netlist.add_input("SCRAMBLE")
+    netlist.add_output(f"Q{bits - 1}")
+    for bit in range(bits):
+        netlist.add_latch(f"Q{bit}", f"D{bit}")
+    feedback_terms = [f"Q{tap}" for tap in taps] + ["SCRAMBLE"]
+    netlist.add_gate("FEEDBACK", GateType.XOR, feedback_terms)
+    netlist.add_gate("D0", GateType.BUFF, ["FEEDBACK"])
+    for bit in range(1, bits):
+        netlist.add_gate(f"D{bit}", GateType.BUFF, [f"Q{bit - 1}"])
+    return netlist
+
+
+def johnson_counter(bits: int = 4) -> Netlist:
+    """A Johnson (twisted-ring) counter with a hold input.
+
+    When ``HOLD`` is 1 the counter keeps its state; otherwise it rotates with
+    the inverted last bit fed back to the front.
+    """
+    if bits < 2:
+        raise ValueError("bits must be at least 2")
+    netlist = Netlist(name=f"johnson{bits}")
+    netlist.add_input("HOLD")
+    netlist.add_output(f"Q{bits - 1}")
+    for bit in range(bits):
+        netlist.add_latch(f"Q{bit}", f"D{bit}")
+    netlist.add_gate("NLAST", GateType.NOT, [f"Q{bits - 1}"])
+    netlist.add_gate("NHOLD", GateType.NOT, ["HOLD"])
+    # D0 = HOLD ? Q0 : ~Q[last]
+    netlist.add_gate("HOLD_Q0", GateType.AND, ["HOLD", "Q0"])
+    netlist.add_gate("ADV_Q0", GateType.AND, ["NHOLD", "NLAST"])
+    netlist.add_gate("D0", GateType.OR, ["HOLD_Q0", "ADV_Q0"])
+    for bit in range(1, bits):
+        netlist.add_gate(f"HOLD_Q{bit}", GateType.AND, ["HOLD", f"Q{bit}"])
+        netlist.add_gate(f"ADV_Q{bit}", GateType.AND, ["NHOLD", f"Q{bit - 1}"])
+        netlist.add_gate(f"D{bit}", GateType.OR, [f"HOLD_Q{bit}", f"ADV_Q{bit}"])
+    return netlist
+
+
+def parity_tracker(num_inputs: int = 3) -> Netlist:
+    """A one-latch FSM that accumulates the parity of its inputs over time.
+
+    Every cycle the state is XOR-ed with the parity of the current input
+    vector.  Its power sequence has long-range dependence on the input
+    history, making it a useful stress case for the runs test.
+    """
+    if num_inputs < 1:
+        raise ValueError("num_inputs must be at least 1")
+    netlist = Netlist(name=f"parity{num_inputs}")
+    for index in range(num_inputs):
+        netlist.add_input(f"I{index}")
+    netlist.add_output("STATE")
+    netlist.add_latch("STATE", "NEXT")
+    terms = [f"I{index}" for index in range(num_inputs)]
+    if len(terms) == 1:
+        netlist.add_gate("INPAR", GateType.BUFF, terms)
+    else:
+        netlist.add_gate("INPAR", GateType.XOR, terms)
+    netlist.add_gate("NEXT", GateType.XOR, ["INPAR", "STATE"])
+    return netlist

@@ -1,0 +1,208 @@
+"""Command-line interface for the DIPE reproduction.
+
+The CLI wraps the library's main entry points so the paper's experiments can
+be driven without writing Python:
+
+* ``repro-dipe circuits`` — list the registered benchmark circuits and sizes.
+* ``repro-dipe estimate s298`` — run DIPE (and optionally the reference) on
+  one circuit, either a registered benchmark or a ``.bench`` file.
+* ``repro-dipe table1`` / ``table2`` / ``figure3`` — regenerate the paper's
+  tables and figure with configurable budgets.
+
+Every command accepts ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.circuits.iscas89 import (
+    SMALL_CIRCUIT_NAMES,
+    TABLE_CIRCUIT_NAMES,
+    build_circuit,
+    circuit_summary,
+    list_circuits,
+)
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.netlist.bench import parse_bench_file
+from repro.power.reference import estimate_reference_power
+from repro.simulation.compiled import CompiledCircuit
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.utils.tables import TextTable
+
+
+def _estimation_config(args: argparse.Namespace) -> EstimationConfig:
+    return EstimationConfig(
+        significance_level=args.alpha,
+        max_relative_error=args.max_error,
+        confidence=args.confidence,
+        stopping_criterion=args.stopping,
+        power_simulator=args.power_simulator,
+    )
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=0.20,
+                        help="runs-test significance level (paper: 0.20)")
+    parser.add_argument("--max-error", type=float, default=0.05,
+                        help="maximum relative error of the estimate (paper: 0.05)")
+    parser.add_argument("--confidence", type=float, default=0.99,
+                        help="confidence of the estimate (paper: 0.99)")
+    parser.add_argument("--stopping", choices=("order-statistic", "clt", "ks"),
+                        default="order-statistic", help="stopping criterion")
+    parser.add_argument("--power-simulator", choices=("zero-delay", "event-driven"),
+                        default="zero-delay", help="power engine for the sampled cycles")
+    parser.add_argument("--seed", type=int, default=2025, help="random seed")
+
+
+def _load_circuit(name_or_path: str) -> CompiledCircuit:
+    if name_or_path in list_circuits():
+        return build_circuit(name_or_path)
+    if name_or_path.endswith(".bench"):
+        return CompiledCircuit.from_netlist(parse_bench_file(name_or_path))
+    raise SystemExit(
+        f"unknown circuit {name_or_path!r}: pass a registered benchmark name "
+        f"({', '.join(list_circuits())}) or a path to a .bench file"
+    )
+
+
+# --------------------------------------------------------------------- verbs
+def _cmd_circuits(_args: argparse.Namespace) -> int:
+    table = TextTable(headers=["Circuit", "Inputs", "Outputs", "Latches", "Gates", "Nets"])
+    for name in list_circuits():
+        summary = circuit_summary(name)
+        table.add_row(
+            [name, summary["inputs"], summary["outputs"], summary["latches"],
+             summary["gates"], summary["nets"]]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    config = _estimation_config(args)
+    stimulus = BernoulliStimulus(circuit.num_inputs, args.input_probability)
+    estimate = DipeEstimator(circuit, stimulus=stimulus, config=config, rng=args.seed).estimate()
+
+    print(f"circuit               : {circuit.name}")
+    print(f"average power         : {estimate.average_power_mw:.4f} mW")
+    print(f"confidence interval   : [{estimate.lower_bound_w * 1e3:.4f}, "
+          f"{estimate.upper_bound_w * 1e3:.4f}] mW")
+    print(f"independence interval : {estimate.independence_interval} cycles")
+    print(f"sample size           : {estimate.sample_size}")
+    print(f"cycles simulated      : {estimate.cycles_simulated}")
+    print(f"accuracy met          : {estimate.accuracy_met}")
+
+    if args.reference_cycles > 0:
+        reference = estimate_reference_power(
+            circuit,
+            BernoulliStimulus(circuit.num_inputs, args.input_probability),
+            total_cycles=args.reference_cycles,
+            rng=args.seed + 1,
+        )
+        error = estimate.relative_error_to(reference.average_power_w)
+        print(f"reference power       : {reference.average_power_mw:.4f} mW "
+              f"({reference.total_cycles} cycles)")
+        print(f"relative error        : {100 * error:.2f} %")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    names = TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    result = run_table1(
+        circuit_names=names,
+        config=_estimation_config(args),
+        reference_cycles=args.reference_cycles,
+        seed=args.seed,
+    )
+    print(format_table1(result))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    names = TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    result = run_table2(
+        circuit_names=names,
+        runs_per_circuit=args.runs,
+        config=_estimation_config(args),
+        reference_cycles=args.reference_cycles,
+        seed=args.seed,
+    )
+    print(format_table2(result))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    result = run_figure3(
+        circuit_name=args.circuit,
+        max_interval=args.max_interval,
+        sequence_length=args.sequence_length,
+        significance_level=args.alpha,
+        seed=args.seed,
+    )
+    print(format_figure3(result))
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dipe",
+        description="DIPE: statistical average-power estimation for sequential circuits (DAC 1997)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    circuits = subparsers.add_parser("circuits", help="list the registered benchmark circuits")
+    circuits.set_defaults(handler=_cmd_circuits)
+
+    estimate = subparsers.add_parser("estimate", help="estimate one circuit's average power")
+    estimate.add_argument("circuit", help="benchmark name or path to a .bench file")
+    estimate.add_argument("--input-probability", type=float, default=0.5,
+                          help="probability of 1 at every primary input (paper: 0.5)")
+    estimate.add_argument("--reference-cycles", type=int, default=0,
+                          help="also run a reference simulation of this many cycles (0 = skip)")
+    _add_config_arguments(estimate)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("circuits", nargs="*", help="circuit names (default: quick subset)")
+    table1.add_argument("--all-circuits", action="store_true", help="use all 24 paper circuits")
+    table1.add_argument("--reference-cycles", type=int, default=50_000)
+    _add_config_arguments(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
+    table2.add_argument("circuits", nargs="*", help="circuit names (default: quick subset)")
+    table2.add_argument("--all-circuits", action="store_true", help="use all 24 paper circuits")
+    table2.add_argument("--runs", type=int, default=25, help="repeated runs per circuit (paper: 1000)")
+    table2.add_argument("--reference-cycles", type=int, default=50_000)
+    _add_config_arguments(table2)
+    table2.set_defaults(handler=_cmd_table2)
+
+    figure3 = subparsers.add_parser("figure3", help="regenerate the paper's Figure 3 sweep")
+    figure3.add_argument("--circuit", default="s1494", help="circuit to sweep (paper: s1494)")
+    figure3.add_argument("--max-interval", type=int, default=30)
+    figure3.add_argument("--sequence-length", type=int, default=10_000)
+    _add_config_arguments(figure3)
+    figure3.set_defaults(handler=_cmd_figure3)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

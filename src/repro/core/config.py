@@ -1,0 +1,121 @@
+"""Configuration of a DIPE estimation run.
+
+The defaults reproduce the experimental setup of the paper's Section V:
+significance level 0.20 for the runs test, a randomness-test sequence length
+of 320, a maximum error of 5 % at 0.99 confidence, and the
+distribution-independent (order-statistics) stopping criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.capacitance import CapacitanceModel
+from repro.power.power_model import PowerModel
+
+#: Power-measurement engines accepted by :class:`EstimationConfig`.
+POWER_SIMULATORS = ("zero-delay", "event-driven")
+
+#: Stopping criteria accepted by :class:`EstimationConfig`.
+STOPPING_CRITERIA = ("order-statistic", "clt", "ks")
+
+
+@dataclass(frozen=True)
+class EstimationConfig:
+    """All knobs of a DIPE run (paper defaults).
+
+    Attributes
+    ----------
+    significance_level:
+        Significance level of the runs test used for interval selection
+        (paper: 0.20).
+    randomness_sequence_length:
+        Length of the power sequence collected per interval trial
+        (paper: 320 — "the gain in statistical stability ... is marginal if
+        it is any longer").
+    max_independence_interval:
+        Upper bound on the trial interval; the sequential procedure gives up
+        (and keeps the last trial) beyond it.
+    max_relative_error:
+        Accuracy specification: maximum half-width of the confidence interval
+        relative to the estimate (paper: 0.05).
+    confidence:
+        Required confidence of the final estimate (paper: 0.99).
+    stopping_criterion:
+        ``"order-statistic"`` (the paper's distribution-independent choice),
+        ``"clt"`` or ``"ks"``.
+    min_samples:
+        Smallest sample size at which stopping is allowed.
+    check_interval:
+        The stopping criterion is evaluated every this many new samples
+        (the paper's reported sample sizes are multiples of 32).
+    max_samples:
+        Hard cap on the sample size (guards against a mis-specified accuracy
+        target never being reached).
+    warmup_cycles:
+        Clock cycles simulated before any statistics are collected, so the
+        state process is (approximately) stationary when sampling starts.
+    power_simulator:
+        ``"zero-delay"`` measures functional transitions only;
+        ``"event-driven"`` uses the general-delay simulator and therefore
+        includes glitch power (slower).
+    power_model / capacitance_model:
+        Electrical models; defaults are the paper's 5 V / 20 MHz operating
+        point and the default standard-cell capacitance values.
+    """
+
+    significance_level: float = 0.20
+    randomness_sequence_length: int = 320
+    max_independence_interval: int = 64
+    max_relative_error: float = 0.05
+    confidence: float = 0.99
+    stopping_criterion: str = "order-statistic"
+    min_samples: int = 128
+    check_interval: int = 32
+    max_samples: int = 200_000
+    warmup_cycles: int = 64
+    power_simulator: str = "zero-delay"
+    power_model: PowerModel = field(default_factory=PowerModel)
+    capacitance_model: CapacitanceModel = field(default_factory=CapacitanceModel)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.significance_level < 1.0:
+            raise ValueError("significance_level must lie strictly between 0 and 1")
+        if self.randomness_sequence_length < 16:
+            raise ValueError("randomness_sequence_length must be at least 16")
+        if self.max_independence_interval < 0:
+            raise ValueError("max_independence_interval must be non-negative")
+        if not 0.0 < self.max_relative_error < 1.0:
+            raise ValueError("max_relative_error must lie strictly between 0 and 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if self.stopping_criterion not in STOPPING_CRITERIA:
+            raise ValueError(
+                f"stopping_criterion must be one of {STOPPING_CRITERIA}, "
+                f"got {self.stopping_criterion!r}"
+            )
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be at least 1")
+        if self.max_samples < self.min_samples:
+            raise ValueError("max_samples must be at least min_samples")
+        if self.warmup_cycles < 0:
+            raise ValueError("warmup_cycles must be non-negative")
+        if self.power_simulator not in POWER_SIMULATORS:
+            raise ValueError(
+                f"power_simulator must be one of {POWER_SIMULATORS}, "
+                f"got {self.power_simulator!r}"
+            )
+
+    def paper_defaults(self) -> "EstimationConfig":
+        """Return a copy with the exact experimental settings of the paper."""
+        return EstimationConfig(
+            significance_level=0.20,
+            randomness_sequence_length=320,
+            max_relative_error=0.05,
+            confidence=0.99,
+            stopping_criterion="order-statistic",
+            power_model=self.power_model,
+            capacitance_model=self.capacitance_model,
+        )

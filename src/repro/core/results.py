@@ -1,0 +1,114 @@
+"""Result records produced by the estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IntervalTrial:
+    """Outcome of one iteration of the interval-selection procedure (Fig. 2)."""
+
+    interval: int
+    z_statistic: float
+    accepted: bool
+    sequence_length: int
+
+
+@dataclass(frozen=True)
+class IntervalSelectionResult:
+    """Final outcome of the independence-interval selection procedure.
+
+    Attributes
+    ----------
+    interval:
+        The selected independence interval in clock cycles.
+    converged:
+        ``True`` when the runs-test hypothesis was accepted; ``False`` when
+        the search hit ``max_independence_interval`` without acceptance (the
+        last trial interval is still returned so estimation can proceed, but
+        the caller is warned through this flag).
+    trials:
+        One :class:`IntervalTrial` per examined interval, in order.
+    significance_level:
+        The significance level the runs tests were run at.
+    cycles_simulated:
+        Total clock cycles spent inside the selection procedure.
+    """
+
+    interval: int
+    converged: bool
+    trials: tuple[IntervalTrial, ...]
+    significance_level: float
+    cycles_simulated: int
+
+    @property
+    def num_trials(self) -> int:
+        """Number of trial intervals examined."""
+        return len(self.trials)
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Average-power estimate with its full diagnostic trail.
+
+    Attributes
+    ----------
+    circuit_name:
+        Name of the estimated circuit.
+    method:
+        Estimator that produced the result (``"dipe"``, ``"consecutive-mc"``,
+        ``"fixed-warmup"``).
+    average_power_w:
+        The point estimate of average power, in watts.
+    lower_bound_w / upper_bound_w:
+        Confidence interval on the average power at the configured confidence.
+    relative_half_width:
+        Half-width of the interval relative to the estimate (compare against
+        the configured maximum error).
+    sample_size:
+        Number of power samples used.
+    independence_interval:
+        Independence interval (clock cycles) between consecutive samples;
+        0 for estimators that sample every cycle.
+    cycles_simulated:
+        Total simulated clock cycles, including warm-up and interval search.
+    elapsed_seconds:
+        Wall-clock time of the estimation.
+    stopping_criterion:
+        Name of the stopping criterion that terminated sampling.
+    accuracy_met:
+        Whether the criterion's accuracy specification was satisfied (False
+        when the ``max_samples`` cap was hit first).
+    interval_selection:
+        Diagnostics of the interval-selection phase (``None`` for baselines).
+    samples_switched_capacitance_f:
+        The raw sample of per-cycle switched capacitance (farads); kept so
+        reports and tests can re-analyse the sample.
+    """
+
+    circuit_name: str
+    method: str
+    average_power_w: float
+    lower_bound_w: float
+    upper_bound_w: float
+    relative_half_width: float
+    sample_size: int
+    independence_interval: int
+    cycles_simulated: int
+    elapsed_seconds: float
+    stopping_criterion: str
+    accuracy_met: bool
+    interval_selection: IntervalSelectionResult | None = None
+    samples_switched_capacitance_f: tuple[float, ...] = field(default=(), repr=False)
+
+    @property
+    def average_power_mw(self) -> float:
+        """Average power in milliwatts (the unit used by the paper's tables)."""
+        return self.average_power_w * 1e3
+
+    def relative_error_to(self, reference_power_w: float) -> float:
+        """Absolute relative deviation from a reference power (Eq. (8) summand)."""
+        if reference_power_w <= 0:
+            raise ValueError("reference power must be positive")
+        return abs(reference_power_w - self.average_power_w) / reference_power_w

@@ -1,0 +1,62 @@
+"""Experiment harnesses that regenerate the paper's tables and figures.
+
+Every experiment module exposes a ``run_*`` function returning a result
+dataclass and a ``format_*`` function rendering it in the same row/column
+layout as the paper:
+
+* :mod:`repro.experiments.table1` — Table 1: per-circuit reference power,
+  selected independence interval, DIPE estimate, sample size and CPU time.
+* :mod:`repro.experiments.table2` — Table 2: repeated-run summary (interval
+  spread, average sample size, average deviation).
+* :mod:`repro.experiments.figure3` — Figure 3: runs-test z statistic versus
+  trial interval length.
+* :mod:`repro.experiments.ablation_stopping` — stopping-criterion comparison
+  (order-statistic vs CLT vs Kolmogorov–Smirnov).
+* :mod:`repro.experiments.ablation_baseline` — DIPE versus the
+  consecutive-cycle and fixed-warm-up baselines (accuracy, coverage, cost).
+* :mod:`repro.experiments.ablation_seqlen` — sensitivity of interval
+  selection to the runs-test sequence length (the paper's choice of 320).
+"""
+
+from repro.experiments.table1 import Table1Result, Table1Row, format_table1, run_table1
+from repro.experiments.table2 import Table2Result, Table2Row, format_table2, run_table2
+from repro.experiments.figure3 import Figure3Point, Figure3Result, format_figure3, run_figure3
+from repro.experiments.ablation_stopping import (
+    StoppingAblationResult,
+    format_stopping_ablation,
+    run_stopping_ablation,
+)
+from repro.experiments.ablation_baseline import (
+    BaselineAblationResult,
+    format_baseline_ablation,
+    run_baseline_ablation,
+)
+from repro.experiments.ablation_seqlen import (
+    SequenceLengthAblationResult,
+    format_seqlen_ablation,
+    run_seqlen_ablation,
+)
+
+__all__ = [
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Result",
+    "Table2Row",
+    "run_table2",
+    "format_table2",
+    "Figure3Point",
+    "Figure3Result",
+    "run_figure3",
+    "format_figure3",
+    "StoppingAblationResult",
+    "run_stopping_ablation",
+    "format_stopping_ablation",
+    "BaselineAblationResult",
+    "run_baseline_ablation",
+    "format_baseline_ablation",
+    "SequenceLengthAblationResult",
+    "run_seqlen_ablation",
+    "format_seqlen_ablation",
+]

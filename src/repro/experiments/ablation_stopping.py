@@ -1,0 +1,124 @@
+"""Ablation A: comparison of the three stopping criteria.
+
+Section IV of the paper lists three possible stopping criteria — a parametric
+CLT rule, a Kolmogorov–Smirnov rule and the order-statistics rule it adopts
+"because it provides a good tradeoff between simulation accuracy and
+efficiency".  This ablation quantifies that tradeoff on the benchmark
+analogues: for each criterion it reports the sample size the criterion asked
+for and the deviation of the resulting estimate from the long-simulation
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.circuits.iscas89 import build_circuit
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.power.reference import estimate_reference_power
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.tables import TextTable
+
+DEFAULT_CRITERIA = ("order-statistic", "clt", "ks")
+DEFAULT_CIRCUITS = ("s298", "s386", "s832", "s1494")
+
+
+@dataclass(frozen=True)
+class StoppingAblationRow:
+    """Result of one (circuit, stopping criterion) pair."""
+
+    circuit: str
+    criterion: str
+    sample_size: int
+    estimate_mw: float
+    reference_mw: float
+    relative_error: float
+    cycles_simulated: int
+    accuracy_met: bool
+
+
+@dataclass(frozen=True)
+class StoppingAblationResult:
+    """All rows of the stopping-criterion ablation."""
+
+    rows: tuple[StoppingAblationRow, ...]
+    config: EstimationConfig
+
+    def rows_for(self, criterion: str) -> list[StoppingAblationRow]:
+        """Rows produced with the given criterion."""
+        return [row for row in self.rows if row.criterion == criterion]
+
+    def mean_sample_size(self, criterion: str) -> float:
+        """Average sample size required by the given criterion."""
+        rows = self.rows_for(criterion)
+        return sum(row.sample_size for row in rows) / len(rows) if rows else 0.0
+
+
+def run_stopping_ablation(
+    circuit_names: Sequence[str] = DEFAULT_CIRCUITS,
+    criteria: Sequence[str] = DEFAULT_CRITERIA,
+    config: EstimationConfig | None = None,
+    reference_cycles: int = 50_000,
+    seed: RandomSource = 2025,
+) -> StoppingAblationResult:
+    """Run every requested stopping criterion on every requested circuit."""
+    config = config or EstimationConfig()
+    master_rng = spawn_rng(seed)
+
+    rows = []
+    for name in circuit_names:
+        circuit = build_circuit(name)
+        reference = estimate_reference_power(
+            circuit,
+            BernoulliStimulus(circuit.num_inputs, 0.5),
+            total_cycles=reference_cycles,
+            power_model=config.power_model,
+            capacitance_model=config.capacitance_model,
+            rng=int(master_rng.integers(0, 2**62)),
+        )
+        for criterion in criteria:
+            run_config = replace(config, stopping_criterion=criterion)
+            estimator = DipeEstimator(
+                circuit,
+                stimulus=BernoulliStimulus(circuit.num_inputs, 0.5),
+                config=run_config,
+                rng=int(master_rng.integers(0, 2**62)),
+            )
+            estimate = estimator.estimate()
+            rows.append(
+                StoppingAblationRow(
+                    circuit=name,
+                    criterion=criterion,
+                    sample_size=estimate.sample_size,
+                    estimate_mw=estimate.average_power_mw,
+                    reference_mw=reference.average_power_mw,
+                    relative_error=estimate.relative_error_to(reference.average_power_w),
+                    cycles_simulated=estimate.cycles_simulated,
+                    accuracy_met=estimate.accuracy_met,
+                )
+            )
+    return StoppingAblationResult(rows=tuple(rows), config=config)
+
+
+def format_stopping_ablation(result: StoppingAblationResult) -> str:
+    """Render the ablation as an aligned text table."""
+    table = TextTable(
+        headers=["Circuit", "Criterion", "Samples", "Estimate (mW)", "Ref (mW)", "Err (%)", "Cycles"],
+        precision=3,
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                row.circuit,
+                row.criterion,
+                row.sample_size,
+                row.estimate_mw,
+                row.reference_mw,
+                100.0 * row.relative_error,
+                row.cycles_simulated,
+            ]
+        )
+    return table.render()

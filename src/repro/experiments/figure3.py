@@ -1,0 +1,118 @@
+"""Figure 3 of the paper: runs-test z statistic versus trial interval length.
+
+The paper plots the z statistic of the runs test for circuit ``s1494`` over
+trial intervals from 0 to 30 clock cycles with a power sequence of length
+10,000: the statistic starts large (strong serial correlation at interval 0)
+and decays below the acceptance threshold within a few cycles, illustrating
+the phi-mixing behaviour the method relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.iscas89 import build_circuit
+from repro.core.config import EstimationConfig
+from repro.core.interval import z_statistic_profile
+from repro.core.sampler import PowerSampler
+from repro.stats.runs_test import critical_value
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.utils.rng import RandomSource
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of the Figure 3 curve."""
+
+    interval: int
+    z_statistic: float
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """The full z-statistic profile plus the settings it was measured with."""
+
+    circuit: str
+    sequence_length: int
+    significance_level: float
+    acceptance_threshold: float
+    points: tuple[Figure3Point, ...]
+
+    def first_accepted_interval(self) -> int | None:
+        """Smallest interval whose sequence passes the runs test (None if none)."""
+        for point in self.points:
+            if point.accepted:
+                return point.interval
+        return None
+
+    def series(self) -> tuple[list[int], list[float]]:
+        """Return ``(intervals, z_values)`` ready for plotting."""
+        return (
+            [point.interval for point in self.points],
+            [point.z_statistic for point in self.points],
+        )
+
+
+def run_figure3(
+    circuit_name: str = "s1494",
+    max_interval: int = 30,
+    sequence_length: int = 10_000,
+    significance_level: float = 0.20,
+    config: EstimationConfig | None = None,
+    seed: RandomSource = 2025,
+    input_probability: float = 0.5,
+) -> Figure3Result:
+    """Regenerate Figure 3 (z statistic as a function of the trial interval).
+
+    The paper's plot uses ``s1494`` and a sequence length of 10,000; both are
+    parameters here so quick versions can be produced in the benchmarks.
+    """
+    if max_interval < 0:
+        raise ValueError("max_interval must be non-negative")
+    config = config or EstimationConfig()
+    circuit = build_circuit(circuit_name)
+    sampler = PowerSampler(
+        circuit,
+        BernoulliStimulus(circuit.num_inputs, input_probability),
+        config,
+        rng=seed,
+    )
+    sampler.prepare(config.warmup_cycles)
+    profile = z_statistic_profile(
+        sampler,
+        max_interval=max_interval,
+        sequence_length=sequence_length,
+        significance_level=significance_level,
+    )
+    points = tuple(
+        Figure3Point(interval=interval, z_statistic=abs(z), accepted=accepted)
+        for interval, z, accepted in profile
+    )
+    return Figure3Result(
+        circuit=circuit_name,
+        sequence_length=sequence_length,
+        significance_level=significance_level,
+        acceptance_threshold=critical_value(significance_level),
+        points=points,
+    )
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the Figure 3 series as a table plus a crude ASCII plot."""
+    table = TextTable(headers=["Interval", "|z|", "Accepted"], precision=2)
+    for point in result.points:
+        table.add_row([point.interval, point.z_statistic, "yes" if point.accepted else "no"])
+
+    max_z = max((point.z_statistic for point in result.points), default=1.0)
+    scale = 60.0 / max_z if max_z > 0 else 1.0
+    plot_lines = [
+        f"{point.interval:3d} | " + "#" * max(1, int(round(point.z_statistic * scale)))
+        for point in result.points
+    ]
+    header = (
+        f"Circuit {result.circuit}, sequence length {result.sequence_length}, "
+        f"acceptance threshold |z| <= {result.acceptance_threshold:.3f}"
+    )
+    return header + "\n\n" + table.render() + "\n\n" + "\n".join(plot_lines)

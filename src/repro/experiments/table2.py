@@ -1,0 +1,130 @@
+"""Table 2 of the paper: large-number (repeated-run) simulation summary.
+
+The paper repeats the whole estimation 1,000 times per circuit and reports
+the minimum, maximum and average independence interval, the average sample
+size, the average percentage deviation from the reference (Eq. (8)) and the
+fraction of runs that violated the accuracy specification.  The same summary
+is produced here with a configurable (smaller by default) number of repeated
+runs — the statistics converge long before 1,000 runs for the purpose of
+checking the *shape* of the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuits.iscas89 import SMALL_CIRCUIT_NAMES, build_circuit
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.power.reference import estimate_reference_power
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.utils.rng import RandomSource, child_rngs, spawn_rng
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One circuit's row of Table 2."""
+
+    circuit: str
+    runs: int
+    interval_min: int
+    interval_max: int
+    interval_avg: float
+    sample_size_avg: float
+    deviation_avg_pct: float
+    violation_pct: float
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All rows of Table 2 plus the configuration they were produced with."""
+
+    rows: tuple[Table2Row, ...]
+    runs_per_circuit: int
+    config: EstimationConfig
+
+
+def run_table2(
+    circuit_names: Sequence[str] | None = None,
+    runs_per_circuit: int = 25,
+    config: EstimationConfig | None = None,
+    reference_cycles: int = 50_000,
+    reference_lanes: int = 64,
+    seed: RandomSource = 2025,
+    input_probability: float = 0.5,
+) -> Table2Result:
+    """Regenerate Table 2 (repeated-run statistics of the DIPE estimator)."""
+    if runs_per_circuit < 1:
+        raise ValueError("runs_per_circuit must be at least 1")
+    names = tuple(circuit_names) if circuit_names is not None else SMALL_CIRCUIT_NAMES
+    config = config or EstimationConfig()
+    master_rng = spawn_rng(seed)
+
+    rows = []
+    for name in names:
+        circuit = build_circuit(name)
+        reference = estimate_reference_power(
+            circuit,
+            BernoulliStimulus(circuit.num_inputs, input_probability),
+            total_cycles=reference_cycles,
+            lanes=reference_lanes,
+            power_model=config.power_model,
+            capacitance_model=config.capacitance_model,
+            rng=int(master_rng.integers(0, 2**62)),
+        )
+
+        intervals: list[int] = []
+        sample_sizes: list[int] = []
+        deviations: list[float] = []
+        violations = 0
+        for run_rng in child_rngs(int(master_rng.integers(0, 2**62)), runs_per_circuit):
+            estimator = DipeEstimator(
+                circuit,
+                stimulus=BernoulliStimulus(circuit.num_inputs, input_probability),
+                config=config,
+                rng=run_rng,
+            )
+            estimate = estimator.estimate()
+            deviation = estimate.relative_error_to(reference.average_power_w)
+            intervals.append(estimate.independence_interval)
+            sample_sizes.append(estimate.sample_size)
+            deviations.append(deviation)
+            if deviation > config.max_relative_error:
+                violations += 1
+
+        rows.append(
+            Table2Row(
+                circuit=name,
+                runs=runs_per_circuit,
+                interval_min=min(intervals),
+                interval_max=max(intervals),
+                interval_avg=sum(intervals) / len(intervals),
+                sample_size_avg=sum(sample_sizes) / len(sample_sizes),
+                deviation_avg_pct=100.0 * sum(deviations) / len(deviations),
+                violation_pct=100.0 * violations / runs_per_circuit,
+            )
+        )
+    return Table2Result(rows=tuple(rows), runs_per_circuit=runs_per_circuit, config=config)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the result in the paper's Table 2 layout."""
+    table = TextTable(
+        headers=["Circuit", "II_min", "II_max", "II_avg", "S_avg", "D_avg (%)", "Err (%)"],
+        precision=2,
+    )
+    for row in result.rows:
+        table.add_row(
+            [
+                row.circuit,
+                row.interval_min,
+                row.interval_max,
+                row.interval_avg,
+                row.sample_size_avg,
+                row.deviation_avg_pct,
+                row.violation_pct,
+            ]
+        )
+    return table.render()

@@ -1,0 +1,34 @@
+"""Finite-state-machine analysis substrate.
+
+The paper contrasts its simulation-based approach with techniques that work
+on the state transition graph (STG) of the circuit's FSM: solving the
+Chapman–Kolmogorov equations for the stationary state probabilities is exact
+but exponential in the number of latches.  This package implements that
+"first approach" for circuits small enough to enumerate — it provides the
+ground truth the statistical estimator is validated against in the tests, an
+exact-power baseline, and Markov-chain diagnostics (mixing time, total
+variation distance) that explain *why* a few clock cycles of independence
+interval are enough for the benchmark circuits.
+"""
+
+from repro.fsm.stg import StateTransitionGraph, extract_stg
+from repro.fsm.markov import (
+    k_step_distribution,
+    mixing_time,
+    stationary_distribution,
+    total_variation_distance,
+)
+from repro.fsm.reachability import reachable_states, is_strongly_connected
+from repro.fsm.exact_power import exact_average_power
+
+__all__ = [
+    "StateTransitionGraph",
+    "extract_stg",
+    "stationary_distribution",
+    "k_step_distribution",
+    "total_variation_distance",
+    "mixing_time",
+    "reachable_states",
+    "is_strongly_connected",
+    "exact_average_power",
+]

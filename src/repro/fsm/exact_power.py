@@ -1,0 +1,101 @@
+"""Exact average power by full enumeration (ground truth for small circuits).
+
+With the STG extracted and the stationary state distribution solved, the
+expected zero-delay power has a closed form.  One clock cycle's power depends
+on the triple ``(V1, S1, V2)``: the network settled for ``(V1, S1)``
+transitions to the network settled for ``(V2, S2)`` where ``S2`` is the next
+state captured from ``(V1, S1)``.  With mutually independent input vectors,
+
+    E[P] = sum over (s1, v1, v2) of  pi(s1) p(v1) p(v2) * P(v1, s1, v2)
+
+This enumeration is exponential in ``latches + 2 * inputs`` and therefore
+only feasible for small circuits; it is used by the test suite and the
+baseline-comparison experiments to check that the statistical estimators
+converge to the true mean.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fsm.markov import stationary_distribution
+from repro.fsm.stg import extract_stg, input_vector_probabilities
+from repro.power.capacitance import CapacitanceModel
+from repro.power.power_model import PowerModel
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+def exact_average_power(
+    circuit: CompiledCircuit,
+    input_bit_probabilities: Sequence[float] | float = 0.5,
+    power_model: PowerModel | None = None,
+    capacitance_model: CapacitanceModel | None = None,
+    max_evaluations: int = 1 << 22,
+) -> float:
+    """Return the exact zero-delay average power of *circuit* in watts.
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit; must be small enough to enumerate.
+    input_bit_probabilities:
+        Per-input (or shared) probability of 1; inputs are assumed mutually
+        independent and temporally uncorrelated.
+    power_model / capacitance_model:
+        Electrical models (defaults match the paper's operating point).
+    max_evaluations:
+        Safety limit on ``2**latches * 4**inputs`` settle operations.
+    """
+    power_model = power_model or PowerModel()
+    capacitance_model = capacitance_model or CapacitanceModel()
+
+    num_inputs = circuit.num_inputs
+    num_latches = circuit.num_latches
+    if isinstance(input_bit_probabilities, (int, float)):
+        bit_probs = [float(input_bit_probabilities)] * num_inputs
+    else:
+        bit_probs = [float(p) for p in input_bit_probabilities]
+        if len(bit_probs) != num_inputs:
+            raise ValueError(f"expected {num_inputs} bit probabilities")
+
+    work = (1 << num_latches) * (1 << num_inputs) * (1 << num_inputs)
+    if work > max_evaluations:
+        raise ValueError(
+            f"exact power needs {work} transition evaluations, above the limit of "
+            f"{max_evaluations}; use the statistical estimator for circuits this large"
+        )
+
+    stg = extract_stg(circuit, bit_probs, max_evaluations=max_evaluations)
+    pi = stationary_distribution(stg.transition_matrix)
+    vector_probs = input_vector_probabilities(bit_probs)
+
+    node_caps = capacitance_model.node_capacitances(circuit)
+    simulator = ZeroDelaySimulator(circuit, width=1, node_capacitance=node_caps)
+
+    num_vectors = 1 << num_inputs
+    expected_switched = 0.0
+    for state in range(stg.num_states):
+        state_probability = float(pi[state])
+        if state_probability == 0.0:
+            continue
+        for first_vector in range(num_vectors):
+            first_probability = float(vector_probs[first_vector])
+            if first_probability == 0.0:
+                continue
+            first_pattern = [(first_vector >> bit) & 1 for bit in range(num_inputs)]
+            for second_vector in range(num_vectors):
+                second_probability = float(vector_probs[second_vector])
+                if second_probability == 0.0:
+                    continue
+                second_pattern = [(second_vector >> bit) & 1 for bit in range(num_inputs)]
+                simulator.reset(latch_state=state)
+                simulator.settle(first_pattern)
+                switched = simulator.step_and_measure(second_pattern)
+                expected_switched += (
+                    state_probability * first_probability * second_probability * switched
+                )
+
+    return power_model.cycle_power(expected_switched)

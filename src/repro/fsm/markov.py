@@ -1,0 +1,101 @@
+"""Markov-chain utilities: Chapman–Kolmogorov evolution and stationary analysis.
+
+Section III of the paper frames the latch-state process as a Markov chain
+with (unknown) transition matrix ``P``: the k-step distribution is
+``p(k) = p(0) P^k`` and, for an ergodic chain, converges to the stationary
+distribution regardless of ``p(0)``.  These utilities make that argument
+computable for the small circuits where the chain can be written down,
+which is how the test suite validates both the exact-power baseline and the
+claim that a few cycles of independence interval suffice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_stochastic(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("transition matrix must be square")
+    if np.any(matrix < -1e-12):
+        raise ValueError("transition matrix must be non-negative")
+    row_sums = matrix.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-8):
+        raise ValueError("every row of the transition matrix must sum to 1")
+    return matrix
+
+
+def stationary_distribution(
+    transition_matrix: np.ndarray,
+    tolerance: float = 1e-12,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """Solve the Chapman–Kolmogorov equations for the stationary distribution.
+
+    Uses power iteration from the uniform distribution, which converges for
+    ergodic chains and, for reducible chains, converges to the stationary
+    distribution of the recurrent classes reachable from the uniform start —
+    the distribution a long warm-up simulation would actually observe.
+    """
+    matrix = _check_stochastic(transition_matrix)
+    size = matrix.shape[0]
+    distribution = np.full(size, 1.0 / size)
+    for _ in range(max_iterations):
+        updated = distribution @ matrix
+        if np.abs(updated - distribution).max() < tolerance:
+            return updated / updated.sum()
+        distribution = updated
+    return distribution / distribution.sum()
+
+
+def k_step_distribution(
+    initial_distribution: np.ndarray, transition_matrix: np.ndarray, steps: int
+) -> np.ndarray:
+    """Return ``p(k) = p(0) P^k`` (Eq. (2) of the paper)."""
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    matrix = _check_stochastic(transition_matrix)
+    distribution = np.asarray(initial_distribution, dtype=float)
+    if distribution.shape != (matrix.shape[0],):
+        raise ValueError("initial distribution size must match the transition matrix")
+    if not np.isclose(distribution.sum(), 1.0, atol=1e-8):
+        raise ValueError("initial distribution must sum to 1")
+    for _ in range(steps):
+        distribution = distribution @ matrix
+    return distribution
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two distributions on the same support."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def mixing_time(
+    transition_matrix: np.ndarray,
+    threshold: float = 0.05,
+    max_steps: int = 10_000,
+) -> int:
+    """Smallest ``k`` with ``max_s TV(delta_s P^k, pi) <= threshold``.
+
+    This is the Markov-chain quantity underlying the paper's phi-mixing
+    assumption: a small mixing time is why a short independence interval is
+    enough to decorrelate consecutive power samples.  Returns ``max_steps``
+    if the threshold is not reached (e.g. periodic chains).
+    """
+    matrix = _check_stochastic(transition_matrix)
+    pi = stationary_distribution(matrix)
+    size = matrix.shape[0]
+    step_matrix = np.eye(size)
+    for step in range(max_steps + 1):
+        worst = max(
+            total_variation_distance(step_matrix[state], pi) for state in range(size)
+        )
+        if worst <= threshold:
+            return step
+        step_matrix = step_matrix @ matrix
+    return max_steps

@@ -1,0 +1,53 @@
+"""Reachability and connectivity analysis of the state transition graph."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import networkx as nx
+
+from repro.fsm.stg import StateTransitionGraph
+
+
+def reachable_states(stg: StateTransitionGraph, initial_state: int = 0) -> set[int]:
+    """Return the set of states reachable from *initial_state* under any input."""
+    if not 0 <= initial_state < stg.num_states:
+        raise ValueError(f"initial state {initial_state} outside the state space")
+    visited = {initial_state}
+    frontier = deque([initial_state])
+    while frontier:
+        state = frontier.popleft()
+        for successor in stg.successors(state):
+            if successor not in visited:
+                visited.add(successor)
+                frontier.append(successor)
+    return visited
+
+
+def to_networkx(stg: StateTransitionGraph, restrict_to: set[int] | None = None) -> nx.DiGraph:
+    """Convert the STG into a :class:`networkx.DiGraph` with probability edge weights."""
+    graph = nx.DiGraph()
+    states = restrict_to if restrict_to is not None else range(stg.num_states)
+    graph.add_nodes_from(states)
+    for source, destination, probability in stg.edge_list():
+        if restrict_to is None or (source in restrict_to and destination in restrict_to):
+            graph.add_edge(source, destination, probability=probability)
+    return graph
+
+
+def is_strongly_connected(stg: StateTransitionGraph, from_reachable: bool = True) -> bool:
+    """Check whether the (reachable part of the) STG is strongly connected.
+
+    Strong connectivity of the reachable component implies the state chain is
+    irreducible, which together with aperiodicity gives the ergodicity the
+    paper assumes when it argues that the state distribution converges to the
+    stationary one.
+    """
+    restrict = reachable_states(stg) if from_reachable else None
+    graph = to_networkx(stg, restrict_to=restrict)
+    if graph.number_of_nodes() == 0:
+        return False
+    if graph.number_of_nodes() == 1:
+        node = next(iter(graph.nodes))
+        return graph.has_edge(node, node) or True
+    return nx.is_strongly_connected(graph)

@@ -1,0 +1,155 @@
+"""State transition graph (STG) extraction by exhaustive enumeration.
+
+For a circuit with ``L`` latches and ``I`` primary inputs, the STG has
+``2**L`` states and the input-weighted transition matrix is obtained by
+evaluating the next-state logic for every (state, input) pair — ``2**(L+I)``
+zero-delay evaluations.  This is exactly the exponential blow-up the paper's
+statistical method avoids, which is why extraction is guarded by an explicit
+work limit; it remains invaluable as ground truth for the small circuits in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+@dataclass
+class StateTransitionGraph:
+    """The FSM view of a sequential circuit.
+
+    Attributes
+    ----------
+    circuit_name:
+        Name of the originating circuit.
+    num_latches / num_inputs:
+        Dimensions of the state and input spaces.
+    transition_matrix:
+        Row-stochastic matrix ``P`` with ``P[s1, s2]`` the probability of
+        moving from state ``s1`` to ``s2`` in one clock cycle under the input
+        distribution the STG was extracted with (Section III of the paper).
+    next_state:
+        Dense table ``next_state[s, v]`` giving the successor state of state
+        ``s`` under input vector ``v``.
+    input_probabilities:
+        Probability of each input vector ``v`` (length ``2**num_inputs``).
+    """
+
+    circuit_name: str
+    num_latches: int
+    num_inputs: int
+    transition_matrix: np.ndarray
+    next_state: np.ndarray
+    input_probabilities: np.ndarray
+
+    @property
+    def num_states(self) -> int:
+        """Number of states (``2 ** num_latches``)."""
+        return 1 << self.num_latches
+
+    def successors(self, state: int) -> list[int]:
+        """Distinct successor states of *state* (any input)."""
+        return sorted(set(int(s) for s in self.next_state[state]))
+
+    def edge_list(self) -> list[tuple[int, int, float]]:
+        """Return ``(source, destination, probability)`` for every non-zero edge."""
+        edges = []
+        for s1 in range(self.num_states):
+            for s2 in range(self.num_states):
+                probability = float(self.transition_matrix[s1, s2])
+                if probability > 0.0:
+                    edges.append((s1, s2, probability))
+        return edges
+
+
+def input_vector_probabilities(bit_probabilities: Sequence[float]) -> np.ndarray:
+    """Probability of every input vector given independent per-bit one-probabilities.
+
+    Vector ``v`` is interpreted bitwise: bit *i* of ``v`` is the value of
+    primary input *i*.
+    """
+    probs = np.asarray(bit_probabilities, dtype=float)
+    if np.any(probs < 0.0) or np.any(probs > 1.0):
+        raise ValueError("bit probabilities must lie in [0, 1]")
+    num_inputs = probs.size
+    num_vectors = 1 << num_inputs
+    vector_probs = np.ones(num_vectors)
+    for vector in range(num_vectors):
+        probability = 1.0
+        for bit in range(num_inputs):
+            p_one = probs[bit]
+            probability *= p_one if (vector >> bit) & 1 else (1.0 - p_one)
+        vector_probs[vector] = probability
+    return vector_probs
+
+
+def extract_stg(
+    circuit: CompiledCircuit,
+    input_bit_probabilities: Sequence[float] | float = 0.5,
+    max_evaluations: int = 1 << 20,
+) -> StateTransitionGraph:
+    """Extract the STG of *circuit* by enumerating every (state, input) pair.
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit; its latch count and input count determine the
+        enumeration size.
+    input_bit_probabilities:
+        Either a single probability applied to every primary input or one
+        probability per input; primary inputs are assumed mutually
+        independent (the paper's experimental setting).
+    max_evaluations:
+        Safety limit on ``2**(latches + inputs)``; extraction refuses to run
+        beyond it because the cost is exponential (the very motivation for
+        the paper's statistical approach).
+    """
+    num_latches = circuit.num_latches
+    num_inputs = circuit.num_inputs
+    if isinstance(input_bit_probabilities, (int, float)):
+        bit_probs = [float(input_bit_probabilities)] * num_inputs
+    else:
+        bit_probs = [float(p) for p in input_bit_probabilities]
+        if len(bit_probs) != num_inputs:
+            raise ValueError(f"expected {num_inputs} bit probabilities, got {len(bit_probs)}")
+
+    total_evaluations = (1 << num_latches) * (1 << num_inputs)
+    if total_evaluations > max_evaluations:
+        raise ValueError(
+            f"STG extraction would need {total_evaluations} next-state evaluations, "
+            f"above the limit of {max_evaluations}; this exponential cost is exactly "
+            "what the statistical estimator avoids"
+        )
+
+    num_states = 1 << num_latches
+    num_vectors = 1 << num_inputs
+    vector_probs = input_vector_probabilities(bit_probs)
+
+    simulator = ZeroDelaySimulator(circuit, width=1)
+    next_state = np.zeros((num_states, num_vectors), dtype=np.int64)
+    transition_matrix = np.zeros((num_states, num_states))
+
+    for state in range(num_states):
+        for vector in range(num_vectors):
+            simulator.reset(latch_state=state)
+            pattern = [(vector >> bit) & 1 for bit in range(num_inputs)]
+            simulator.settle(pattern)
+            simulator.clock()
+            successor = simulator.latch_state_scalar()
+            next_state[state, vector] = successor
+            transition_matrix[state, successor] += vector_probs[vector]
+
+    return StateTransitionGraph(
+        circuit_name=circuit.name,
+        num_latches=num_latches,
+        num_inputs=num_inputs,
+        transition_matrix=transition_matrix,
+        next_state=next_state,
+        input_probabilities=vector_probs,
+    )

@@ -1,0 +1,38 @@
+"""Gate-level netlist data model and ISCAS89 ``.bench`` format support.
+
+The netlist package provides the structural substrate everything else builds
+on: a :class:`~repro.netlist.netlist.Netlist` of logic gates and D flip-flops,
+a parser/writer for the ISCAS89 ``.bench`` interchange format, structural
+validation, and levelization (topological ordering of the combinational
+block) used by the simulators.
+"""
+
+from repro.netlist.cell_library import (
+    GateType,
+    GATE_ARITY,
+    evaluate_gate,
+    evaluate_gate_bitparallel,
+)
+from repro.netlist.netlist import Gate, Latch, Netlist, NetlistError
+from repro.netlist.bench import BenchParseError, parse_bench, parse_bench_file, write_bench
+from repro.netlist.levelize import levelize, logic_depth
+from repro.netlist.validate import ValidationIssue, validate_netlist
+
+__all__ = [
+    "GateType",
+    "GATE_ARITY",
+    "evaluate_gate",
+    "evaluate_gate_bitparallel",
+    "Gate",
+    "Latch",
+    "Netlist",
+    "NetlistError",
+    "BenchParseError",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "levelize",
+    "logic_depth",
+    "ValidationIssue",
+    "validate_netlist",
+]

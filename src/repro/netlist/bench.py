@@ -1,0 +1,129 @@
+"""Parser and writer for the ISCAS89 ``.bench`` netlist format.
+
+The benchmark circuits evaluated by the paper are distributed in this format.
+The grammar is small::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G11 = NAND(G0, G10)
+
+Blank lines and ``#`` comments are ignored.  Gate function names are
+case-insensitive and ``INV``/``BUF`` aliases are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.netlist.cell_library import gate_type_from_name
+from repro.netlist.netlist import Netlist
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s,]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(r"^([^()\s=]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*(.*?)\s*\)$")
+
+
+class BenchParseError(Exception):
+    """Raised when a ``.bench`` source cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+def _strip(line: str) -> str:
+    comment = line.find("#")
+    if comment >= 0:
+        line = line[:comment]
+    return line.strip()
+
+
+def parse_bench(text: str, name: str = "circuit") -> Netlist:
+    """Parse ``.bench`` source *text* into a :class:`Netlist`."""
+    netlist = Netlist(name=name)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip(raw_line)
+        if not line:
+            continue
+
+        io_match = _IO_RE.match(line)
+        if io_match:
+            keyword, signal = io_match.group(1).upper(), io_match.group(2)
+            if keyword == "INPUT":
+                netlist.add_input(signal)
+            else:
+                netlist.add_output(signal)
+            continue
+
+        assign_match = _ASSIGN_RE.match(line)
+        if assign_match is None:
+            raise BenchParseError(f"cannot parse {raw_line.strip()!r}", line_number)
+
+        output, function, operand_text = assign_match.groups()
+        operands = [op.strip() for op in operand_text.split(",") if op.strip()]
+        function_key = function.upper()
+
+        if function_key == "DFF":
+            if len(operands) != 1:
+                raise BenchParseError(
+                    f"DFF {output!r} must have exactly one data input", line_number
+                )
+            netlist.add_latch(output=output, data=operands[0])
+            continue
+
+        try:
+            gate_type = gate_type_from_name(function_key)
+            netlist.add_gate(output=output, gate_type=gate_type, inputs=operands)
+        except ValueError as exc:
+            raise BenchParseError(str(exc), line_number) from exc
+
+    return netlist
+
+
+def parse_bench_file(path: str | Path, name: str | None = None) -> Netlist:
+    """Parse a ``.bench`` file from disk; the stem becomes the circuit name."""
+    path = Path(path)
+    text = path.read_text()
+    return parse_bench(text, name=name or path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialise *netlist* back into ``.bench`` source.
+
+    The output round-trips through :func:`parse_bench` to an equivalent
+    netlist (same inputs, outputs, gates and latches, in the same order).
+    """
+    lines: list[str] = [f"# {netlist.name}"]
+    lines.append(
+        f"# {netlist.num_inputs} inputs, {netlist.num_outputs} outputs, "
+        f"{netlist.num_latches} D flip-flops, {netlist.num_gates} gates"
+    )
+    for pi in netlist.primary_inputs:
+        lines.append(f"INPUT({pi})")
+    for po in netlist.primary_outputs:
+        lines.append(f"OUTPUT({po})")
+    lines.append("")
+    for latch in netlist.latches:
+        lines.append(f"{latch.output} = DFF({latch.data})")
+    for gate in netlist.gates:
+        operand_text = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({operand_text})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_bench_file(netlist: Netlist, path: str | Path) -> Path:
+    """Write *netlist* to *path* in ``.bench`` format and return the path."""
+    path = Path(path)
+    path.write_text(write_bench(netlist))
+    return path
+
+
+def parse_bench_lines(lines: Iterable[str], name: str = "circuit") -> Netlist:
+    """Parse an iterable of source lines (convenience wrapper)."""
+    return parse_bench("\n".join(lines), name=name)

@@ -1,0 +1,147 @@
+"""Primitive gate library used by the ISCAS89-style netlists.
+
+The library covers the cell types found in the ISCAS89 benchmark set (the
+circuits evaluated in the paper): AND, NAND, OR, NOR, XOR, XNOR, NOT and
+BUFF, plus constant drivers which occasionally appear in translated
+netlists.  D flip-flops are modelled separately (:class:`repro.netlist.netlist.Latch`)
+because they are sequential elements, not combinational cells.
+
+Two evaluation entry points are provided:
+
+* :func:`evaluate_gate` — scalar, ``0``/``1`` values; used by the
+  event-driven simulator and by the FSM enumeration code.
+* :func:`evaluate_gate_bitparallel` — bit-parallel evaluation on arbitrary
+  width Python integers, where bit ``k`` of every operand belongs to an
+  independent simulation lane.  This is what makes the pure-Python reference
+  power simulation fast enough for the experiments.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+
+class GateType(str, Enum):
+    """Combinational cell types supported by the netlist model."""
+
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUFF = "BUFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Required input count per gate type.  ``None`` means "one or more".
+GATE_ARITY: dict[GateType, int | None] = {
+    GateType.AND: None,
+    GateType.NAND: None,
+    GateType.OR: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.NOT: 1,
+    GateType.BUFF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+#: Gate types whose output is the complement of the corresponding base type.
+INVERTING_TYPES = {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT, GateType.CONST0}
+
+_BENCH_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUFF,
+    "BUFF": GateType.BUFF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def gate_type_from_name(name: str) -> GateType:
+    """Map a ``.bench`` function name (case-insensitive) to a :class:`GateType`."""
+    key = name.strip().upper()
+    if key not in _BENCH_ALIASES:
+        raise ValueError(f"unknown gate function {name!r}")
+    return _BENCH_ALIASES[key]
+
+
+def check_arity(gate_type: GateType, num_inputs: int) -> None:
+    """Raise :class:`ValueError` if *num_inputs* is illegal for *gate_type*."""
+    required = GATE_ARITY[gate_type]
+    if required is None:
+        if num_inputs < 1:
+            raise ValueError(f"{gate_type} gate requires at least one input")
+    elif num_inputs != required:
+        raise ValueError(
+            f"{gate_type} gate requires exactly {required} input(s), got {num_inputs}"
+        )
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate a gate on scalar 0/1 inputs and return 0 or 1."""
+    return evaluate_gate_bitparallel(gate_type, inputs, mask=1)
+
+
+def evaluate_gate_bitparallel(gate_type: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate a gate on bit-parallel integer operands.
+
+    Parameters
+    ----------
+    gate_type:
+        The cell function.
+    inputs:
+        Input operands; each is an integer whose bit *k* carries the value of
+        the input in simulation lane *k*.
+    mask:
+        ``(1 << width) - 1`` — the all-ones word for the configured number of
+        lanes, used to implement logical NOT without producing negative
+        Python integers.
+    """
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    if not inputs:
+        raise ValueError(f"{gate_type} gate evaluated with no inputs")
+
+    if gate_type in (GateType.AND, GateType.NAND):
+        value = inputs[0]
+        for operand in inputs[1:]:
+            value &= operand
+        return (mask ^ value) if gate_type is GateType.NAND else value
+
+    if gate_type in (GateType.OR, GateType.NOR):
+        value = inputs[0]
+        for operand in inputs[1:]:
+            value |= operand
+        return (mask ^ value) if gate_type is GateType.NOR else value
+
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        value = inputs[0]
+        for operand in inputs[1:]:
+            value ^= operand
+        return (mask ^ value) if gate_type is GateType.XNOR else value
+
+    if gate_type is GateType.NOT:
+        return mask ^ inputs[0]
+
+    if gate_type is GateType.BUFF:
+        return inputs[0]
+
+    raise ValueError(f"unhandled gate type {gate_type!r}")  # pragma: no cover

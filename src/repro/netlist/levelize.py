@@ -1,0 +1,83 @@
+"""Levelization: topological ordering of the combinational block.
+
+Both simulators evaluate the combinational gates of a sequential circuit in a
+single forward pass per clock cycle.  That requires a topological order in
+which every gate appears after all of its combinational fan-in.  Primary
+inputs and latch outputs (the present-state bits) are the sources of the
+combinational graph; latch data pins and primary outputs are the sinks.
+
+A combinational cycle (a feedback path that does not pass through a latch)
+makes levelization impossible and is reported as an error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netlist.netlist import Gate, Netlist, NetlistError
+
+
+def levelize(netlist: Netlist) -> list[Gate]:
+    """Return the gates of *netlist* in topological (evaluation) order.
+
+    Raises
+    ------
+    NetlistError
+        If the combinational block contains a cycle.
+    """
+    gate_by_output = {gate.output: gate for gate in netlist.gates}
+    sources = set(netlist.primary_inputs)
+    sources.update(latch.output for latch in netlist.latches)
+
+    # in-degree of each gate counts only fan-in driven by other gates
+    indegree: dict[str, int] = {}
+    dependents: dict[str, list[str]] = {output: [] for output in gate_by_output}
+    for gate in netlist.gates:
+        count = 0
+        for src in gate.inputs:
+            if src in gate_by_output:
+                count += 1
+                dependents[src].append(gate.output)
+        indegree[gate.output] = count
+
+    ready = deque(output for output, count in indegree.items() if count == 0)
+    order: list[Gate] = []
+    while ready:
+        output = ready.popleft()
+        order.append(gate_by_output[output])
+        for successor in dependents[output]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+
+    if len(order) != len(netlist.gates):
+        stuck = sorted(output for output, count in indegree.items() if count > 0)
+        raise NetlistError(
+            "combinational cycle detected; gates involved (or downstream of the "
+            f"cycle): {', '.join(stuck[:10])}"
+        )
+    return order
+
+
+def gate_levels(netlist: Netlist) -> dict[str, int]:
+    """Return the logic level of every gate output.
+
+    Primary inputs and latch outputs are level 0; each gate is one level above
+    the deepest of its fan-in signals.
+    """
+    levels: dict[str, int] = {pi: 0 for pi in netlist.primary_inputs}
+    for latch in netlist.latches:
+        levels[latch.output] = 0
+    for gate in levelize(netlist):
+        fanin_levels = [levels.get(src, 0) for src in gate.inputs]
+        levels[gate.output] = (max(fanin_levels) if fanin_levels else 0) + 1
+    return levels
+
+
+def logic_depth(netlist: Netlist) -> int:
+    """Return the depth (maximum logic level) of the combinational block."""
+    levels = gate_levels(netlist)
+    gate_outputs = [gate.output for gate in netlist.gates]
+    if not gate_outputs:
+        return 0
+    return max(levels[output] for output in gate_outputs)

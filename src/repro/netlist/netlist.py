@@ -1,0 +1,189 @@
+"""Netlist data model: gates, D flip-flops and the sequential circuit container.
+
+A :class:`Netlist` is the structural view of a sequential circuit: a set of
+primary inputs, primary outputs, combinational :class:`Gate` instances and
+:class:`Latch` (D flip-flop) instances, all connected by named nets.  Signal
+names are plain strings — exactly the identifiers appearing in the ``.bench``
+source — and every driver (primary input, gate output or latch output) must
+be unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.netlist.cell_library import GateType, check_arity
+
+
+class NetlistError(Exception):
+    """Raised for structural errors while building or querying a netlist."""
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational cell driving net *output* from *inputs*."""
+
+    output: str
+    gate_type: GateType
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        check_arity(self.gate_type, len(self.inputs))
+        if self.output in self.inputs and self.gate_type is not GateType.BUFF:
+            # A true combinational self-loop can never stabilise; BUFF
+            # self-loops are rejected too but give a clearer message here.
+            raise NetlistError(f"gate {self.output!r} drives one of its own inputs")
+
+
+@dataclass(frozen=True)
+class Latch:
+    """A D flip-flop: on every clock edge, net *output* (Q) captures net *data* (D)."""
+
+    output: str
+    data: str
+    init_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.init_value not in (0, 1):
+            raise NetlistError(f"latch {self.output!r} init value must be 0 or 1")
+
+
+@dataclass
+class Netlist:
+    """A gate-level sequential circuit.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (e.g. ``"s27"``).
+    primary_inputs / primary_outputs:
+        Ordered signal name lists.
+    gates:
+        Combinational cells, in declaration order.
+    latches:
+        D flip-flops, in declaration order.
+    """
+
+    name: str = "circuit"
+    primary_inputs: list[str] = field(default_factory=list)
+    primary_outputs: list[str] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+    latches: list[Latch] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ build
+    def add_input(self, name: str) -> None:
+        """Declare a primary input net."""
+        if name in self.primary_inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        self.primary_inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        """Declare a primary output net (its driver may be added later)."""
+        if name in self.primary_outputs:
+            raise NetlistError(f"duplicate primary output {name!r}")
+        self.primary_outputs.append(name)
+
+    def add_gate(self, output: str, gate_type: GateType, inputs: Iterable[str]) -> Gate:
+        """Add a combinational gate and return it."""
+        gate = Gate(output=output, gate_type=gate_type, inputs=tuple(inputs))
+        self.gates.append(gate)
+        return gate
+
+    def add_latch(self, output: str, data: str, init_value: int = 0) -> Latch:
+        """Add a D flip-flop and return it."""
+        latch = Latch(output=output, data=data, init_value=init_value)
+        self.latches.append(latch)
+        return latch
+
+    # ------------------------------------------------------------------ query
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates."""
+        return len(self.gates)
+
+    @property
+    def num_latches(self) -> int:
+        """Number of D flip-flops."""
+        return len(self.latches)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self.primary_inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self.primary_outputs)
+
+    def driver_map(self) -> dict[str, Gate | Latch | str]:
+        """Map each driven net to its driver.
+
+        Primary inputs map to the string ``"input"``; gate outputs map to the
+        :class:`Gate`; latch outputs map to the :class:`Latch`.  Raises
+        :class:`NetlistError` on multiply-driven nets.
+        """
+        drivers: dict[str, Gate | Latch | str] = {}
+        for pi in self.primary_inputs:
+            drivers[pi] = "input"
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise NetlistError(f"net {gate.output!r} has multiple drivers")
+            drivers[gate.output] = gate
+        for latch in self.latches:
+            if latch.output in drivers:
+                raise NetlistError(f"net {latch.output!r} has multiple drivers")
+            drivers[latch.output] = latch
+        return drivers
+
+    def all_nets(self) -> list[str]:
+        """Return every distinct net name, in a deterministic order."""
+        seen: dict[str, None] = {}
+        for pi in self.primary_inputs:
+            seen.setdefault(pi, None)
+        for latch in self.latches:
+            seen.setdefault(latch.output, None)
+            seen.setdefault(latch.data, None)
+        for gate in self.gates:
+            seen.setdefault(gate.output, None)
+            for name in gate.inputs:
+                seen.setdefault(name, None)
+        for po in self.primary_outputs:
+            seen.setdefault(po, None)
+        return list(seen)
+
+    def fanout_map(self) -> dict[str, list[str]]:
+        """Map each net to the list of sinks that read it.
+
+        A sink is the output net of a gate that uses the net as an input, the
+        output net of a latch whose D pin is the net, or the pseudo-sink
+        ``"PO:<name>"`` for primary outputs.
+        """
+        fanout: dict[str, list[str]] = {net: [] for net in self.all_nets()}
+        for gate in self.gates:
+            for src in gate.inputs:
+                fanout.setdefault(src, []).append(gate.output)
+        for latch in self.latches:
+            fanout.setdefault(latch.data, []).append(latch.output)
+        for po in self.primary_outputs:
+            fanout.setdefault(po, []).append(f"PO:{po}")
+        return fanout
+
+    def undriven_nets(self) -> list[str]:
+        """Return nets that are read somewhere but have no driver."""
+        drivers = self.driver_map()
+        return [net for net in self.all_nets() if net not in drivers]
+
+    def state_space_size(self) -> int:
+        """Number of distinct latch-state vectors (``2 ** num_latches``)."""
+        return 1 << self.num_latches
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist(name={self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, gates={self.num_gates}, latches={self.num_latches})"
+        )

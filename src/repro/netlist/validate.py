@@ -1,0 +1,87 @@
+"""Structural validation of netlists.
+
+The checks mirror what a gate-level simulator needs to guarantee before it
+can run: every read net must have a driver, no net may have two drivers, the
+combinational block must be acyclic, and declared primary outputs must exist.
+Problems are returned as :class:`ValidationIssue` records so callers can
+decide which of them are fatal for their use case (the simulators treat
+``"error"`` severity as fatal, ``"warning"`` as informational).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single structural problem found in a netlist."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate_netlist(netlist: Netlist) -> list[ValidationIssue]:
+    """Run all structural checks and return the list of issues (possibly empty)."""
+    issues: list[ValidationIssue] = []
+
+    # Multiple drivers are detected while building the driver map.
+    try:
+        drivers = netlist.driver_map()
+    except NetlistError as exc:
+        return [ValidationIssue("error", "multiple-drivers", str(exc))]
+
+    for net in netlist.undriven_nets():
+        issues.append(
+            ValidationIssue("error", "undriven-net", f"net {net!r} is read but never driven")
+        )
+
+    for po in netlist.primary_outputs:
+        if po not in drivers:
+            issues.append(
+                ValidationIssue("error", "undriven-output", f"primary output {po!r} has no driver")
+            )
+
+    fanout = netlist.fanout_map()
+    for net, sinks in fanout.items():
+        if not sinks and net not in netlist.primary_outputs:
+            issues.append(
+                ValidationIssue(
+                    "warning", "dangling-net", f"net {net!r} drives nothing and is not an output"
+                )
+            )
+
+    try:
+        levelize(netlist)
+    except NetlistError as exc:
+        issues.append(ValidationIssue("error", "combinational-cycle", str(exc)))
+
+    if not netlist.latches:
+        issues.append(
+            ValidationIssue(
+                "warning",
+                "combinational-only",
+                "circuit has no latches; sequential power estimation degenerates to the "
+                "combinational case",
+            )
+        )
+    if not netlist.primary_inputs:
+        issues.append(
+            ValidationIssue("warning", "no-inputs", "circuit has no primary inputs")
+        )
+    return issues
+
+
+def assert_valid(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` if *netlist* has any error-severity issue."""
+    errors = [issue for issue in validate_netlist(netlist) if issue.severity == "error"]
+    if errors:
+        details = "; ".join(str(issue) for issue in errors)
+        raise NetlistError(f"netlist {netlist.name!r} failed validation: {details}")

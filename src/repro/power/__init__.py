@@ -1,0 +1,28 @@
+"""Power modelling: node capacitance, the dynamic power equation, and the
+long-run reference ("SIM") estimator.
+
+The power of one clock cycle follows Eq. (1) of the paper::
+
+    P = Vdd^2 / (2 T) * sum_i C_i * n_i
+
+where ``C_i`` is the load capacitance of net *i* and ``n_i`` the number of
+transitions it makes during the cycle.  The simulators report the switched
+capacitance ``sum_i C_i * n_i``; :class:`~repro.power.power_model.PowerModel`
+converts it to energy and average power for a supply voltage and clock
+frequency (5 V and 20 MHz in the paper's experiments).
+"""
+
+from repro.power.capacitance import CapacitanceModel
+from repro.power.power_model import PowerModel
+from repro.power.reference import ReferenceResult, estimate_reference_power
+from repro.power.breakdown import NetPower, PowerBreakdown, power_breakdown
+
+__all__ = [
+    "CapacitanceModel",
+    "PowerModel",
+    "ReferenceResult",
+    "estimate_reference_power",
+    "NetPower",
+    "PowerBreakdown",
+    "power_breakdown",
+]

@@ -1,0 +1,89 @@
+"""Node (net) capacitance model.
+
+Each net's switched capacitance is the sum of the driving cell's output
+capacitance and the input capacitance of every sink it fans out to.  The
+paper notes that ``C_i`` "can be adjusted to take into account additional
+contributions from short circuit current, internal capacitance
+charging/discharging, etc." — those second-order effects are folded into a
+single multiplicative ``overhead_factor`` here.
+
+Default values are representative of a 1990s standard-cell library (tens of
+femtofarads per node); the statistical behaviour studied in the paper does
+not depend on their absolute magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.compiled import CompiledCircuit
+
+
+@dataclass(frozen=True)
+class CapacitanceModel:
+    """Fanout-based net capacitance model.
+
+    Attributes
+    ----------
+    output_capacitance_f:
+        Intrinsic output (drain/diffusion + wire stub) capacitance of the
+        driving cell, in farads.
+    input_capacitance_f:
+        Gate input capacitance added per fanout sink, in farads.
+    latch_input_capacitance_f:
+        Input capacitance of a flip-flop D pin, in farads (flip-flop inputs
+        are typically heavier than plain gate inputs).
+    primary_output_capacitance_f:
+        Load presented by a primary output (pad / next block), in farads.
+    overhead_factor:
+        Multiplicative factor folding in short-circuit and internal-node
+        power (1.0 = pure external switching power).
+    """
+
+    output_capacitance_f: float = 8e-15
+    input_capacitance_f: float = 4e-15
+    latch_input_capacitance_f: float = 6e-15
+    primary_output_capacitance_f: float = 20e-15
+    overhead_factor: float = 1.15
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "output_capacitance_f",
+            "input_capacitance_f",
+            "latch_input_capacitance_f",
+            "primary_output_capacitance_f",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.overhead_factor <= 0:
+            raise ValueError("overhead_factor must be positive")
+
+    def node_capacitances(self, circuit: CompiledCircuit) -> list[float]:
+        """Return the capacitance of every net of *circuit*, indexed by net id."""
+        gate_input_sinks = [0] * circuit.num_nets
+        for gate in circuit.gates:
+            for src in gate.inputs:
+                gate_input_sinks[src] += 1
+
+        latch_input_sinks = [0] * circuit.num_nets
+        for d_id in circuit.latch_d:
+            latch_input_sinks[d_id] += 1
+
+        po_sinks = [0] * circuit.num_nets
+        for po_id in circuit.primary_outputs:
+            po_sinks[po_id] += 1
+
+        capacitances = []
+        for net_id in range(circuit.num_nets):
+            cap = (
+                self.output_capacitance_f
+                + gate_input_sinks[net_id] * self.input_capacitance_f
+                + latch_input_sinks[net_id] * self.latch_input_capacitance_f
+                + po_sinks[net_id] * self.primary_output_capacitance_f
+            )
+            capacitances.append(cap * self.overhead_factor)
+        return capacitances
+
+    def total_capacitance(self, circuit: CompiledCircuit) -> float:
+        """Total switchable capacitance of the circuit (farads)."""
+        return sum(self.node_capacitances(circuit))

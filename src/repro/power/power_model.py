@@ -1,0 +1,65 @@
+"""Dynamic power equation (Eq. (1) of the paper).
+
+The simulators report the switched capacitance of a clock cycle,
+``sum_i C_i * n_i``.  :class:`PowerModel` holds the electrical operating
+point (supply voltage, clock period) and converts switched capacitance to
+per-cycle energy and to average power.  The paper's experiments use a 5 V
+supply and a 20 MHz clock; those are the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Electrical operating point for power computation.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage in volts.
+    clock_frequency_hz:
+        Clock frequency in hertz; the clock period ``T`` is its reciprocal.
+    """
+
+    vdd: float = 5.0
+    clock_frequency_hz: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.clock_frequency_hz <= 0:
+            raise ValueError("clock_frequency_hz must be positive")
+
+    @property
+    def clock_period_s(self) -> float:
+        """Clock period ``T`` in seconds."""
+        return 1.0 / self.clock_frequency_hz
+
+    def cycle_energy(self, switched_capacitance_f: float) -> float:
+        """Energy (joules) dissipated in a cycle that switched the given capacitance.
+
+        ``E = 1/2 * Vdd^2 * sum_i C_i n_i`` — each transition charges or
+        discharges its node through the supply, dissipating ``C V^2 / 2``.
+        """
+        if switched_capacitance_f < 0:
+            raise ValueError("switched capacitance cannot be negative")
+        return 0.5 * self.vdd * self.vdd * switched_capacitance_f
+
+    def cycle_power(self, switched_capacitance_f: float) -> float:
+        """Power (watts) if every cycle switched the given capacitance: ``E / T``."""
+        return self.cycle_energy(switched_capacitance_f) * self.clock_frequency_hz
+
+    def average_power(self, switched_capacitances_f: Iterable[float]) -> float:
+        """Average power (watts) over a sample of per-cycle switched capacitances."""
+        values = list(switched_capacitances_f)
+        if not values:
+            raise ValueError("average_power requires at least one sample")
+        return self.cycle_power(sum(values) / len(values))
+
+    def to_milliwatts(self, watts: float) -> float:
+        """Convenience conversion used by the experiment reports."""
+        return watts * 1e3

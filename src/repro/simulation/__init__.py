@@ -1,0 +1,42 @@
+"""Logic simulation engines.
+
+Two complementary simulators are provided, matching the two-phase simulation
+strategy of the paper (Section IV):
+
+* :class:`~repro.simulation.zero_delay.ZeroDelaySimulator` — a cycle-based,
+  zero-delay simulator.  It is bit-parallel: every net value is a Python
+  integer whose bit *k* belongs to an independent simulation lane, so one
+  pass over the gates advances up to hundreds of statistically independent
+  chains at once.  It is used (a) to advance the circuit state cheaply during
+  the independence interval and (b) with many lanes for the long-run
+  reference ("SIM") power estimate.
+* :class:`~repro.simulation.event_driven.EventDrivenSimulator` — a
+  general-delay, event-driven simulator that counts every transition,
+  including glitches, for the cycles in which power is actually sampled.
+"""
+
+from repro.simulation.compiled import CompiledCircuit, CompiledGate
+from repro.simulation.delay_models import (
+    DelayModel,
+    FanoutDelay,
+    TypeTableDelay,
+    UnitDelay,
+    ZeroDelay,
+)
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.simulation.activity import ActivityRecord, collect_activity
+
+__all__ = [
+    "CompiledCircuit",
+    "CompiledGate",
+    "DelayModel",
+    "UnitDelay",
+    "ZeroDelay",
+    "FanoutDelay",
+    "TypeTableDelay",
+    "EventDrivenSimulator",
+    "ZeroDelaySimulator",
+    "ActivityRecord",
+    "collect_activity",
+]

@@ -1,0 +1,155 @@
+"""Compilation of a :class:`~repro.netlist.netlist.Netlist` into simulator tables.
+
+Simulation touches every gate on every clock cycle, so the structural netlist
+(string-keyed, validation-friendly) is first *compiled* into flat
+integer-indexed tables: each net gets a dense id, gates are stored in
+topological order with pre-resolved fan-in ids, and latches become
+``(q, d)`` id pairs.  Both simulators and the FSM enumeration code work on
+this compiled form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.netlist.validate import assert_valid
+
+
+@dataclass(frozen=True)
+class CompiledGate:
+    """A gate in compiled form: operation, output net id and fan-in net ids."""
+
+    gate_type: GateType
+    output: int
+    inputs: tuple[int, ...]
+
+
+@dataclass
+class CompiledCircuit:
+    """Flat, integer-indexed view of a sequential circuit.
+
+    Attributes
+    ----------
+    name:
+        Circuit name carried over from the netlist.
+    net_names:
+        Net name for each net id (index in this list is the id).
+    primary_inputs / primary_outputs:
+        Net ids of the primary inputs / outputs, in declaration order.
+    latch_q / latch_d:
+        Parallel lists: latch *i* copies net ``latch_d[i]`` into net
+        ``latch_q[i]`` at each clock edge.
+    latch_init:
+        Reset value (0/1) for each latch.
+    gates:
+        Combinational gates in topological evaluation order.
+    fanout_counts:
+        Number of sinks (gate inputs, latch D pins, primary outputs) each net
+        drives; used by the capacitance and delay models.
+    """
+
+    name: str
+    net_names: list[str]
+    primary_inputs: list[int]
+    primary_outputs: list[int]
+    latch_q: list[int]
+    latch_d: list[int]
+    latch_init: list[int]
+    gates: list[CompiledGate]
+    fanout_counts: list[int]
+    net_index: dict[str, int] = field(repr=False, default_factory=dict)
+    fanout_gates: list[tuple[int, ...]] = field(repr=False, default_factory=list)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_netlist(cls, netlist: Netlist, validate: bool = True) -> "CompiledCircuit":
+        """Compile *netlist*; with ``validate=True`` structural errors raise."""
+        if validate:
+            assert_valid(netlist)
+
+        net_names = netlist.all_nets()
+        net_index = {name: idx for idx, name in enumerate(net_names)}
+
+        def nid(name: str) -> int:
+            try:
+                return net_index[name]
+            except KeyError as exc:  # pragma: no cover - guarded by validation
+                raise NetlistError(f"unknown net {name!r}") from exc
+
+        ordered_gates = levelize(netlist)
+        gates = [
+            CompiledGate(
+                gate_type=gate.gate_type,
+                output=nid(gate.output),
+                inputs=tuple(nid(src) for src in gate.inputs),
+            )
+            for gate in ordered_gates
+        ]
+
+        fanout_counts = [0] * len(net_names)
+        for gate in netlist.gates:
+            for src in gate.inputs:
+                fanout_counts[nid(src)] += 1
+        for latch in netlist.latches:
+            fanout_counts[nid(latch.data)] += 1
+        for po in netlist.primary_outputs:
+            fanout_counts[nid(po)] += 1
+
+        # For the event-driven simulator: which compiled gates read each net.
+        fanout_gates_lists: list[list[int]] = [[] for _ in net_names]
+        for gate_index, gate in enumerate(gates):
+            for src in gate.inputs:
+                fanout_gates_lists[src].append(gate_index)
+        fanout_gates = [tuple(indices) for indices in fanout_gates_lists]
+
+        return cls(
+            name=netlist.name,
+            net_names=net_names,
+            primary_inputs=[nid(pi) for pi in netlist.primary_inputs],
+            primary_outputs=[nid(po) for po in netlist.primary_outputs],
+            latch_q=[nid(latch.output) for latch in netlist.latches],
+            latch_d=[nid(latch.data) for latch in netlist.latches],
+            latch_init=[latch.init_value for latch in netlist.latches],
+            gates=gates,
+            fanout_counts=fanout_counts,
+            net_index=net_index,
+            fanout_gates=fanout_gates,
+        )
+
+    # ------------------------------------------------------------------ query
+    @property
+    def num_nets(self) -> int:
+        """Total number of nets."""
+        return len(self.net_names)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates."""
+        return len(self.gates)
+
+    @property
+    def num_latches(self) -> int:
+        """Number of D flip-flops."""
+        return len(self.latch_q)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self.primary_inputs)
+
+    def net_id(self, name: str) -> int:
+        """Return the net id of *name* (raises ``KeyError`` if unknown)."""
+        return self.net_index[name]
+
+    def state_space_size(self) -> int:
+        """Number of distinct latch-state vectors."""
+        return 1 << self.num_latches
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledCircuit({self.name!r}, nets={self.num_nets}, gates={self.num_gates}, "
+            f"latches={self.num_latches}, inputs={self.num_inputs})"
+        )

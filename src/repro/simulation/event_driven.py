@@ -1,0 +1,265 @@
+"""Event-driven general-delay simulator with glitch-aware transition counting.
+
+The independence-interval machinery of the paper only needs cheap zero-delay
+simulation, but the power *samples* are taken with a general-delay simulator
+so that hazard/glitch transitions contribute to the switched capacitance.
+This module implements a transport-delay event-driven simulator over scalar
+(single-chain) logic values:
+
+1. At the start of a cycle the latch outputs take their newly captured values
+   and the primary inputs take the new pattern; every net that changes seeds
+   an event at time 0.
+2. Events are processed in time order.  When a net actually changes value the
+   transition is counted (capacitance-weighted) and the gates it feeds are
+   re-evaluated; their outputs are scheduled ``delay(gate)`` later.
+3. The cycle ends when the event queue drains; because the combinational
+   block is acyclic the queue always drains.
+
+With a :class:`~repro.simulation.delay_models.ZeroDelay` model the counted
+transitions match the zero-delay simulator exactly (a property exercised by
+the test suite); with unequal delays reconvergent paths produce additional
+glitch transitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.netlist.cell_library import evaluate_gate_bitparallel
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.delay_models import DelayModel, FanoutDelay
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+class EventDrivenSimulator:
+    """General-delay event-driven simulator (single chain, scalar values).
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit to simulate.
+    delay_model:
+        Gate delay model; defaults to :class:`FanoutDelay`.
+    node_capacitance:
+        Optional per-net capacitance (farads); defaults to 1.0 per net so the
+        simulator reports raw transition counts.
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        delay_model: DelayModel | None = None,
+        node_capacitance: Sequence[float] | None = None,
+    ):
+        self.circuit = circuit
+        self.delay_model = delay_model or FanoutDelay()
+        self.gate_delays = self.delay_model.delays(circuit)
+        if node_capacitance is None:
+            self.node_capacitance = [1.0] * circuit.num_nets
+        else:
+            if len(node_capacitance) != circuit.num_nets:
+                raise ValueError(
+                    "node_capacitance must have one entry per net "
+                    f"({circuit.num_nets}), got {len(node_capacitance)}"
+                )
+            self.node_capacitance = list(node_capacitance)
+        self.values: list[int] = [0] * circuit.num_nets
+        self.transition_counts: list[int] = [0] * circuit.num_nets
+        self.cycles_simulated = 0
+        self._sequence = 0
+        self.reset()
+
+    # ----------------------------------------------------------------- state
+    def reset(self, latch_state: int | None = None) -> None:
+        """Reset nets to 0, load *latch_state* (or init values) and clear counters."""
+        self.values = [0] * self.circuit.num_nets
+        if latch_state is None:
+            bits = self.circuit.latch_init
+        else:
+            bits = [(latch_state >> i) & 1 for i in range(self.circuit.num_latches)]
+        for q_id, bit in zip(self.circuit.latch_q, bits):
+            self.values[q_id] = bit
+        self.transition_counts = [0] * self.circuit.num_nets
+        self.cycles_simulated = 0
+        self._settled = False
+
+    def randomize_state(self, rng: RandomSource = None) -> None:
+        """Load a uniform-random state into the latches."""
+        generator = spawn_rng(rng)
+        for q_id in self.circuit.latch_q:
+            self.values[q_id] = int(generator.integers(0, 2))
+        self._settled = False
+
+    def load_settled_state(self, values: Sequence[int]) -> None:
+        """Adopt an externally settled network (e.g. from the zero-delay simulator).
+
+        Used by the two-phase sampler: the cheap zero-delay simulator advances
+        the circuit through the independence interval, then its settled net
+        values are loaded here so the sampled cycle can be re-simulated with
+        general delays (glitches included) from the correct starting network.
+        """
+        if len(values) != self.circuit.num_nets:
+            raise ValueError(
+                f"expected {self.circuit.num_nets} net values, got {len(values)}"
+            )
+        self.values = [value & 1 for value in values]
+        self._settled = True
+
+    def latch_state_scalar(self) -> int:
+        """Return the present state as an integer (bit *i* = latch *i*)."""
+        state = 0
+        for i, q_id in enumerate(self.circuit.latch_q):
+            state |= (self.values[q_id] & 1) << i
+        return state
+
+    def net_value(self, name: str) -> int:
+        """Return the current settled value (0/1) of net *name*."""
+        return self.values[self.circuit.net_id(name)]
+
+    # ------------------------------------------------------------- evaluation
+    def _evaluate_gate(self, gate_index: int) -> int:
+        gate = self.circuit.gates[gate_index]
+        operands = [self.values[src] for src in gate.inputs]
+        return evaluate_gate_bitparallel(gate.gate_type, operands, mask=1)
+
+    def settle(self, pattern: Sequence[int]) -> None:
+        """Drive *pattern*, settle the logic, count nothing.
+
+        Used to establish the initial settled network before the first
+        measured cycle (mirrors :meth:`ZeroDelaySimulator.settle`).
+        """
+        self._apply_pattern(pattern)
+        for gate_index in range(len(self.circuit.gates)):
+            gate = self.circuit.gates[gate_index]
+            self.values[gate.output] = self._evaluate_gate(gate_index)
+        self._settled = True
+
+    def _apply_pattern(self, pattern: Sequence[int]) -> list[int]:
+        if len(pattern) != self.circuit.num_inputs:
+            raise ValueError(
+                f"pattern must have {self.circuit.num_inputs} entries, got {len(pattern)}"
+            )
+        changed = []
+        for pi_id, value in zip(self.circuit.primary_inputs, pattern):
+            bit = value & 1
+            if self.values[pi_id] != bit:
+                changed.append((pi_id, bit))
+            self.values[pi_id] = bit
+        return changed
+
+    def cycle(self, pattern: Sequence[int]) -> float:
+        """Simulate one full clock cycle and return the switched capacitance.
+
+        The cycle consists of the clock edge (latch outputs take the D values
+        settled at the end of the previous cycle), application of the new
+        input *pattern*, and event-driven propagation until quiescence.  Every
+        transition — functional or glitch — adds its net's capacitance.
+
+        Events are processed one *time point* at a time: all net updates
+        scheduled for the same instant are applied together (a net changes at
+        most once per instant), then the affected gates are evaluated.
+        Zero-delay gates are resolved within the same time point in
+        topological order, so with a pure zero-delay model the counted
+        transitions equal the functional (zero-delay simulator) transitions;
+        positive, unequal delays expose hazard glitches on reconvergent paths.
+        """
+        if len(pattern) != self.circuit.num_inputs:
+            raise ValueError(
+                f"pattern must have {self.circuit.num_inputs} entries, got {len(pattern)}"
+            )
+        if not self._settled:
+            # Establish a settled network from the current (reset) values with
+            # an all-unchanged pseudo-pattern so the first cycle has a
+            # well-defined "previous" state.
+            self.settle([self.values[pi] for pi in self.circuit.primary_inputs])
+
+        # Clock edge: capture settled D values.
+        new_q = [self.values[d_id] for d_id in self.circuit.latch_d]
+
+        events: list[tuple[float, int, int, int]] = []
+        self._sequence = 0
+
+        def schedule(time: float, net_id: int, value: int) -> None:
+            self._sequence += 1
+            heapq.heappush(events, (time, self._sequence, net_id, value))
+
+        for q_id, value in zip(self.circuit.latch_q, new_q):
+            if self.values[q_id] != value:
+                schedule(0.0, q_id, value)
+        for pi_id, value in zip(self.circuit.primary_inputs, pattern):
+            bit = value & 1
+            if self.values[pi_id] != bit:
+                schedule(0.0, pi_id, bit)
+
+        switched = 0.0
+        values = self.values
+        capacitance = self.node_capacitance
+        counts = self.transition_counts
+        fanout_gates = self.circuit.fanout_gates
+        gates = self.circuit.gates
+        delays = self.gate_delays
+
+        while events:
+            current_time = events[0][0]
+            # Gather every event scheduled for this instant; the last scheduled
+            # value per net wins (it was computed with the freshest inputs).
+            pending: dict[int, int] = {}
+            while events and events[0][0] == current_time:
+                _time, _seq, net_id, value = heapq.heappop(events)
+                pending[net_id] = value
+
+            # Apply the updates of this instant and collect the gates to
+            # (re-)evaluate, keyed by gate index so they run in topological
+            # order — zero-delay gates cascade within the same instant.
+            affected: set[int] = set()
+            for net_id, value in pending.items():
+                if values[net_id] == value:
+                    continue
+                values[net_id] = value
+                counts[net_id] += 1
+                switched += capacitance[net_id]
+                affected.update(fanout_gates[net_id])
+
+            # Gate indices are topological, and a gate's fanout always has a
+            # larger index, so a min-heap of gate indices evaluates this
+            # instant's cone of influence in topological order.
+            worklist = list(affected)
+            heapq.heapify(worklist)
+            queued = set(worklist)
+            while worklist:
+                gate_index = heapq.heappop(worklist)
+                queued.discard(gate_index)
+                gate = gates[gate_index]
+                operands = [values[src] for src in gate.inputs]
+                new_output = evaluate_gate_bitparallel(gate.gate_type, operands, mask=1)
+                delay = delays[gate_index]
+                if delay == 0.0:
+                    if values[gate.output] != new_output:
+                        values[gate.output] = new_output
+                        counts[gate.output] += 1
+                        switched += capacitance[gate.output]
+                        for successor in fanout_gates[gate.output]:
+                            if successor not in queued:
+                                heapq.heappush(worklist, successor)
+                                queued.add(successor)
+                else:
+                    schedule(current_time + delay, gate.output, new_output)
+
+        self.cycles_simulated += 1
+        return switched
+
+    def run(self, patterns: Sequence[Sequence[int]]) -> list[float]:
+        """Simulate one cycle per pattern; return per-cycle switched capacitance."""
+        return [self.cycle(pattern) for pattern in patterns]
+
+    # ------------------------------------------------------------- statistics
+    def total_transitions(self) -> int:
+        """Total number of transitions counted since the last reset."""
+        return sum(self.transition_counts)
+
+    def transition_density(self) -> list[float]:
+        """Average transitions per cycle for every net (0.0 if nothing simulated)."""
+        if self.cycles_simulated == 0:
+            return [0.0] * self.circuit.num_nets
+        return [count / self.cycles_simulated for count in self.transition_counts]

@@ -1,0 +1,50 @@
+"""Descriptive statistics of a growing power sample."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of a sample of per-cycle power (or energy) values."""
+
+    count: int
+    mean: float
+    standard_deviation: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def standard_error(self) -> float:
+        """Standard error of the sample mean (0 for empty/singleton samples)."""
+        if self.count < 2:
+            return 0.0
+        return self.standard_deviation / math.sqrt(self.count)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation divided by the mean (0 when the mean is 0)."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.standard_deviation / abs(self.mean)
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Compute a :class:`SampleSummary` for *values* (must be non-empty)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SampleSummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        standard_deviation=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        median=float(np.median(data)),
+    )

@@ -1,0 +1,86 @@
+"""Dichotomisation and randomness testing of real-valued power sequences.
+
+The ordinary runs test only handles two-symbol sequences, so a power sequence
+must first be dichotomised (Section III.B): values below the sample median
+become one symbol, values above it the other.  Values exactly equal to the
+median carry no ordering information and are dropped, which keeps the symbol
+counts balanced for heavily quantised power data (small circuits dissipate
+only a handful of distinct per-cycle energies, so exact ties are common).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.runs_test import RunsTestResult, runs_test
+
+
+def dichotomize(values: Sequence[float]) -> list[int]:
+    """Convert a real-valued sequence into 0/1 symbols about its median.
+
+    Values strictly below the median map to 0, values strictly above map to
+    1, and exact ties with the median are removed (standard practice for the
+    runs-above-and-below-the-median test).  The relative order of the
+    retained values is preserved.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return []
+    median = float(np.median(data))
+    symbols = [0 if value < median else 1 for value in data if value != median]
+    return symbols
+
+
+def runs_test_on_values(
+    values: Sequence[float], significance_level: float = 0.20
+) -> RunsTestResult:
+    """Dichotomise *values* about their median and run the ordinary runs test."""
+    symbols = dichotomize(values)
+    if len(symbols) < 2:
+        # Everything equal to the median: no evidence of serial dependence.
+        return RunsTestResult(
+            num_runs=len(symbols),
+            num_first=sum(1 for s in symbols if s == 0),
+            num_second=sum(1 for s in symbols if s == 1),
+            z_statistic=0.0,
+            critical_value=float("inf"),
+            significance_level=significance_level,
+            accepted=True,
+            p_value=1.0,
+            degenerate=True,
+        )
+    return runs_test(symbols, significance_level=significance_level)
+
+
+def thin_sequence(values: Sequence[float], interval: int) -> list[float]:
+    """Keep every ``(interval + 1)``-th element of *values*.
+
+    ``interval`` is the number of skipped elements between two retained ones,
+    matching the paper's definition of the independence interval (an interval
+    of 0 keeps every element).
+    """
+    if interval < 0:
+        raise ValueError("interval must be non-negative")
+    return list(values[:: interval + 1])
+
+
+def lag_autocorrelation(values: Sequence[float], lag: int = 1) -> float:
+    """Sample autocorrelation of *values* at the given *lag*.
+
+    Used by diagnostics and tests to confirm that thinning by the selected
+    independence interval indeed removes most of the serial correlation.
+    Returns 0.0 for degenerate (constant or too short) sequences.
+    """
+    if lag < 1:
+        raise ValueError("lag must be at least 1")
+    data = np.asarray(list(values), dtype=float)
+    if data.size <= lag:
+        return 0.0
+    centred = data - data.mean()
+    denominator = float(np.dot(centred, centred))
+    if denominator == 0.0:
+        return 0.0
+    numerator = float(np.dot(centred[:-lag], centred[lag:]))
+    return numerator / denominator

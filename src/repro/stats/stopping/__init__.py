@@ -1,0 +1,62 @@
+"""Stopping criteria for sequential mean estimation (Section IV of the paper).
+
+A stopping criterion watches the growing random power sample and decides when
+enough samples have been collected to report the mean with the requested
+accuracy (maximum relative error) and confidence.  Three criteria are
+provided:
+
+* :class:`OrderStatisticStoppingCriterion` — the distribution-independent
+  criterion the paper adopts (its reference [7]); reconstructed here as a
+  distribution-free order-statistics confidence interval on batch means.
+* :class:`CltStoppingCriterion` — the parametric criterion based on the
+  central-limit theorem used by earlier Monte-Carlo power estimators
+  (Burch et al. / Najm et al.).
+* :class:`KolmogorovSmirnovStoppingCriterion` — a nonparametric criterion
+  built on the Dvoretzky–Kiefer–Wolfowitz band around the empirical CDF
+  (the paper's reference [6]).
+
+All criteria share the interface of :class:`StoppingCriterion`.
+"""
+
+from repro.stats.stopping.base import StoppingCriterion, StoppingDecision
+from repro.stats.stopping.clt import CltStoppingCriterion
+from repro.stats.stopping.ks import KolmogorovSmirnovStoppingCriterion
+from repro.stats.stopping.order_stat import OrderStatisticStoppingCriterion
+
+__all__ = [
+    "StoppingCriterion",
+    "StoppingDecision",
+    "CltStoppingCriterion",
+    "KolmogorovSmirnovStoppingCriterion",
+    "OrderStatisticStoppingCriterion",
+    "make_stopping_criterion",
+]
+
+_CRITERIA = {
+    "order-statistic": OrderStatisticStoppingCriterion,
+    "order_stat": OrderStatisticStoppingCriterion,
+    "clt": CltStoppingCriterion,
+    "ks": KolmogorovSmirnovStoppingCriterion,
+    "kolmogorov-smirnov": KolmogorovSmirnovStoppingCriterion,
+}
+
+
+def make_stopping_criterion(
+    name: str,
+    max_relative_error: float = 0.05,
+    confidence: float = 0.99,
+    **kwargs,
+) -> StoppingCriterion:
+    """Build a stopping criterion by name.
+
+    Accepted names: ``"order-statistic"`` (the paper's choice, default in
+    DIPE), ``"clt"``, and ``"ks"``.
+    """
+    key = name.strip().lower()
+    if key not in _CRITERIA:
+        raise ValueError(
+            f"unknown stopping criterion {name!r}; choose from {sorted(set(_CRITERIA))}"
+        )
+    return _CRITERIA[key](
+        max_relative_error=max_relative_error, confidence=confidence, **kwargs
+    )

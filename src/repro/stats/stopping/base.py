@@ -1,0 +1,110 @@
+"""Common interface for sequential stopping criteria."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """Verdict of a stopping criterion on the sample collected so far.
+
+    Attributes
+    ----------
+    should_stop:
+        ``True`` when the accuracy specification is met and sampling may end.
+    sample_size:
+        Number of samples examined.
+    estimate:
+        Current point estimate of the mean.
+    lower / upper:
+        Confidence-interval bounds on the mean at the requested confidence
+        (equal to the estimate when the sample is too small to say anything).
+    relative_half_width:
+        Half-width of the interval divided by the estimate — the quantity
+        compared against the user's maximum relative error.
+    """
+
+    should_stop: bool
+    sample_size: int
+    estimate: float
+    lower: float
+    upper: float
+    relative_half_width: float
+
+
+class StoppingCriterion(ABC):
+    """Decides when a growing i.i.d. power sample meets the accuracy spec.
+
+    Parameters
+    ----------
+    max_relative_error:
+        Maximum allowed half-width of the confidence interval relative to the
+        estimate (the paper uses 0.05).
+    confidence:
+        Required coverage probability of the interval (the paper uses 0.99).
+    min_samples:
+        Never stop before this many samples; protects the asymptotics all
+        three criteria rely on.
+    """
+
+    #: Name used by reports and the factory function.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        max_relative_error: float = 0.05,
+        confidence: float = 0.99,
+        min_samples: int = 64,
+    ):
+        if not 0.0 < max_relative_error < 1.0:
+            raise ValueError("max_relative_error must lie strictly between 0 and 1")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie strictly between 0 and 1")
+        if min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        self.max_relative_error = max_relative_error
+        self.confidence = confidence
+        self.min_samples = min_samples
+
+    @abstractmethod
+    def interval(self, sample: Sequence[float]) -> tuple[float, float, float]:
+        """Return ``(estimate, lower, upper)`` for the mean given *sample*."""
+
+    def evaluate(self, sample: Sequence[float]) -> StoppingDecision:
+        """Evaluate the criterion on *sample* and return a :class:`StoppingDecision`."""
+        size = len(sample)
+        if size == 0:
+            return StoppingDecision(
+                should_stop=False,
+                sample_size=0,
+                estimate=0.0,
+                lower=0.0,
+                upper=0.0,
+                relative_half_width=float("inf"),
+            )
+        estimate, lower, upper = self.interval(sample)
+        if estimate <= 0.0:
+            # Power is non-negative; a zero estimate means nothing has switched
+            # yet and the sample carries no usable accuracy information.
+            relative = float("inf") if upper > lower else 0.0
+        else:
+            relative = (upper - lower) / 2.0 / estimate
+        should_stop = size >= self.min_samples and relative <= self.max_relative_error
+        return StoppingDecision(
+            should_stop=should_stop,
+            sample_size=size,
+            estimate=estimate,
+            lower=lower,
+            upper=upper,
+            relative_half_width=relative,
+        )
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        return (
+            f"{self.name} (max error {self.max_relative_error:.1%}, "
+            f"confidence {self.confidence:.0%})"
+        )

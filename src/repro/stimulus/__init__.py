@@ -1,0 +1,31 @@
+"""Primary-input pattern generators.
+
+The paper's experiments drive the primary inputs with mutually independent
+signals of probability 0.5, but the technique itself "does not make
+assumptions on input pattern statistics".  This package therefore provides
+several generators with the same interface:
+
+* :class:`~repro.stimulus.random_inputs.BernoulliStimulus` — independent
+  inputs with per-input one-probabilities (the paper's setting with p = 0.5).
+* :class:`~repro.stimulus.correlated_inputs.LagOneMarkovStimulus` — inputs
+  with temporal correlation (each input is a two-state Markov chain).
+* :class:`~repro.stimulus.correlated_inputs.SpatiallyCorrelatedStimulus` —
+  inputs with pairwise spatial correlation induced by shared latent bits.
+* :class:`~repro.stimulus.sequence.SequenceStimulus` — replay of a fixed
+  vector sequence (e.g. a recorded functional trace).
+"""
+
+from repro.stimulus.base import Stimulus, pack_lane_bits, unpack_lane_bits
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.stimulus.correlated_inputs import LagOneMarkovStimulus, SpatiallyCorrelatedStimulus
+from repro.stimulus.sequence import SequenceStimulus
+
+__all__ = [
+    "Stimulus",
+    "pack_lane_bits",
+    "unpack_lane_bits",
+    "BernoulliStimulus",
+    "LagOneMarkovStimulus",
+    "SpatiallyCorrelatedStimulus",
+    "SequenceStimulus",
+]

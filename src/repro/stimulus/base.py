@@ -1,0 +1,56 @@
+"""Stimulus interface and lane-packing helpers.
+
+A stimulus produces one input pattern per clock cycle.  To match the
+bit-parallel simulator, patterns are *lane-packed*: the value returned for a
+primary input is an integer whose bit *k* is the logic value applied in
+simulation lane *k*.  Single-chain simulation simply uses ``width=1``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def pack_lane_bits(bits: np.ndarray) -> int:
+    """Pack a 1-D array of 0/1 values into an integer (bit *k* = ``bits[k]``)."""
+    word = 0
+    for lane, bit in enumerate(bits):
+        if bit:
+            word |= 1 << lane
+    return word
+
+
+def unpack_lane_bits(word: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_lane_bits`: expand *word* into a length-*width* array."""
+    return np.array([(word >> lane) & 1 for lane in range(width)], dtype=np.uint8)
+
+
+class Stimulus(ABC):
+    """Base class for input-pattern generators.
+
+    Subclasses may keep per-lane state (e.g. Markov chains); :meth:`reset`
+    must return the generator to its initial condition so repeated estimation
+    runs are statistically independent given independent RNG streams.
+    """
+
+    def __init__(self, num_inputs: int):
+        if num_inputs < 0:
+            raise ValueError("num_inputs must be non-negative")
+        self.num_inputs = num_inputs
+
+    @abstractmethod
+    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+        """Return the next pattern: one lane-packed integer per primary input."""
+
+    def reset(self) -> None:
+        """Forget any internal state (default: stateless, nothing to do)."""
+
+    def patterns(self, rng: np.random.Generator, cycles: int, width: int = 1) -> list[list[int]]:
+        """Convenience: generate *cycles* consecutive patterns."""
+        return [self.next_pattern(rng, width) for _ in range(cycles)]
+
+    def describe(self) -> str:
+        """Short human-readable description used in experiment reports."""
+        return f"{type(self).__name__}(num_inputs={self.num_inputs})"

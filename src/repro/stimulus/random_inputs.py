@@ -1,0 +1,52 @@
+"""Independent (spatially and temporally uncorrelated) input streams."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stimulus.base import Stimulus, pack_lane_bits
+
+
+class BernoulliStimulus(Stimulus):
+    """Mutually independent inputs, each 1 with its own probability.
+
+    This is the input model used in the paper's experiments with every
+    probability equal to 0.5.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of primary inputs.
+    probabilities:
+        A single probability applied to every input, or one probability per
+        input.  Each must lie in [0, 1].
+    """
+
+    def __init__(self, num_inputs: int, probabilities: float | Sequence[float] = 0.5):
+        super().__init__(num_inputs)
+        if isinstance(probabilities, (int, float)):
+            probs = np.full(num_inputs, float(probabilities))
+        else:
+            probs = np.asarray(probabilities, dtype=float)
+            if probs.shape != (num_inputs,):
+                raise ValueError(
+                    f"expected {num_inputs} probabilities, got shape {probs.shape}"
+                )
+        if np.any(probs < 0.0) or np.any(probs > 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self.probabilities = probs
+
+    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+        if self.num_inputs == 0:
+            return []
+        draws = rng.random((self.num_inputs, width))
+        bits = (draws < self.probabilities[:, None]).astype(np.uint8)
+        return [pack_lane_bits(bits[i]) for i in range(self.num_inputs)]
+
+    def describe(self) -> str:
+        unique = np.unique(self.probabilities)
+        if unique.size == 1:
+            return f"BernoulliStimulus(p={unique[0]:g}, inputs={self.num_inputs})"
+        return f"BernoulliStimulus(per-input p, inputs={self.num_inputs})"

@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG handling and plain-text table rendering."""
+
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.tables import TextTable, format_table
+
+__all__ = ["RandomSource", "spawn_rng", "TextTable", "format_table"]

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harnesses (Table 1, Table 2, Figure 3) print their results in
+the same row/column layout the paper uses.  This module provides a small
+formatter so those reports stay readable both on a terminal and inside
+``EXPERIMENTS.md`` code blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class TextTable:
+    """A simple column-aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    precision:
+        Number of decimal places used for float cells.
+    """
+
+    headers: Sequence[str]
+    precision: int = 3
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row; floats are formatted with the table precision."""
+        row = [_cell(v, self.precision) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Return the table as an aligned multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Iterable[object]], precision: int = 3) -> str:
+    """One-shot helper: build and render a :class:`TextTable`."""
+    table = TextTable(headers=headers, precision=precision)
+    for row in rows:
+        table.add_row(row)
+    return table.render()

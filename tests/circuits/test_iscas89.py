@@ -1,0 +1,68 @@
+"""Unit tests for the ISCAS89-like benchmark registry."""
+
+import pytest
+
+from repro.circuits.iscas89 import (
+    CIRCUIT_SPECS,
+    SMALL_CIRCUIT_NAMES,
+    TABLE_CIRCUIT_NAMES,
+    build_circuit,
+    build_netlist,
+    circuit_summary,
+    list_circuits,
+)
+from repro.netlist.validate import validate_netlist
+
+
+class TestRegistry:
+    def test_all_24_table_circuits_registered(self):
+        assert len(TABLE_CIRCUIT_NAMES) == 24
+        for name in TABLE_CIRCUIT_NAMES:
+            assert name in CIRCUIT_SPECS
+
+    def test_list_circuits_includes_s27(self):
+        assert "s27" in list_circuits()
+
+    def test_small_subset_is_nonempty_and_small(self):
+        assert SMALL_CIRCUIT_NAMES
+        for name in SMALL_CIRCUIT_NAMES:
+            assert CIRCUIT_SPECS[name][3] <= 700
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_netlist("s99999")
+
+
+class TestBuiltCircuits:
+    @pytest.mark.parametrize("name", ["s27", "s208", "s298", "s386", "s832", "s1494"])
+    def test_shape_matches_registry(self, name):
+        num_inputs, num_outputs, num_latches, _num_gates = CIRCUIT_SPECS[name]
+        circuit = build_circuit(name)
+        assert circuit.num_inputs == num_inputs
+        assert len(circuit.primary_outputs) == num_outputs
+        assert circuit.num_latches == num_latches
+
+    @pytest.mark.parametrize("name", ["s298", "s344", "s420", "s1238"])
+    def test_structurally_valid(self, name):
+        errors = [i for i in validate_netlist(build_netlist(name)) if i.severity == "error"]
+        assert errors == []
+
+    def test_s27_is_the_real_netlist(self):
+        circuit = build_circuit("s27")
+        assert circuit.num_gates == 10
+        assert "G17" in circuit.net_names
+
+    def test_deterministic_construction(self):
+        first = build_netlist("s298")
+        second = build_netlist("s298")
+        assert [g.output for g in first.gates] == [g.output for g in second.gates]
+
+    def test_build_circuit_is_cached(self):
+        assert build_circuit("s344") is build_circuit("s344")
+
+    def test_summary_contents(self):
+        summary = circuit_summary("s298")
+        assert summary["inputs"] == 3
+        assert summary["latches"] == 14
+        assert summary["gates"] > 0
+        assert summary["nets"] >= summary["gates"]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour *quick* configurations (short sequences, modest sample
+caps) so the whole suite runs in well under a minute; the full paper-scale
+settings are exercised by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import binary_counter, parity_tracker, s27, toggle_cell
+from repro.core.config import EstimationConfig
+from repro.power.capacitance import CapacitanceModel
+from repro.power.power_model import PowerModel
+from repro.simulation.compiled import CompiledCircuit
+
+
+@pytest.fixture(scope="session")
+def s27_netlist():
+    """The real ISCAS89 s27 netlist."""
+    return s27()
+
+
+@pytest.fixture(scope="session")
+def s27_circuit(s27_netlist):
+    """Compiled s27."""
+    return CompiledCircuit.from_netlist(s27_netlist)
+
+
+@pytest.fixture(scope="session")
+def toggle_circuit():
+    """Compiled single T flip-flop circuit."""
+    return CompiledCircuit.from_netlist(toggle_cell())
+
+
+@pytest.fixture(scope="session")
+def counter_circuit():
+    """Compiled 4-bit enabled counter."""
+    return CompiledCircuit.from_netlist(binary_counter(4))
+
+
+@pytest.fixture(scope="session")
+def parity_circuit():
+    """Compiled 3-input parity tracker."""
+    return CompiledCircuit.from_netlist(parity_tracker(3))
+
+
+@pytest.fixture(scope="session")
+def power_model():
+    """The paper's electrical operating point (5 V, 20 MHz)."""
+    return PowerModel(vdd=5.0, clock_frequency_hz=20e6)
+
+
+@pytest.fixture(scope="session")
+def capacitance_model():
+    """Default standard-cell capacitance model."""
+    return CapacitanceModel()
+
+
+@pytest.fixture()
+def quick_config():
+    """A DIPE configuration small enough for unit tests."""
+    return EstimationConfig(
+        randomness_sequence_length=64,
+        min_samples=64,
+        check_interval=16,
+        max_samples=4000,
+        warmup_cycles=16,
+        max_independence_interval=16,
+    )

@@ -1,0 +1,64 @@
+"""Unit tests for the baseline estimators."""
+
+import pytest
+
+from repro.core.baselines import ConsecutiveCycleEstimator, FixedWarmupEstimator
+from repro.fsm.exact_power import exact_average_power
+
+
+class TestConsecutiveCycleEstimator:
+    def test_estimates_close_to_exact_power(self, s27_circuit, quick_config):
+        exact = exact_average_power(s27_circuit, 0.5)
+        estimate = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=1).estimate()
+        assert estimate.method == "consecutive-mc"
+        assert estimate.independence_interval == 0
+        assert estimate.average_power_w == pytest.approx(exact, rel=0.10)
+
+    def test_uses_clt_stopping_by_default(self, s27_circuit, quick_config):
+        estimate = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=2).estimate()
+        assert estimate.stopping_criterion == "clt"
+
+    def test_no_interval_selection_diagnostics(self, s27_circuit, quick_config):
+        estimate = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=3).estimate()
+        assert estimate.interval_selection is None
+
+    def test_cycles_equal_warmup_plus_samples(self, s27_circuit, quick_config):
+        estimate = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=4).estimate()
+        assert estimate.cycles_simulated == quick_config.warmup_cycles + estimate.sample_size
+
+
+class TestFixedWarmupEstimator:
+    def test_estimates_close_to_exact_power(self, s27_circuit, quick_config):
+        exact = exact_average_power(s27_circuit, 0.5)
+        estimate = FixedWarmupEstimator(
+            s27_circuit, config=quick_config, rng=5, warmup_period=20
+        ).estimate()
+        assert estimate.method == "fixed-warmup"
+        assert estimate.average_power_w == pytest.approx(exact, rel=0.10)
+
+    def test_interval_reports_warmup_period(self, s27_circuit, quick_config):
+        estimate = FixedWarmupEstimator(
+            s27_circuit, config=quick_config, rng=6, warmup_period=25
+        ).estimate()
+        assert estimate.independence_interval == 25
+
+    def test_costs_more_cycles_than_consecutive_sampling(self, s27_circuit, quick_config):
+        """The fixed warm-up scheme pays warmup_period cycles per sample."""
+        warmup = FixedWarmupEstimator(
+            s27_circuit, config=quick_config, rng=7, warmup_period=30
+        ).estimate()
+        assert warmup.cycles_simulated >= 30 * warmup.sample_size
+
+    def test_negative_warmup_rejected(self, s27_circuit, quick_config):
+        with pytest.raises(ValueError):
+            FixedWarmupEstimator(s27_circuit, config=quick_config, warmup_period=-1)
+
+    def test_custom_stopping_criterion(self, s27_circuit, quick_config):
+        estimate = FixedWarmupEstimator(
+            s27_circuit,
+            config=quick_config,
+            rng=8,
+            warmup_period=10,
+            stopping_criterion="clt",
+        ).estimate()
+        assert estimate.stopping_criterion == "clt"

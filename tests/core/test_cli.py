@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.circuits.library import S27_BENCH
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults_match_paper(self):
+        args = build_parser().parse_args(["estimate", "s27"])
+        assert args.alpha == pytest.approx(0.20)
+        assert args.max_error == pytest.approx(0.05)
+        assert args.confidence == pytest.approx(0.99)
+        assert args.stopping == "order-statistic"
+
+    def test_unknown_stopping_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "s27", "--stopping", "magic"])
+
+
+class TestCommands:
+    def test_circuits_listing(self, capsys):
+        assert main(["circuits"]) == 0
+        output = capsys.readouterr().out
+        assert "s27" in output and "s15850" in output
+
+    def test_estimate_registered_circuit(self, capsys):
+        exit_code = main(["estimate", "s27", "--seed", "3", "--reference-cycles", "5000"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "average power" in output
+        assert "independence interval" in output
+        assert "relative error" in output
+
+    def test_estimate_bench_file(self, tmp_path, capsys):
+        bench_path = tmp_path / "mini.bench"
+        bench_path.write_text(S27_BENCH)
+        assert main(["estimate", str(bench_path), "--seed", "4"]) == 0
+        assert "average power" in capsys.readouterr().out
+
+    def test_estimate_unknown_circuit_fails(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["estimate", "not-a-circuit"])
+
+    def test_table1_explicit_circuits(self, capsys):
+        exit_code = main(
+            ["table1", "s27", "--reference-cycles", "5000", "--seed", "5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "SIM (mW)" in output and "s27" in output
+
+    def test_figure3_small_sweep(self, capsys):
+        exit_code = main(
+            [
+                "figure3",
+                "--circuit",
+                "s298",
+                "--max-interval",
+                "3",
+                "--sequence-length",
+                "200",
+                "--seed",
+                "6",
+            ]
+        )
+        assert exit_code == 0
+        assert "threshold" in capsys.readouterr().out

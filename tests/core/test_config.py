@@ -1,0 +1,49 @@
+"""Unit tests for the estimation configuration."""
+
+import pytest
+
+from repro.core.config import EstimationConfig
+
+
+class TestEstimationConfig:
+    def test_paper_defaults(self):
+        config = EstimationConfig()
+        assert config.significance_level == pytest.approx(0.20)
+        assert config.randomness_sequence_length == 320
+        assert config.max_relative_error == pytest.approx(0.05)
+        assert config.confidence == pytest.approx(0.99)
+        assert config.stopping_criterion == "order-statistic"
+        assert config.power_model.vdd == pytest.approx(5.0)
+        assert config.power_model.clock_frequency_hz == pytest.approx(20e6)
+
+    def test_paper_defaults_helper(self):
+        custom = EstimationConfig(randomness_sequence_length=64, stopping_criterion="clt")
+        restored = custom.paper_defaults()
+        assert restored.randomness_sequence_length == 320
+        assert restored.stopping_criterion == "order-statistic"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"significance_level": 0.0},
+            {"significance_level": 1.0},
+            {"randomness_sequence_length": 4},
+            {"max_independence_interval": -1},
+            {"max_relative_error": 0.0},
+            {"confidence": 1.2},
+            {"stopping_criterion": "bogus"},
+            {"min_samples": 1},
+            {"check_interval": 0},
+            {"min_samples": 100, "max_samples": 50},
+            {"warmup_cycles": -1},
+            {"power_simulator": "spice"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EstimationConfig(**kwargs)
+
+    def test_frozen(self):
+        config = EstimationConfig()
+        with pytest.raises(AttributeError):
+            config.confidence = 0.5

@@ -1,0 +1,91 @@
+"""Unit tests for the DIPE estimator."""
+
+import pytest
+
+from repro.circuits.iscas89 import build_circuit
+from repro.circuits.library import s27
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator, estimate_average_power
+from repro.fsm.exact_power import exact_average_power
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+class TestDipeEstimator:
+    def test_estimate_matches_exact_power_on_s27(self, s27_circuit, quick_config):
+        exact = exact_average_power(s27_circuit, 0.5)
+        estimate = DipeEstimator(s27_circuit, config=quick_config, rng=1).estimate()
+        assert estimate.average_power_w == pytest.approx(exact, rel=0.08)
+        assert estimate.accuracy_met
+
+    def test_accepts_netlist_input(self, quick_config):
+        estimate = estimate_average_power(s27(), config=quick_config, rng=2)
+        assert estimate.circuit_name == "s27"
+        assert estimate.average_power_w > 0
+
+    def test_diagnostics_populated(self, s27_circuit, quick_config):
+        estimate = DipeEstimator(s27_circuit, config=quick_config, rng=3).estimate()
+        assert estimate.method == "dipe"
+        assert estimate.stopping_criterion == "order-statistic"
+        assert estimate.interval_selection is not None
+        assert estimate.sample_size == len(estimate.samples_switched_capacitance_f)
+        assert estimate.cycles_simulated >= estimate.sample_size
+        assert estimate.lower_bound_w <= estimate.average_power_w <= estimate.upper_bound_w
+
+    def test_sample_size_is_multiple_of_check_interval(self, s27_circuit, quick_config):
+        estimate = DipeEstimator(s27_circuit, config=quick_config, rng=4).estimate()
+        assert estimate.sample_size % quick_config.check_interval == 0
+
+    def test_reproducible_for_same_seed(self, s27_circuit, quick_config):
+        first = DipeEstimator(s27_circuit, config=quick_config, rng=7).estimate()
+        second = DipeEstimator(s27_circuit, config=quick_config, rng=7).estimate()
+        assert first.average_power_w == pytest.approx(second.average_power_w)
+        assert first.sample_size == second.sample_size
+        assert first.independence_interval == second.independence_interval
+
+    def test_max_samples_cap_respected(self, s27_circuit):
+        config = EstimationConfig(
+            randomness_sequence_length=32,
+            min_samples=32,
+            check_interval=16,
+            max_samples=64,
+            warmup_cycles=8,
+            max_relative_error=0.001,  # unreachable accuracy
+        )
+        estimate = DipeEstimator(s27_circuit, config=config, rng=5).estimate()
+        assert estimate.sample_size <= config.max_samples
+        assert not estimate.accuracy_met
+
+    def test_relative_half_width_meets_specification(self, s27_circuit, quick_config):
+        estimate = DipeEstimator(s27_circuit, config=quick_config, rng=6).estimate()
+        assert estimate.relative_half_width <= quick_config.max_relative_error
+
+    def test_custom_stimulus_accepted(self, s27_circuit, quick_config):
+        stimulus = BernoulliStimulus(4, 0.8)
+        estimate = DipeEstimator(
+            s27_circuit, stimulus=stimulus, config=quick_config, rng=8
+        ).estimate()
+        assert estimate.average_power_w > 0
+
+    def test_clt_and_ks_criteria_also_run(self, s27_circuit):
+        for criterion in ("clt", "ks"):
+            config = EstimationConfig(
+                randomness_sequence_length=64,
+                min_samples=64,
+                check_interval=32,
+                max_samples=8000,
+                warmup_cycles=16,
+                stopping_criterion=criterion,
+            )
+            estimate = DipeEstimator(s27_circuit, config=config, rng=9).estimate()
+            assert estimate.stopping_criterion in ("clt", "kolmogorov-smirnov")
+            assert estimate.average_power_w > 0
+
+    def test_benchmark_circuit_estimate_close_to_reference(self, quick_config):
+        from repro.power.reference import estimate_reference_power
+
+        circuit = build_circuit("s298")
+        reference = estimate_reference_power(
+            circuit, BernoulliStimulus(circuit.num_inputs, 0.5), total_cycles=30_000, rng=10
+        )
+        estimate = DipeEstimator(circuit, config=quick_config, rng=11).estimate()
+        assert estimate.relative_error_to(reference.average_power_w) < 0.08

@@ -1,0 +1,58 @@
+"""Unit tests for the result dataclasses."""
+
+import pytest
+
+from repro.core.results import IntervalSelectionResult, IntervalTrial, PowerEstimate
+
+
+def _estimate(**overrides):
+    defaults = dict(
+        circuit_name="s27",
+        method="dipe",
+        average_power_w=0.001,
+        lower_bound_w=0.00095,
+        upper_bound_w=0.00105,
+        relative_half_width=0.05,
+        sample_size=320,
+        independence_interval=2,
+        cycles_simulated=1000,
+        elapsed_seconds=0.5,
+        stopping_criterion="order-statistic",
+        accuracy_met=True,
+    )
+    defaults.update(overrides)
+    return PowerEstimate(**defaults)
+
+
+class TestPowerEstimate:
+    def test_milliwatt_conversion(self):
+        assert _estimate().average_power_mw == pytest.approx(1.0)
+
+    def test_relative_error_to_reference(self):
+        estimate = _estimate(average_power_w=0.0011)
+        assert estimate.relative_error_to(0.001) == pytest.approx(0.1)
+
+    def test_relative_error_requires_positive_reference(self):
+        with pytest.raises(ValueError):
+            _estimate().relative_error_to(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _estimate().sample_size = 1
+
+
+class TestIntervalSelectionResult:
+    def test_num_trials(self):
+        trials = (
+            IntervalTrial(interval=0, z_statistic=5.0, accepted=False, sequence_length=320),
+            IntervalTrial(interval=1, z_statistic=0.8, accepted=True, sequence_length=320),
+        )
+        result = IntervalSelectionResult(
+            interval=1,
+            converged=True,
+            trials=trials,
+            significance_level=0.2,
+            cycles_simulated=960,
+        )
+        assert result.num_trials == 2
+        assert result.trials[-1].accepted

@@ -1,0 +1,99 @@
+"""Tests for the three ablation harnesses (quick configurations)."""
+
+import pytest
+
+from repro.core.config import EstimationConfig
+from repro.experiments.ablation_baseline import format_baseline_ablation, run_baseline_ablation
+from repro.experiments.ablation_seqlen import format_seqlen_ablation, run_seqlen_ablation
+from repro.experiments.ablation_stopping import format_stopping_ablation, run_stopping_ablation
+
+
+@pytest.fixture()
+def quick_config():
+    return EstimationConfig(
+        randomness_sequence_length=96,
+        min_samples=64,
+        check_interval=32,
+        max_samples=2000,
+        warmup_cycles=16,
+    )
+
+
+class TestStoppingAblation:
+    def test_every_pair_present(self, quick_config):
+        result = run_stopping_ablation(
+            circuit_names=("s27",),
+            criteria=("order-statistic", "clt"),
+            config=quick_config,
+            reference_cycles=15_000,
+            seed=1,
+        )
+        assert len(result.rows) == 2
+        assert {row.criterion for row in result.rows} == {"order-statistic", "clt"}
+        assert result.mean_sample_size("clt") > 0
+        text = format_stopping_ablation(result)
+        assert "Criterion" in text and "s27" in text
+
+    def test_errors_are_moderate(self, quick_config):
+        result = run_stopping_ablation(
+            circuit_names=("s27",),
+            criteria=("clt",),
+            config=quick_config,
+            reference_cycles=15_000,
+            seed=2,
+        )
+        assert all(row.relative_error < 0.15 for row in result.rows)
+
+
+class TestBaselineAblation:
+    def test_rows_and_lookup(self, quick_config):
+        result = run_baseline_ablation(
+            circuit_names=("s27",),
+            methods=("dipe", "consecutive-mc"),
+            runs_per_method=3,
+            config=quick_config,
+            reference_cycles=20_000,
+            seed=3,
+        )
+        assert len(result.rows) == 2
+        row = result.row_for("s27", "dipe")
+        assert row.runs == 3
+        assert 0.0 <= row.empirical_coverage <= 1.0
+        with pytest.raises(KeyError):
+            result.row_for("s27", "unknown")
+        assert "Coverage" in format_baseline_ablation(result)
+
+    def test_invalid_run_count_rejected(self, quick_config):
+        with pytest.raises(ValueError):
+            run_baseline_ablation(runs_per_method=0, config=quick_config)
+
+    def test_unknown_method_rejected(self, quick_config):
+        with pytest.raises(ValueError):
+            run_baseline_ablation(
+                circuit_names=("s27",),
+                methods=("quantum",),
+                runs_per_method=1,
+                config=quick_config,
+                reference_cycles=5_000,
+            )
+
+
+class TestSequenceLengthAblation:
+    def test_sweep_shape(self, quick_config):
+        result = run_seqlen_ablation(
+            circuit_names=("s27",),
+            sequence_lengths=(64, 128),
+            runs_per_setting=4,
+            config=quick_config,
+            seed=4,
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.interval_min <= row.interval_avg <= row.interval_max
+            assert 0.0 <= row.converged_fraction <= 1.0
+            assert row.mean_selection_cycles >= row.sequence_length
+        assert "Seq len" in format_seqlen_ablation(result)
+
+    def test_invalid_run_count_rejected(self, quick_config):
+        with pytest.raises(ValueError):
+            run_seqlen_ablation(runs_per_setting=0, config=quick_config)

@@ -1,0 +1,53 @@
+"""Tests for the Figure 3 experiment harness (quick configuration)."""
+
+import pytest
+
+from repro.experiments.figure3 import format_figure3, run_figure3
+
+
+@pytest.fixture(scope="module")
+def quick_figure3():
+    # The paper uses s1494 with a sequence of 10,000; a shorter sequence and a
+    # smaller circuit keep the unit test fast while preserving the shape.
+    return run_figure3(
+        circuit_name="s298",
+        max_interval=8,
+        sequence_length=1500,
+        significance_level=0.20,
+        seed=99,
+    )
+
+
+class TestRunFigure3:
+    def test_point_per_interval(self, quick_figure3):
+        assert [p.interval for p in quick_figure3.points] == list(range(9))
+
+    def test_z_values_non_negative(self, quick_figure3):
+        assert all(p.z_statistic >= 0.0 for p in quick_figure3.points)
+
+    def test_decay_shape(self, quick_figure3):
+        """The paper's Figure 3 shape: large |z| at interval 0, small at the tail."""
+        z_values = [p.z_statistic for p in quick_figure3.points]
+        assert z_values[0] > quick_figure3.acceptance_threshold
+        assert min(z_values[2:]) < z_values[0]
+
+    def test_some_interval_gets_accepted(self, quick_figure3):
+        assert quick_figure3.first_accepted_interval() is not None
+
+    def test_series_helper(self, quick_figure3):
+        intervals, z_values = quick_figure3.series()
+        assert len(intervals) == len(z_values) == 9
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure3(circuit_name="s298", max_interval=-1, sequence_length=100)
+
+
+class TestFormatFigure3:
+    def test_mentions_circuit_and_threshold(self, quick_figure3):
+        text = format_figure3(quick_figure3)
+        assert "s298" in text
+        assert "threshold" in text
+
+    def test_contains_ascii_plot(self, quick_figure3):
+        assert "#" in format_figure3(quick_figure3)

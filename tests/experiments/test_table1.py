@@ -1,0 +1,64 @@
+"""Tests for the Table 1 experiment harness (quick configuration)."""
+
+import pytest
+
+from repro.core.config import EstimationConfig
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def quick_table1():
+    config = EstimationConfig(
+        randomness_sequence_length=128,
+        min_samples=64,
+        check_interval=32,
+        max_samples=4000,
+        warmup_cycles=32,
+    )
+    return run_table1(
+        circuit_names=("s27", "s298", "s386"),
+        config=config,
+        reference_cycles=20_000,
+        seed=123,
+    )
+
+
+class TestRunTable1:
+    def test_one_row_per_circuit(self, quick_table1):
+        assert [row.circuit for row in quick_table1.rows] == ["s27", "s298", "s386"]
+
+    def test_estimates_close_to_reference(self, quick_table1):
+        """The paper's headline claim: every estimate is within the error spec."""
+        for row in quick_table1.rows:
+            assert row.relative_error < 0.10, row
+            assert row.accuracy_met
+
+    def test_independence_intervals_small(self, quick_table1):
+        """Paper observation 2: a few clock cycles suffice for the runs test."""
+        for row in quick_table1.rows:
+            assert 0 <= row.independence_interval <= 12
+
+    def test_sample_sizes_reasonable(self, quick_table1):
+        """Sample sizes are hundreds-to-thousands, as in the paper's Table 1."""
+        for row in quick_table1.rows:
+            assert 32 <= row.sample_size <= 4000
+
+    def test_summary_statistics(self, quick_table1):
+        assert quick_table1.mean_relative_error() <= quick_table1.max_relative_error()
+
+    def test_positive_power_values(self, quick_table1):
+        for row in quick_table1.rows:
+            assert row.reference_power_mw > 0
+            assert row.estimate_mw > 0
+
+
+class TestFormatTable1:
+    def test_contains_paper_columns(self, quick_table1):
+        text = format_table1(quick_table1)
+        for column in ("Circuit", "SIM (mW)", "I.I.", "Sample Size", "CPU (s)"):
+            assert column in text
+
+    def test_contains_every_circuit(self, quick_table1):
+        text = format_table1(quick_table1)
+        for row in quick_table1.rows:
+            assert row.circuit in text

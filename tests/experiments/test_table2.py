@@ -1,0 +1,58 @@
+"""Tests for the Table 2 experiment harness (quick configuration)."""
+
+import pytest
+
+from repro.core.config import EstimationConfig
+from repro.experiments.table2 import format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def quick_table2():
+    config = EstimationConfig(
+        randomness_sequence_length=128,
+        min_samples=64,
+        check_interval=32,
+        max_samples=3000,
+        warmup_cycles=32,
+    )
+    return run_table2(
+        circuit_names=("s27", "s298"),
+        runs_per_circuit=5,
+        config=config,
+        reference_cycles=20_000,
+        seed=321,
+    )
+
+
+class TestRunTable2:
+    def test_one_row_per_circuit(self, quick_table2):
+        assert [row.circuit for row in quick_table2.rows] == ["s27", "s298"]
+
+    def test_interval_statistics_consistent(self, quick_table2):
+        for row in quick_table2.rows:
+            assert row.interval_min <= row.interval_avg <= row.interval_max
+
+    def test_average_deviation_small(self, quick_table2):
+        """Paper's Table 2: average deviation around one percent."""
+        for row in quick_table2.rows:
+            assert row.deviation_avg_pct < 8.0
+
+    def test_violation_percentage_bounded(self, quick_table2):
+        for row in quick_table2.rows:
+            assert 0.0 <= row.violation_pct <= 100.0
+
+    def test_runs_recorded(self, quick_table2):
+        assert quick_table2.runs_per_circuit == 5
+        for row in quick_table2.rows:
+            assert row.runs == 5
+
+    def test_invalid_run_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_table2(circuit_names=("s27",), runs_per_circuit=0)
+
+
+class TestFormatTable2:
+    def test_contains_paper_columns(self, quick_table2):
+        text = format_table2(quick_table2)
+        for column in ("II_min", "II_max", "II_avg", "S_avg", "D_avg (%)", "Err (%)"):
+            assert column in text

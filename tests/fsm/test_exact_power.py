@@ -1,0 +1,54 @@
+"""Unit tests for the exact (enumerated) average power baseline."""
+
+import pytest
+
+from repro.fsm.exact_power import exact_average_power
+from repro.power.capacitance import CapacitanceModel
+from repro.power.power_model import PowerModel
+from repro.simulation.compiled import CompiledCircuit
+from repro.circuits.library import toggle_cell
+
+
+class TestExactPower:
+    def test_toggle_cell_closed_form(self):
+        """The toggle cell's expected switched capacitance can be written by hand.
+
+        Nets: EN (PI), Q (latch out), D = EN xor Q.  With EN ~ Bernoulli(p),
+        stationary P(Q=1) = 0.5, and per cycle:
+          * EN toggles with probability 2 p (1-p),
+          * Q toggles with probability 0.5 (it captures EN's previous value
+            xor'd in), and
+          * D = EN xor Q toggles when exactly one of EN, Q toggles.
+        With p = 0.5 every one of the three nets toggles with probability 0.5.
+        """
+        circuit = CompiledCircuit.from_netlist(toggle_cell())
+        capacitance_model = CapacitanceModel(overhead_factor=1.0)
+        power_model = PowerModel()
+        caps = capacitance_model.node_capacitances(circuit)
+        expected_switched = 0.5 * sum(caps)
+        power = exact_average_power(
+            circuit, 0.5, power_model=power_model, capacitance_model=capacitance_model
+        )
+        assert power == pytest.approx(power_model.cycle_power(expected_switched), rel=1e-9)
+
+    def test_zero_activity_inputs_give_low_power(self, s27_circuit):
+        """With constant inputs the only switching left is internal state churn."""
+        busy = exact_average_power(s27_circuit, 0.5)
+        quiet = exact_average_power(s27_circuit, 0.0)
+        assert quiet < busy
+
+    def test_power_positive_for_s27(self, s27_circuit):
+        assert exact_average_power(s27_circuit, 0.5) > 0.0
+
+    def test_work_limit_enforced(self, s27_circuit):
+        with pytest.raises(ValueError, match="statistical estimator"):
+            exact_average_power(s27_circuit, 0.5, max_evaluations=100)
+
+    def test_probability_vector_length_checked(self, s27_circuit):
+        with pytest.raises(ValueError):
+            exact_average_power(s27_circuit, [0.5, 0.5])
+
+    def test_scales_with_vdd_squared(self, toggle_circuit):
+        low = exact_average_power(toggle_circuit, 0.5, power_model=PowerModel(vdd=2.5))
+        high = exact_average_power(toggle_circuit, 0.5, power_model=PowerModel(vdd=5.0))
+        assert high == pytest.approx(4.0 * low, rel=1e-9)

@@ -1,0 +1,82 @@
+"""Unit tests for the Markov-chain utilities."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.markov import (
+    k_step_distribution,
+    mixing_time,
+    stationary_distribution,
+    total_variation_distance,
+)
+
+
+@pytest.fixture()
+def two_state_chain():
+    # P(0->1) = 0.3, P(1->0) = 0.6; stationary = (2/3, 1/3)
+    return np.array([[0.7, 0.3], [0.6, 0.4]])
+
+
+class TestStationaryDistribution:
+    def test_two_state_chain(self, two_state_chain):
+        pi = stationary_distribution(two_state_chain)
+        assert pi == pytest.approx([2 / 3, 1 / 3], rel=1e-6)
+
+    def test_stationarity_fixed_point(self, two_state_chain):
+        pi = stationary_distribution(two_state_chain)
+        assert pi @ two_state_chain == pytest.approx(pi)
+
+    def test_doubly_stochastic_chain_is_uniform(self):
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert stationary_distribution(matrix) == pytest.approx([0.5, 0.5])
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(np.array([[0.5, 0.4], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            stationary_distribution(np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]]))
+
+
+class TestKStepDistribution:
+    def test_zero_steps_returns_initial(self, two_state_chain):
+        initial = np.array([1.0, 0.0])
+        assert k_step_distribution(initial, two_state_chain, 0) == pytest.approx(initial)
+
+    def test_converges_to_stationary(self, two_state_chain):
+        initial = np.array([1.0, 0.0])
+        pi = stationary_distribution(two_state_chain)
+        distribution = k_step_distribution(initial, two_state_chain, 50)
+        assert distribution == pytest.approx(pi, abs=1e-6)
+
+    def test_invalid_initial_distribution_rejected(self, two_state_chain):
+        with pytest.raises(ValueError):
+            k_step_distribution(np.array([0.5, 0.6]), two_state_chain, 1)
+        with pytest.raises(ValueError):
+            k_step_distribution(np.array([1.0, 0.0]), two_state_chain, -1)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.2, 0.8])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestMixingTime:
+    def test_fast_chain_mixes_quickly(self, two_state_chain):
+        assert mixing_time(two_state_chain, threshold=0.05) <= 10
+
+    def test_identity_chain_never_mixes(self):
+        identity = np.eye(2)
+        assert mixing_time(identity, threshold=0.05, max_steps=20) == 20
+
+    def test_threshold_monotonicity(self, two_state_chain):
+        loose = mixing_time(two_state_chain, threshold=0.2)
+        tight = mixing_time(two_state_chain, threshold=0.01)
+        assert tight >= loose

@@ -1,0 +1,36 @@
+"""Unit tests for STG reachability analysis."""
+
+import pytest
+
+from repro.fsm.reachability import is_strongly_connected, reachable_states, to_networkx
+from repro.fsm.stg import extract_stg
+
+
+class TestReachability:
+    def test_counter_reaches_every_state(self, counter_circuit):
+        stg = extract_stg(counter_circuit, 0.5)
+        assert reachable_states(stg, 0) == set(range(16))
+
+    def test_toggle_cell_reaches_both_states(self, toggle_circuit):
+        stg = extract_stg(toggle_circuit, 0.5)
+        assert reachable_states(stg, 0) == {0, 1}
+
+    def test_invalid_initial_state_rejected(self, toggle_circuit):
+        stg = extract_stg(toggle_circuit, 0.5)
+        with pytest.raises(ValueError):
+            reachable_states(stg, 5)
+
+    def test_counter_is_strongly_connected(self, counter_circuit):
+        stg = extract_stg(counter_circuit, 0.5)
+        assert is_strongly_connected(stg)
+
+    def test_s27_reachable_component_connected(self, s27_circuit):
+        stg = extract_stg(s27_circuit, 0.5)
+        assert is_strongly_connected(stg) in (True, False)  # must not raise
+        assert len(reachable_states(stg, 0)) >= 1
+
+    def test_networkx_export_has_probability_weights(self, toggle_circuit):
+        stg = extract_stg(toggle_circuit, 0.5)
+        graph = to_networkx(stg)
+        assert graph.number_of_nodes() == 2
+        assert graph[0][1]["probability"] == pytest.approx(0.5)

@@ -1,0 +1,66 @@
+"""Unit tests for STG extraction."""
+
+import numpy as np
+import pytest
+
+from repro.fsm.stg import extract_stg, input_vector_probabilities
+
+
+class TestInputVectorProbabilities:
+    def test_uniform_inputs(self):
+        probs = input_vector_probabilities([0.5, 0.5])
+        assert probs == pytest.approx([0.25, 0.25, 0.25, 0.25])
+
+    def test_biased_inputs(self):
+        probs = input_vector_probabilities([1.0, 0.0])
+        # Only the vector with bit0=1, bit1=0 (value 1) has probability 1.
+        assert probs[1] == pytest.approx(1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_sum_to_one(self):
+        probs = input_vector_probabilities([0.3, 0.7, 0.2])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            input_vector_probabilities([1.2])
+
+
+class TestExtractStg:
+    def test_toggle_cell_stg(self, toggle_circuit):
+        stg = extract_stg(toggle_circuit, 0.5)
+        assert stg.num_states == 2
+        # With EN ~ Bernoulli(0.5) each state stays or toggles with prob 0.5.
+        assert stg.transition_matrix == pytest.approx(np.full((2, 2), 0.5))
+
+    def test_counter_next_state_table(self, counter_circuit):
+        stg = extract_stg(counter_circuit, 0.5)
+        # With EN=1 (input vector 1) the counter increments modulo 16.
+        for state in range(16):
+            assert stg.next_state[state, 1] == (state + 1) % 16
+            assert stg.next_state[state, 0] == state
+
+    def test_rows_are_stochastic(self, s27_circuit):
+        stg = extract_stg(s27_circuit, 0.5)
+        assert stg.transition_matrix.sum(axis=1) == pytest.approx(np.ones(stg.num_states))
+
+    def test_biased_inputs_change_transition_probabilities(self, toggle_circuit):
+        stg = extract_stg(toggle_circuit, 0.9)
+        assert stg.transition_matrix[0, 1] == pytest.approx(0.9)
+        assert stg.transition_matrix[0, 0] == pytest.approx(0.1)
+
+    def test_successors_and_edges(self, counter_circuit):
+        stg = extract_stg(counter_circuit, 0.5)
+        assert stg.successors(3) == [3, 4]
+        edges = stg.edge_list()
+        assert (3, 4, 0.5) in [(s, d, pytest.approx(p)) for s, d, p in edges] or any(
+            s == 3 and d == 4 for s, d, _p in edges
+        )
+
+    def test_work_limit_enforced(self, s27_circuit):
+        with pytest.raises(ValueError, match="exponential"):
+            extract_stg(s27_circuit, 0.5, max_evaluations=10)
+
+    def test_per_input_probability_length_checked(self, s27_circuit):
+        with pytest.raises(ValueError):
+            extract_stg(s27_circuit, [0.5, 0.5])

@@ -1,0 +1,119 @@
+"""Integration tests: the full DIPE flow against exact and reference ground truth."""
+
+import pytest
+
+from repro.circuits.iscas89 import build_circuit
+from repro.circuits.library import binary_counter, parity_tracker
+from repro.core.baselines import ConsecutiveCycleEstimator, FixedWarmupEstimator
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.fsm.exact_power import exact_average_power
+from repro.fsm.markov import mixing_time, stationary_distribution
+from repro.fsm.stg import extract_stg
+from repro.power.reference import estimate_reference_power
+from repro.simulation.compiled import CompiledCircuit
+from repro.stimulus.correlated_inputs import LagOneMarkovStimulus
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+QUICK = EstimationConfig(
+    randomness_sequence_length=128,
+    min_samples=64,
+    check_interval=32,
+    max_samples=6000,
+    warmup_cycles=32,
+)
+
+
+class TestAgainstExactPower:
+    """The statistical estimators must converge to the enumerated truth."""
+
+    @pytest.mark.parametrize(
+        "factory, input_probability",
+        [
+            # Only ergodic FSMs are meaningful here: for a reducible state
+            # chain (e.g. a free-running Johnson counter) the long-run power
+            # depends on which closed class the initial state lands in, so a
+            # single simulated chain and the all-states stationary solution
+            # legitimately disagree.
+            (lambda: binary_counter(4), 0.5),
+            (lambda: binary_counter(4), 0.8),
+            (lambda: parity_tracker(3), 0.3),
+        ],
+        ids=["counter-p0.5", "counter-p0.8", "parity-p0.3"],
+    )
+    def test_dipe_matches_enumeration(self, factory, input_probability):
+        circuit = CompiledCircuit.from_netlist(factory())
+        exact = exact_average_power(circuit, input_probability)
+        stimulus = BernoulliStimulus(circuit.num_inputs, input_probability)
+        estimate = DipeEstimator(circuit, stimulus=stimulus, config=QUICK, rng=1).estimate()
+        assert estimate.average_power_w == pytest.approx(exact, rel=0.08)
+
+    def test_all_three_estimators_agree_on_s27(self, s27_circuit):
+        exact = exact_average_power(s27_circuit, 0.5)
+        dipe = DipeEstimator(s27_circuit, config=QUICK, rng=2).estimate()
+        consecutive = ConsecutiveCycleEstimator(s27_circuit, config=QUICK, rng=3).estimate()
+        warmup = FixedWarmupEstimator(
+            s27_circuit, config=QUICK, rng=4, warmup_period=16
+        ).estimate()
+        for estimate in (dipe, consecutive, warmup):
+            assert estimate.average_power_w == pytest.approx(exact, rel=0.10)
+
+
+class TestAgainstLongSimulation:
+    def test_dipe_meets_error_specification_on_benchmark(self):
+        circuit = build_circuit("s344")
+        reference = estimate_reference_power(
+            circuit, BernoulliStimulus(circuit.num_inputs, 0.5), total_cycles=40_000, rng=5
+        )
+        estimate = DipeEstimator(circuit, config=QUICK, rng=6).estimate()
+        assert estimate.accuracy_met
+        assert estimate.relative_error_to(reference.average_power_w) < QUICK.max_relative_error * 2
+
+    def test_correlated_inputs_still_estimated_correctly(self):
+        """Paper claim: correlated input streams are handled without extra work."""
+        circuit = build_circuit("s298")
+        stimulus = LagOneMarkovStimulus(circuit.num_inputs, probability=0.5, correlation=0.8)
+        reference = estimate_reference_power(
+            circuit,
+            LagOneMarkovStimulus(circuit.num_inputs, probability=0.5, correlation=0.8),
+            total_cycles=60_000,
+            lanes=64,
+            rng=7,
+        )
+        estimate = DipeEstimator(circuit, stimulus=stimulus, config=QUICK, rng=8).estimate()
+        assert estimate.relative_error_to(reference.average_power_w) < 0.10
+
+
+class TestMixingExplainsInterval:
+    def test_fast_mixing_circuit_gets_small_interval(self, s27_circuit):
+        """The FSM's mixing time and the selected interval tell the same story."""
+        stg = extract_stg(s27_circuit, 0.5)
+        pi = stationary_distribution(stg.transition_matrix)
+        assert pi.sum() == pytest.approx(1.0)
+        chain_mixing = mixing_time(stg.transition_matrix, threshold=0.1)
+        estimate = DipeEstimator(s27_circuit, config=QUICK, rng=9).estimate()
+        assert estimate.independence_interval <= max(4, 2 * chain_mixing)
+
+
+class TestEventDrivenPowerMode:
+    def test_glitch_aware_estimate_at_least_functional(self, s27_circuit):
+        functional_config = EstimationConfig(
+            randomness_sequence_length=96,
+            min_samples=64,
+            check_interval=32,
+            max_samples=2000,
+            warmup_cycles=16,
+            power_simulator="zero-delay",
+        )
+        glitch_config = EstimationConfig(
+            randomness_sequence_length=96,
+            min_samples=64,
+            check_interval=32,
+            max_samples=2000,
+            warmup_cycles=16,
+            power_simulator="event-driven",
+        )
+        functional = DipeEstimator(s27_circuit, config=functional_config, rng=10).estimate()
+        glitchy = DipeEstimator(s27_circuit, config=glitch_config, rng=10).estimate()
+        assert glitchy.average_power_w >= functional.average_power_w * 0.95

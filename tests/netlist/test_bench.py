@@ -1,0 +1,89 @@
+"""Unit tests for the ISCAS89 .bench parser and writer."""
+
+import pytest
+
+from repro.circuits.library import S27_BENCH
+from repro.netlist.bench import (
+    BenchParseError,
+    parse_bench,
+    parse_bench_file,
+    parse_bench_lines,
+    write_bench,
+    write_bench_file,
+)
+from repro.netlist.cell_library import GateType
+
+
+class TestParse:
+    def test_parse_s27(self):
+        netlist = parse_bench(S27_BENCH, name="s27")
+        assert netlist.num_inputs == 4
+        assert netlist.num_outputs == 1
+        assert netlist.num_latches == 3
+        assert netlist.num_gates == 10
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment
+        INPUT(a)   # trailing comment
+        OUTPUT(y)
+
+        y = NOT(a)
+        """
+        netlist = parse_bench(text)
+        assert netlist.num_gates == 1
+        assert netlist.gates[0].gate_type is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = nand(a, a2)\ninput(a2)\n"
+        netlist = parse_bench(text)
+        assert netlist.num_inputs == 2
+        assert netlist.gates[0].gate_type is GateType.NAND
+
+    def test_dff_parsed_as_latch(self):
+        text = "INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n"
+        netlist = parse_bench(text)
+        assert netlist.num_latches == 1
+        assert netlist.latches[0].data == "d"
+
+    def test_dff_with_two_inputs_rejected(self):
+        with pytest.raises(BenchParseError, match="exactly one data input"):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_unknown_function_reports_line_number(self):
+        with pytest.raises(BenchParseError) as excinfo:
+            parse_bench("INPUT(a)\ny = MAJORITY(a, a, a)\n")
+        assert excinfo.value.line_number == 2
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("this is not bench\n")
+
+    def test_parse_lines_helper(self):
+        netlist = parse_bench_lines(["INPUT(a)", "OUTPUT(y)", "y = BUFF(a)"])
+        assert netlist.num_gates == 1
+
+
+class TestWrite:
+    def test_round_trip_preserves_structure(self, s27_netlist):
+        text = write_bench(s27_netlist)
+        reparsed = parse_bench(text, name="s27")
+        assert reparsed.primary_inputs == s27_netlist.primary_inputs
+        assert reparsed.primary_outputs == s27_netlist.primary_outputs
+        assert [(latch.output, latch.data) for latch in reparsed.latches] == [
+            (latch.output, latch.data) for latch in s27_netlist.latches
+        ]
+        assert [(gate.output, gate.gate_type, gate.inputs) for gate in reparsed.gates] == [
+            (gate.output, gate.gate_type, gate.inputs) for gate in s27_netlist.gates
+        ]
+
+    def test_file_round_trip(self, s27_netlist, tmp_path):
+        path = write_bench_file(s27_netlist, tmp_path / "s27.bench")
+        reparsed = parse_bench_file(path)
+        assert reparsed.name == "s27"
+        assert reparsed.num_gates == s27_netlist.num_gates
+
+    def test_written_text_contains_counts_comment(self, s27_netlist):
+        text = write_bench(s27_netlist)
+        assert "4 inputs" in text
+        assert "3 D flip-flops" in text

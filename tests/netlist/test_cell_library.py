@@ -1,0 +1,125 @@
+"""Unit tests for the primitive gate library."""
+
+import pytest
+
+from repro.netlist.cell_library import (
+    GATE_ARITY,
+    GateType,
+    check_arity,
+    evaluate_gate,
+    evaluate_gate_bitparallel,
+    gate_type_from_name,
+)
+
+
+class TestGateTypeFromName:
+    def test_all_canonical_names_resolve(self):
+        for gate_type in GateType:
+            assert gate_type_from_name(gate_type.value) is gate_type
+
+    def test_names_are_case_insensitive(self):
+        assert gate_type_from_name("nand") is GateType.NAND
+        assert gate_type_from_name("Nor") is GateType.NOR
+
+    def test_aliases(self):
+        assert gate_type_from_name("INV") is GateType.NOT
+        assert gate_type_from_name("BUF") is GateType.BUFF
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown gate function"):
+            gate_type_from_name("MUX")
+
+
+class TestArity:
+    def test_not_requires_exactly_one_input(self):
+        check_arity(GateType.NOT, 1)
+        with pytest.raises(ValueError):
+            check_arity(GateType.NOT, 2)
+
+    def test_and_requires_at_least_one_input(self):
+        check_arity(GateType.AND, 1)
+        check_arity(GateType.AND, 5)
+        with pytest.raises(ValueError):
+            check_arity(GateType.AND, 0)
+
+    def test_constants_take_no_inputs(self):
+        check_arity(GateType.CONST0, 0)
+        with pytest.raises(ValueError):
+            check_arity(GateType.CONST1, 1)
+
+    def test_arity_table_covers_every_type(self):
+        assert set(GATE_ARITY) == set(GateType)
+
+
+class TestScalarEvaluation:
+    @pytest.mark.parametrize(
+        "gate_type, inputs, expected",
+        [
+            (GateType.AND, (1, 1), 1),
+            (GateType.AND, (1, 0), 0),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NAND, (0, 1), 1),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.NOR, (1, 0), 0),
+            (GateType.XOR, (1, 0), 1),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XNOR, (1, 1), 1),
+            (GateType.XNOR, (0, 1), 0),
+            (GateType.NOT, (1,), 0),
+            (GateType.NOT, (0,), 1),
+            (GateType.BUFF, (1,), 1),
+            (GateType.BUFF, (0,), 0),
+        ],
+    )
+    def test_two_input_truth_tables(self, gate_type, inputs, expected):
+        assert evaluate_gate(gate_type, inputs) == expected
+
+    def test_three_input_gates(self):
+        assert evaluate_gate(GateType.AND, (1, 1, 1)) == 1
+        assert evaluate_gate(GateType.AND, (1, 1, 0)) == 0
+        assert evaluate_gate(GateType.OR, (0, 0, 0)) == 0
+        assert evaluate_gate(GateType.XOR, (1, 1, 1)) == 1
+        assert evaluate_gate(GateType.NAND, (1, 1, 1)) == 0
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, ()) == 0
+        assert evaluate_gate(GateType.CONST1, ()) == 1
+
+    def test_missing_inputs_raise(self):
+        with pytest.raises(ValueError):
+            evaluate_gate(GateType.AND, ())
+
+
+class TestBitParallelEvaluation:
+    def test_matches_scalar_on_every_lane(self):
+        mask = (1 << 8) - 1
+        a = 0b10110010
+        b = 0b01110101
+        for gate_type in (
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ):
+            packed = evaluate_gate_bitparallel(gate_type, (a, b), mask)
+            for lane in range(8):
+                bits = ((a >> lane) & 1, (b >> lane) & 1)
+                assert (packed >> lane) & 1 == evaluate_gate(gate_type, bits)
+
+    def test_not_respects_mask(self):
+        mask = (1 << 4) - 1
+        assert evaluate_gate_bitparallel(GateType.NOT, (0b0101,), mask) == 0b1010
+
+    def test_result_never_exceeds_mask(self):
+        mask = (1 << 6) - 1
+        for gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT):
+            inputs = (0b101010,) if GATE_ARITY[gate_type] == 1 else (0b101010, 0b010101)
+            assert evaluate_gate_bitparallel(gate_type, inputs, mask) <= mask
+
+    def test_const1_returns_full_mask(self):
+        mask = (1 << 16) - 1
+        assert evaluate_gate_bitparallel(GateType.CONST1, (), mask) == mask

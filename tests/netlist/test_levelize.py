@@ -1,0 +1,68 @@
+"""Unit tests for levelization and logic depth."""
+
+import pytest
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.levelize import gate_levels, levelize, logic_depth
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+def _chain(length: int) -> Netlist:
+    netlist = Netlist(name="chain")
+    netlist.add_input("a")
+    netlist.add_output(f"n{length - 1}")
+    previous = "a"
+    for index in range(length):
+        netlist.add_gate(f"n{index}", GateType.NOT, [previous])
+        previous = f"n{index}"
+    return netlist
+
+
+class TestLevelize:
+    def test_topological_order_respects_dependencies(self, s27_netlist):
+        order = levelize(s27_netlist)
+        position = {gate.output: index for index, gate in enumerate(order)}
+        gate_outputs = set(position)
+        for gate in order:
+            for src in gate.inputs:
+                if src in gate_outputs:
+                    assert position[src] < position[gate.output]
+
+    def test_all_gates_present_exactly_once(self, s27_netlist):
+        order = levelize(s27_netlist)
+        assert sorted(g.output for g in order) == sorted(g.output for g in s27_netlist.gates)
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("x", GateType.AND, ["a", "y"])
+        netlist.add_gate("y", GateType.OR, ["x", "a"])
+        with pytest.raises(NetlistError, match="cycle"):
+            levelize(netlist)
+
+    def test_feedback_through_latch_is_not_a_cycle(self, s27_netlist):
+        # s27 has feedback, but only through its flip-flops.
+        levelize(s27_netlist)
+
+
+class TestDepth:
+    def test_chain_depth(self):
+        assert logic_depth(_chain(7)) == 7
+
+    def test_latch_outputs_are_level_zero(self, s27_netlist):
+        levels = gate_levels(s27_netlist)
+        for latch in s27_netlist.latches:
+            assert levels[latch.output] == 0
+
+    def test_depth_of_gateless_circuit_is_zero(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("a")
+        assert logic_depth(netlist) == 0
+
+    def test_every_gate_one_above_deepest_fanin(self, s27_netlist):
+        levels = gate_levels(s27_netlist)
+        for gate in s27_netlist.gates:
+            fanin_level = max(levels[src] for src in gate.inputs)
+            assert levels[gate.output] == fanin_level + 1

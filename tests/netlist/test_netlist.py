@@ -1,0 +1,83 @@
+"""Unit tests for the netlist data model."""
+
+import pytest
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Gate, Latch, Netlist, NetlistError
+
+
+class TestGateAndLatch:
+    def test_gate_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Gate(output="y", gate_type=GateType.NOT, inputs=("a", "b"))
+
+    def test_gate_rejects_self_loop(self):
+        with pytest.raises(NetlistError):
+            Gate(output="y", gate_type=GateType.AND, inputs=("y", "a"))
+
+    def test_latch_rejects_bad_init_value(self):
+        with pytest.raises(NetlistError):
+            Latch(output="q", data="d", init_value=2)
+
+
+class TestNetlistBuild:
+    def test_duplicate_input_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_input("a")
+
+    def test_duplicate_output_rejected(self):
+        netlist = Netlist()
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.add_output("y")
+
+    def test_counts(self, s27_netlist):
+        assert s27_netlist.num_inputs == 4
+        assert s27_netlist.num_outputs == 1
+        assert s27_netlist.num_latches == 3
+        assert s27_netlist.num_gates == 10
+
+    def test_state_space_size(self, s27_netlist):
+        assert s27_netlist.state_space_size() == 8
+
+
+class TestNetlistQueries:
+    def test_driver_map_contains_every_driven_net(self, s27_netlist):
+        drivers = s27_netlist.driver_map()
+        assert drivers["G0"] == "input"
+        assert isinstance(drivers["G5"], Latch)
+        assert isinstance(drivers["G11"], Gate)
+
+    def test_multiple_drivers_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.BUFF, ["a"])
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        with pytest.raises(NetlistError, match="multiple drivers"):
+            netlist.driver_map()
+
+    def test_all_nets_has_no_duplicates(self, s27_netlist):
+        nets = s27_netlist.all_nets()
+        assert len(nets) == len(set(nets))
+        assert "G17" in nets and "G0" in nets
+
+    def test_fanout_map(self, s27_netlist):
+        fanout = s27_netlist.fanout_map()
+        # G11 feeds G17 (NOT), G10 (NOR) and the latch G6.
+        assert set(fanout["G11"]) == {"G17", "G10", "G6"}
+        # The primary output G17 has the PO pseudo-sink.
+        assert "PO:G17" in fanout["G17"]
+
+    def test_undriven_nets_empty_for_complete_circuit(self, s27_netlist):
+        assert s27_netlist.undriven_nets() == []
+
+    def test_undriven_net_detected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.AND, ["a", "ghost"])
+        assert "ghost" in netlist.undriven_nets()
+
+    def test_iteration_yields_gates(self, s27_netlist):
+        assert list(s27_netlist) == s27_netlist.gates

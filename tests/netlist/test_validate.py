@@ -1,0 +1,75 @@
+"""Unit tests for structural netlist validation."""
+
+import pytest
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.netlist.validate import assert_valid, validate_netlist
+
+
+def _codes(issues):
+    return {issue.code for issue in issues}
+
+
+class TestValidate:
+    def test_s27_is_clean(self, s27_netlist):
+        errors = [i for i in validate_netlist(s27_netlist) if i.severity == "error"]
+        assert errors == []
+
+    def test_undriven_net_is_error(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.AND, ["a", "ghost"])
+        assert "undriven-net" in _codes(validate_netlist(netlist))
+
+    def test_undriven_output_is_error(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("nowhere")
+        assert "undriven-output" in _codes(validate_netlist(netlist))
+
+    def test_multiple_drivers_is_error(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", GateType.BUFF, ["a"])
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        assert "multiple-drivers" in _codes(validate_netlist(netlist))
+
+    def test_combinational_cycle_is_error(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("x", GateType.AND, ["a", "y"])
+        netlist.add_gate("y", GateType.OR, ["x", "a"])
+        assert "combinational-cycle" in _codes(validate_netlist(netlist))
+
+    def test_dangling_net_is_warning_only(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        netlist.add_gate("unused", GateType.BUFF, ["a"])
+        issues = validate_netlist(netlist)
+        dangling = [i for i in issues if i.code == "dangling-net"]
+        assert dangling and all(i.severity == "warning" for i in dangling)
+
+    def test_combinational_only_circuit_warns(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        assert "combinational-only" in _codes(validate_netlist(netlist))
+
+
+class TestAssertValid:
+    def test_passes_for_valid_circuit(self, s27_netlist):
+        assert_valid(s27_netlist)
+
+    def test_raises_with_details_for_invalid_circuit(self):
+        netlist = Netlist(name="broken")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.AND, ["a", "ghost"])
+        with pytest.raises(NetlistError, match="broken"):
+            assert_valid(netlist)

@@ -1,0 +1,60 @@
+"""Unit tests for the per-net power breakdown."""
+
+import pytest
+
+from repro.power.breakdown import power_breakdown
+from repro.power.reference import estimate_reference_power
+from repro.simulation.activity import collect_activity
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+class TestPowerBreakdown:
+    def test_shares_sum_to_one(self, s27_circuit):
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), cycles=2000, rng=1
+        )
+        assert sum(net.share for net in breakdown.nets) == pytest.approx(1.0)
+        assert breakdown.cumulative_share(len(breakdown.nets)) == pytest.approx(1.0)
+
+    def test_nets_sorted_by_power(self, s27_circuit):
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), cycles=1000, rng=2
+        )
+        powers = [net.power_w for net in breakdown.nets]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_total_consistent_with_reference_estimator(self, s27_circuit):
+        """Attribution must not create or destroy power relative to the reference."""
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), cycles=20_000, rng=3
+        )
+        reference = estimate_reference_power(
+            s27_circuit, BernoulliStimulus(4, 0.5), total_cycles=40_000, rng=4
+        )
+        assert breakdown.total_power_w == pytest.approx(reference.average_power_w, rel=0.05)
+
+    def test_reuses_existing_activity_record(self, s27_circuit):
+        activity = collect_activity(s27_circuit, BernoulliStimulus(4, 0.5), cycles=500, rng=5)
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), activity=activity
+        )
+        assert breakdown.cycles == 500
+
+    def test_mismatched_activity_record_rejected(self, s27_circuit, toggle_circuit):
+        activity = collect_activity(toggle_circuit, BernoulliStimulus(1, 0.5), cycles=100, rng=6)
+        with pytest.raises(ValueError, match="activity record"):
+            power_breakdown(s27_circuit, BernoulliStimulus(4, 0.5), activity=activity)
+
+    def test_render_contains_top_nets(self, s27_circuit):
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), cycles=500, rng=7
+        )
+        text = breakdown.render(count=5)
+        assert "Power breakdown of s27" in text
+        assert breakdown.top(1)[0].net in text
+
+    def test_top_respects_count(self, s27_circuit):
+        breakdown = power_breakdown(
+            s27_circuit, BernoulliStimulus(4, 0.5), cycles=500, rng=8
+        )
+        assert len(breakdown.top(3)) == 3

@@ -1,0 +1,52 @@
+"""Unit tests for the capacitance model."""
+
+import pytest
+
+from repro.power.capacitance import CapacitanceModel
+
+
+class TestCapacitanceModel:
+    def test_every_net_has_positive_capacitance(self, s27_circuit):
+        caps = CapacitanceModel().node_capacitances(s27_circuit)
+        assert len(caps) == s27_circuit.num_nets
+        assert all(c > 0 for c in caps)
+
+    def test_fanout_increases_capacitance(self, s27_circuit):
+        model = CapacitanceModel()
+        caps = model.node_capacitances(s27_circuit)
+        # G11 fans out to two gates and one latch; G14 fans out to two gates.
+        assert caps[s27_circuit.net_id("G11")] > caps[s27_circuit.net_id("G14")]
+
+    def test_primary_output_load_applied(self, s27_circuit):
+        model = CapacitanceModel()
+        caps = model.node_capacitances(s27_circuit)
+        g17 = caps[s27_circuit.net_id("G17")]
+        expected = (
+            model.output_capacitance_f + model.primary_output_capacitance_f
+        ) * model.overhead_factor
+        assert g17 == pytest.approx(expected)
+
+    def test_latch_input_capacitance_applied(self, s27_circuit):
+        model = CapacitanceModel(input_capacitance_f=0.0, latch_input_capacitance_f=10e-15)
+        caps = model.node_capacitances(s27_circuit)
+        g13 = caps[s27_circuit.net_id("G13")]  # drives only the latch G7
+        expected = (model.output_capacitance_f + 10e-15) * model.overhead_factor
+        assert g13 == pytest.approx(expected)
+
+    def test_total_capacitance_is_sum(self, s27_circuit):
+        model = CapacitanceModel()
+        assert model.total_capacitance(s27_circuit) == pytest.approx(
+            sum(model.node_capacitances(s27_circuit))
+        )
+
+    def test_overhead_factor_scales_everything(self, s27_circuit):
+        plain = CapacitanceModel(overhead_factor=1.0).node_capacitances(s27_circuit)
+        scaled = CapacitanceModel(overhead_factor=2.0).node_capacitances(s27_circuit)
+        for a, b in zip(plain, scaled):
+            assert b == pytest.approx(2.0 * a)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            CapacitanceModel(output_capacitance_f=-1e-15)
+        with pytest.raises(ValueError):
+            CapacitanceModel(overhead_factor=0.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the dynamic power equation."""
+
+import pytest
+
+from repro.power.power_model import PowerModel
+
+
+class TestPowerModel:
+    def test_paper_operating_point_defaults(self):
+        model = PowerModel()
+        assert model.vdd == pytest.approx(5.0)
+        assert model.clock_frequency_hz == pytest.approx(20e6)
+        assert model.clock_period_s == pytest.approx(50e-9)
+
+    def test_cycle_energy_formula(self):
+        model = PowerModel(vdd=5.0, clock_frequency_hz=20e6)
+        # 100 fF switched at 5 V: E = 0.5 * 25 * 100e-15 = 1.25 pJ
+        assert model.cycle_energy(100e-15) == pytest.approx(1.25e-12)
+
+    def test_cycle_power_is_energy_over_period(self):
+        model = PowerModel(vdd=5.0, clock_frequency_hz=20e6)
+        assert model.cycle_power(100e-15) == pytest.approx(1.25e-12 * 20e6)
+
+    def test_average_power_over_sample(self):
+        model = PowerModel()
+        sample = [100e-15, 300e-15]
+        assert model.average_power(sample) == pytest.approx(model.cycle_power(200e-15))
+
+    def test_average_power_requires_samples(self):
+        with pytest.raises(ValueError):
+            PowerModel().average_power([])
+
+    def test_power_scales_with_vdd_squared(self):
+        low = PowerModel(vdd=2.5).cycle_power(1e-12)
+        high = PowerModel(vdd=5.0).cycle_power(1e-12)
+        assert high == pytest.approx(4.0 * low)
+
+    def test_negative_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().cycle_energy(-1.0)
+
+    def test_invalid_operating_point_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(vdd=0.0)
+        with pytest.raises(ValueError):
+            PowerModel(clock_frequency_hz=-1.0)
+
+    def test_milliwatt_conversion(self):
+        assert PowerModel().to_milliwatts(0.0025) == pytest.approx(2.5)

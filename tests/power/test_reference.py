@@ -1,0 +1,71 @@
+"""Unit tests for the long-run reference power estimator."""
+
+import pytest
+
+from repro.fsm.exact_power import exact_average_power
+from repro.power.reference import estimate_reference_power
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+class TestReferenceEstimator:
+    def test_matches_exact_power_on_s27(self, s27_circuit):
+        exact = exact_average_power(s27_circuit, 0.5)
+        reference = estimate_reference_power(
+            s27_circuit,
+            BernoulliStimulus(4, 0.5),
+            total_cycles=60_000,
+            lanes=32,
+            rng=1,
+        )
+        assert reference.average_power_w == pytest.approx(exact, rel=0.03)
+
+    def test_matches_exact_power_on_toggle_cell(self, toggle_circuit):
+        exact = exact_average_power(toggle_circuit, 0.5)
+        reference = estimate_reference_power(
+            toggle_circuit,
+            BernoulliStimulus(1, 0.5),
+            total_cycles=40_000,
+            lanes=32,
+            rng=2,
+        )
+        assert reference.average_power_w == pytest.approx(exact, rel=0.05)
+
+    def test_lane_count_does_not_bias_the_estimate(self, s27_circuit):
+        stimulus = BernoulliStimulus(4, 0.5)
+        few_lanes = estimate_reference_power(
+            s27_circuit, stimulus, total_cycles=40_000, lanes=4, rng=3
+        )
+        many_lanes = estimate_reference_power(
+            s27_circuit, stimulus, total_cycles=40_000, lanes=128, rng=4
+        )
+        assert few_lanes.average_power_w == pytest.approx(many_lanes.average_power_w, rel=0.05)
+
+    def test_total_cycles_rounded_up_to_full_lanes(self, s27_circuit):
+        reference = estimate_reference_power(
+            s27_circuit, BernoulliStimulus(4, 0.5), total_cycles=1000, lanes=64, rng=5
+        )
+        assert reference.total_cycles >= 1000
+        assert reference.total_cycles % 64 == 0
+
+    def test_reproducible_with_same_seed(self, s27_circuit):
+        stimulus = BernoulliStimulus(4, 0.5)
+        first = estimate_reference_power(
+            s27_circuit, stimulus, total_cycles=5_000, lanes=16, rng=7
+        )
+        second = estimate_reference_power(
+            s27_circuit, BernoulliStimulus(4, 0.5), total_cycles=5_000, lanes=16, rng=7
+        )
+        assert first.average_power_w == pytest.approx(second.average_power_w)
+
+    def test_milliwatt_property(self, s27_circuit):
+        reference = estimate_reference_power(
+            s27_circuit, BernoulliStimulus(4, 0.5), total_cycles=2_000, lanes=16, rng=8
+        )
+        assert reference.average_power_mw == pytest.approx(reference.average_power_w * 1e3)
+
+    def test_invalid_arguments_rejected(self, s27_circuit):
+        stimulus = BernoulliStimulus(4, 0.5)
+        with pytest.raises(ValueError):
+            estimate_reference_power(s27_circuit, stimulus, total_cycles=0)
+        with pytest.raises(ValueError):
+            estimate_reference_power(s27_circuit, stimulus, total_cycles=100, lanes=0)

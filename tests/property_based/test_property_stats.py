@@ -1,0 +1,99 @@
+"""Property-based tests for the statistical machinery."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.stats.randomness import dichotomize, thin_sequence
+from repro.stats.runs_test import count_runs, runs_test
+from repro.stats.stopping import (
+    CltStoppingCriterion,
+    KolmogorovSmirnovStoppingCriterion,
+    OrderStatisticStoppingCriterion,
+)
+
+binary_sequences = st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=500)
+float_sequences = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(symbols=binary_sequences)
+def test_run_count_bounds(symbols):
+    """1 <= U <= N, and U-1 never exceeds twice the minority count."""
+    runs = count_runs(symbols)
+    assert 1 <= runs <= len(symbols)
+    minority = min(symbols.count(0), symbols.count(1))
+    assert runs <= 2 * minority + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(symbols=binary_sequences, alpha=st.sampled_from([0.05, 0.1, 0.2, 0.5]))
+def test_runs_test_decision_matches_threshold(symbols, alpha):
+    """The accept decision is exactly |z| <= c for non-degenerate sequences."""
+    result = runs_test(symbols, significance_level=alpha)
+    if result.degenerate:
+        assert result.accepted
+    else:
+        assert result.accepted == (abs(result.z_statistic) <= result.critical_value)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=float_sequences)
+def test_dichotomize_balance(values):
+    """Dichotomised symbols are 0/1, and neither class exceeds half of the data."""
+    symbols = dichotomize(values)
+    assert set(symbols) <= {0, 1}
+    if symbols:
+        zeros = symbols.count(0)
+        ones = symbols.count(1)
+        assert zeros <= len(values) / 2 + 1
+        assert ones <= len(values) / 2 + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=float_sequences, interval=st.integers(min_value=0, max_value=10))
+def test_thinning_length(values, interval):
+    """Thinning keeps ceil(n / (interval+1)) elements and preserves order."""
+    thinned = thin_sequence(values, interval)
+    expected_length = (len(values) + interval) // (interval + 1)
+    assert len(thinned) == expected_length
+    assert thinned == values[:: interval + 1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=1.0, max_value=100.0, allow_nan=False), min_size=2, max_size=400
+    )
+)
+def test_stopping_criteria_interval_contains_sample_mean(data):
+    """For every criterion the reported interval always brackets the estimate."""
+    for criterion in (
+        CltStoppingCriterion(min_samples=2),
+        OrderStatisticStoppingCriterion(min_samples=2),
+        KolmogorovSmirnovStoppingCriterion(min_samples=2),
+    ):
+        decision = criterion.evaluate(data)
+        assert decision.lower - 1e-9 <= decision.estimate <= decision.upper + 1e-9
+        assert decision.sample_size == len(data)
+        assert decision.relative_half_width >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mean=st.floats(min_value=1.0, max_value=50.0),
+    scale=st.floats(min_value=0.01, max_value=5.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_clt_interval_width_decreases_with_more_data(mean, scale, seed):
+    rng = np.random.default_rng(seed)
+    sample = rng.normal(mean, scale, size=4096)
+    assume(sample.std() > 0)
+    criterion = CltStoppingCriterion(min_samples=2)
+    small = criterion.evaluate(sample[:256].tolist())
+    large = criterion.evaluate(sample.tolist())
+    assert large.upper - large.lower <= small.upper - small.lower + 1e-12

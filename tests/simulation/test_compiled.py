@@ -1,0 +1,70 @@
+"""Unit tests for netlist compilation."""
+
+import pytest
+
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Netlist, NetlistError
+from repro.simulation.compiled import CompiledCircuit
+
+
+class TestCompile:
+    def test_counts_match_netlist(self, s27_netlist, s27_circuit):
+        assert s27_circuit.num_gates == s27_netlist.num_gates
+        assert s27_circuit.num_latches == s27_netlist.num_latches
+        assert s27_circuit.num_inputs == s27_netlist.num_inputs
+        assert s27_circuit.num_nets == len(s27_netlist.all_nets())
+
+    def test_gates_in_topological_order(self, s27_circuit):
+        produced = set(s27_circuit.primary_inputs) | set(s27_circuit.latch_q)
+        for gate in s27_circuit.gates:
+            for src in gate.inputs:
+                assert src in produced, "gate evaluated before its fan-in"
+            produced.add(gate.output)
+
+    def test_net_id_round_trip(self, s27_circuit):
+        for name in ("G0", "G17", "G11"):
+            assert s27_circuit.net_names[s27_circuit.net_id(name)] == name
+
+    def test_unknown_net_raises_key_error(self, s27_circuit):
+        with pytest.raises(KeyError):
+            s27_circuit.net_id("does-not-exist")
+
+    def test_latch_pairs_resolved(self, s27_netlist, s27_circuit):
+        for latch, q_id, d_id in zip(
+            s27_netlist.latches, s27_circuit.latch_q, s27_circuit.latch_d
+        ):
+            assert s27_circuit.net_names[q_id] == latch.output
+            assert s27_circuit.net_names[d_id] == latch.data
+
+    def test_fanout_counts(self, s27_circuit):
+        # G11 drives gates G17 and G10 plus the latch G6 -> fanout 3.
+        assert s27_circuit.fanout_counts[s27_circuit.net_id("G11")] == 3
+        # Primary output contributes one sink.
+        assert s27_circuit.fanout_counts[s27_circuit.net_id("G17")] == 1
+
+    def test_fanout_gates_table(self, s27_circuit):
+        g11 = s27_circuit.net_id("G11")
+        reader_outputs = {
+            s27_circuit.net_names[s27_circuit.gates[i].output]
+            for i in s27_circuit.fanout_gates[g11]
+        }
+        assert reader_outputs == {"G17", "G10"}
+
+    def test_validation_failure_propagates(self):
+        netlist = Netlist(name="bad")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.AND, ["a", "ghost"])
+        with pytest.raises(NetlistError):
+            CompiledCircuit.from_netlist(netlist)
+
+    def test_validation_can_be_skipped(self):
+        netlist = Netlist(name="warn-only")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("y", GateType.NOT, ["a"])
+        circuit = CompiledCircuit.from_netlist(netlist, validate=False)
+        assert circuit.num_gates == 1
+
+    def test_state_space_size(self, s27_circuit):
+        assert s27_circuit.state_space_size() == 8

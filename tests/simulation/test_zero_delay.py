@@ -1,0 +1,170 @@
+"""Unit tests for the bit-parallel zero-delay simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.zero_delay import ZeroDelaySimulator
+
+
+class TestToggleCell:
+    def test_toggles_only_when_enabled(self, toggle_circuit):
+        simulator = ZeroDelaySimulator(toggle_circuit)
+        simulator.reset(latch_state=0)
+        simulator.settle([0])
+
+        simulator.step([1])  # EN=1: next state becomes 1 at the following clock
+        assert simulator.net_value("Q") == 0  # Q updates at the *next* clock edge
+        simulator.step([0])
+        assert simulator.net_value("Q") == 1  # captured the toggle
+        simulator.step([0])
+        assert simulator.net_value("Q") == 1  # EN=0 holds the state
+
+    def test_energy_zero_when_nothing_changes(self, toggle_circuit):
+        simulator = ZeroDelaySimulator(toggle_circuit)
+        simulator.reset(latch_state=0)
+        simulator.settle([0])
+        first = simulator.step_and_measure([0])
+        second = simulator.step_and_measure([0])
+        assert first == 0.0
+        assert second == 0.0
+
+
+class TestCounter:
+    def test_counts_up_when_enabled(self, counter_circuit):
+        simulator = ZeroDelaySimulator(counter_circuit)
+        simulator.reset(latch_state=0)
+        simulator.settle([1])
+        values = []
+        for _ in range(6):
+            simulator.step([1])
+            state = simulator.latch_state_scalar()
+            values.append(state)
+        assert values == [1, 2, 3, 4, 5, 6]
+
+    def test_holds_when_disabled(self, counter_circuit):
+        simulator = ZeroDelaySimulator(counter_circuit)
+        simulator.reset(latch_state=5)
+        simulator.settle([0])
+        for _ in range(4):
+            simulator.step([0])
+        assert simulator.latch_state_scalar() == 5
+
+    def test_wraps_around(self, counter_circuit):
+        simulator = ZeroDelaySimulator(counter_circuit)
+        simulator.reset(latch_state=15)
+        simulator.settle([1])
+        simulator.step([1])
+        assert simulator.latch_state_scalar() == 0
+
+
+class TestBitParallelConsistency:
+    def test_lanes_match_independent_scalar_runs(self, s27_circuit):
+        """Every lane of a multi-lane run must equal the corresponding scalar run."""
+        width = 8
+        rng = np.random.default_rng(7)
+        cycles = 40
+        patterns = rng.integers(0, 2, size=(cycles, s27_circuit.num_inputs, width))
+        initial_states = rng.integers(0, 2, size=(s27_circuit.num_latches, width))
+
+        packed_sim = ZeroDelaySimulator(s27_circuit, width=width)
+        packed_initial = [
+            int(sum(int(initial_states[i, lane]) << lane for lane in range(width)))
+            for i in range(s27_circuit.num_latches)
+        ]
+        packed_sim.reset(latch_state=packed_initial)
+        packed_pattern0 = [
+            int(sum(int(patterns[0, i, lane]) << lane for lane in range(width)))
+            for i in range(s27_circuit.num_inputs)
+        ]
+        packed_sim.settle(packed_pattern0)
+
+        scalar_sims = []
+        for lane in range(width):
+            scalar = ZeroDelaySimulator(s27_circuit, width=1)
+            scalar.reset(latch_state=[int(initial_states[i, lane]) for i in range(s27_circuit.num_latches)])
+            scalar.settle([int(patterns[0, i, lane]) for i in range(s27_circuit.num_inputs)])
+            scalar_sims.append(scalar)
+
+        for cycle in range(1, cycles):
+            packed_pattern = [
+                int(sum(int(patterns[cycle, i, lane]) << lane for lane in range(width)))
+                for i in range(s27_circuit.num_inputs)
+            ]
+            packed_sim.step(packed_pattern)
+            for lane, scalar in enumerate(scalar_sims):
+                scalar.step([int(patterns[cycle, i, lane]) for i in range(s27_circuit.num_inputs)])
+                for net_id in range(s27_circuit.num_nets):
+                    assert (packed_sim.values[net_id] >> lane) & 1 == scalar.values[net_id]
+
+    def test_aggregate_energy_equals_sum_of_lane_energies(self, s27_circuit):
+        width = 4
+        rng = np.random.default_rng(11)
+        cycles = 25
+        patterns = rng.integers(0, 2, size=(cycles, s27_circuit.num_inputs, width))
+
+        packed = ZeroDelaySimulator(s27_circuit, width=width)
+        packed.reset(latch_state=0)
+        packed.settle([0] * s27_circuit.num_inputs)
+        scalars = []
+        for lane in range(width):
+            scalar = ZeroDelaySimulator(s27_circuit, width=1)
+            scalar.reset(latch_state=0)
+            scalar.settle([0] * s27_circuit.num_inputs)
+            scalars.append(scalar)
+
+        total_packed = 0.0
+        total_scalar = 0.0
+        for cycle in range(cycles):
+            packed_pattern = [
+                int(sum(int(patterns[cycle, i, lane]) << lane for lane in range(width)))
+                for i in range(s27_circuit.num_inputs)
+            ]
+            total_packed += packed.step_and_measure(packed_pattern)
+            for lane, scalar in enumerate(scalars):
+                total_scalar += scalar.step_and_measure(
+                    [int(patterns[cycle, i, lane]) for i in range(s27_circuit.num_inputs)]
+                )
+        assert total_packed == pytest.approx(total_scalar)
+
+
+class TestInterface:
+    def test_invalid_width_rejected(self, s27_circuit):
+        with pytest.raises(ValueError):
+            ZeroDelaySimulator(s27_circuit, width=0)
+
+    def test_capacitance_length_checked(self, s27_circuit):
+        with pytest.raises(ValueError):
+            ZeroDelaySimulator(s27_circuit, node_capacitance=[1.0, 2.0])
+
+    def test_pattern_length_checked(self, s27_circuit):
+        simulator = ZeroDelaySimulator(s27_circuit)
+        with pytest.raises(ValueError):
+            simulator.apply_inputs([1])
+
+    def test_randomize_state_is_reproducible(self, s27_circuit):
+        first = ZeroDelaySimulator(s27_circuit, width=16)
+        second = ZeroDelaySimulator(s27_circuit, width=16)
+        first.randomize_state(rng=3)
+        second.randomize_state(rng=3)
+        assert first.latch_state() == second.latch_state()
+
+    def test_reset_with_integer_state(self, s27_circuit):
+        simulator = ZeroDelaySimulator(s27_circuit)
+        simulator.reset(latch_state=0b101)
+        assert simulator.latch_state_scalar() == 0b101
+
+    def test_run_without_measurement_returns_empty(self, s27_circuit):
+        simulator = ZeroDelaySimulator(s27_circuit)
+        simulator.settle([0, 0, 0, 0])
+        energies = simulator.run([[1, 0, 1, 0]] * 5, measure=False)
+        assert energies == []
+        assert simulator.cycles_simulated == 5
+
+    def test_step_and_count_per_net(self, counter_circuit):
+        simulator = ZeroDelaySimulator(counter_circuit)
+        simulator.reset(latch_state=0)
+        simulator.settle([1])
+        counts = simulator.step_and_count([1])
+        assert len(counts) == counter_circuit.num_nets
+        assert sum(counts) > 0
+        assert all(count in (0, 1) for count in counts)

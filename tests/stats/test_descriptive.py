@@ -1,0 +1,38 @@
+"""Unit tests for descriptive sample statistics."""
+
+import pytest
+
+from repro.stats.descriptive import summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+        assert summary.standard_deviation == pytest.approx(1.29099, abs=1e-4)
+
+    def test_standard_error(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.standard_error == pytest.approx(summary.standard_deviation / 2.0)
+
+    def test_singleton_sample(self):
+        summary = summarize([7.0])
+        assert summary.standard_deviation == 0.0
+        assert summary.standard_error == 0.0
+
+    def test_coefficient_of_variation(self):
+        summary = summarize([2.0, 4.0])
+        assert summary.coefficient_of_variation == pytest.approx(
+            summary.standard_deviation / 3.0
+        )
+
+    def test_zero_mean_cv_is_zero(self):
+        assert summarize([-1.0, 1.0]).coefficient_of_variation == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,92 @@
+"""Unit tests for dichotomisation and randomness testing of real sequences."""
+
+import numpy as np
+import pytest
+
+from repro.stats.randomness import (
+    dichotomize,
+    lag_autocorrelation,
+    runs_test_on_values,
+    thin_sequence,
+)
+
+
+class TestDichotomize:
+    def test_values_split_about_median(self):
+        symbols = dichotomize([1.0, 2.0, 3.0, 4.0])
+        # median 2.5: 1,2 -> 0 and 3,4 -> 1
+        assert symbols == [0, 0, 1, 1]
+
+    def test_median_ties_dropped(self):
+        symbols = dichotomize([1.0, 2.0, 2.0, 3.0])
+        # median is 2.0; both 2.0 values are dropped
+        assert symbols == [0, 1]
+
+    def test_constant_sequence_empty(self):
+        assert dichotomize([5.0] * 10) == []
+
+    def test_empty_input(self):
+        assert dichotomize([]) == []
+
+    def test_order_preserved(self):
+        symbols = dichotomize([10.0, 1.0, 9.0, 2.0])
+        assert symbols == [1, 0, 1, 0]
+
+
+class TestRunsTestOnValues:
+    def test_iid_values_accepted(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000)
+        assert runs_test_on_values(values, 0.20).accepted
+
+    def test_strongly_autocorrelated_values_rejected(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=1000)
+        values = np.cumsum(noise)  # random walk: heavily serially dependent
+        assert not runs_test_on_values(values, 0.20).accepted
+
+    def test_constant_values_degenerate(self):
+        result = runs_test_on_values([3.0] * 64)
+        assert result.degenerate
+        assert result.accepted
+
+
+class TestThinSequence:
+    def test_interval_zero_keeps_everything(self):
+        assert thin_sequence([1, 2, 3, 4], 0) == [1, 2, 3, 4]
+
+    def test_interval_one_keeps_every_other(self):
+        assert thin_sequence([1, 2, 3, 4, 5], 1) == [1, 3, 5]
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            thin_sequence([1, 2], -1)
+
+
+class TestLagAutocorrelation:
+    def test_iid_near_zero(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=5000)
+        assert abs(lag_autocorrelation(values, 1)) < 0.05
+
+    def test_positive_dependence_detected(self):
+        rng = np.random.default_rng(3)
+        noise = rng.normal(size=5000)
+        values = np.convolve(noise, np.ones(5) / 5, mode="valid")  # moving average
+        assert lag_autocorrelation(values, 1) > 0.5
+
+    def test_thinning_reduces_autocorrelation(self):
+        rng = np.random.default_rng(4)
+        noise = rng.normal(size=20_000)
+        values = np.convolve(noise, np.ones(3) / 3, mode="valid")
+        original = lag_autocorrelation(values, 1)
+        thinned = lag_autocorrelation(thin_sequence(list(values), 3), 1)
+        assert abs(thinned) < abs(original)
+
+    def test_degenerate_inputs_return_zero(self):
+        assert lag_autocorrelation([1.0, 1.0, 1.0], 1) == 0.0
+        assert lag_autocorrelation([1.0], 1) == 0.0
+
+    def test_invalid_lag_rejected(self):
+        with pytest.raises(ValueError):
+            lag_autocorrelation([1.0, 2.0], 0)

@@ -1,0 +1,114 @@
+"""Unit tests for the ordinary runs test."""
+
+import numpy as np
+import pytest
+
+from repro.stats.runs_test import count_runs, critical_value, runs_test
+
+
+class TestCountRuns:
+    def test_empty_sequence(self):
+        assert count_runs([]) == 0
+
+    def test_single_run(self):
+        assert count_runs([1, 1, 1, 1]) == 1
+
+    def test_alternating(self):
+        assert count_runs([0, 1, 0, 1, 0]) == 5
+
+    def test_mixed(self):
+        assert count_runs([0, 0, 1, 1, 1, 0, 1]) == 4
+
+
+class TestCriticalValue:
+    def test_paper_significance_level(self):
+        # alpha = 0.20 -> c = Phi^{-1}(0.90) ~= 1.2816
+        assert critical_value(0.20) == pytest.approx(1.2816, abs=1e-3)
+
+    def test_tighter_level_gives_larger_threshold(self):
+        assert critical_value(0.01) > critical_value(0.20)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            critical_value(0.0)
+        with pytest.raises(ValueError):
+            critical_value(1.0)
+
+
+class TestRunsTest:
+    def test_random_sequence_accepted(self):
+        rng = np.random.default_rng(0)
+        symbols = rng.integers(0, 2, size=2000).tolist()
+        result = runs_test(symbols, significance_level=0.20)
+        assert result.accepted
+        assert abs(result.z_statistic) <= result.critical_value
+
+    def test_clustered_sequence_rejected(self):
+        symbols = [0] * 100 + [1] * 100
+        result = runs_test(symbols, significance_level=0.20)
+        assert not result.accepted
+        assert result.z_statistic < 0  # far too few runs
+
+    def test_alternating_sequence_rejected(self):
+        symbols = [0, 1] * 100
+        result = runs_test(symbols, significance_level=0.20)
+        assert not result.accepted
+        assert result.z_statistic > 0  # far too many runs
+
+    def test_mean_number_of_runs_gives_zero_statistic(self):
+        # Construct a sequence whose number of runs is close to 1 + 2mn/N.
+        rng = np.random.default_rng(3)
+        symbols = rng.integers(0, 2, size=501).tolist()
+        result = runs_test(symbols)
+        assert abs(result.z_statistic) < 3.0
+
+    def test_counts_reported(self):
+        result = runs_test([0, 0, 1, 1, 1, 0])
+        assert result.num_first == 3
+        assert result.num_second == 3
+        assert result.num_runs == 3
+        assert result.sequence_length == 6
+
+    def test_constant_sequence_is_degenerate_but_accepted(self):
+        result = runs_test([1] * 50)
+        assert result.degenerate
+        assert result.accepted
+        assert result.z_statistic == 0.0
+
+    def test_p_value_consistent_with_decision(self):
+        rng = np.random.default_rng(4)
+        symbols = rng.integers(0, 2, size=400).tolist()
+        result = runs_test(symbols, significance_level=0.20)
+        assert result.accepted == (result.p_value >= 0.20 - 1e-9)
+
+    def test_continuity_correction_shrinks_statistic(self):
+        """The corrected |z| must never exceed the uncorrected value."""
+        symbols = [0, 0, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1]
+        result = runs_test(symbols)
+        m, n = result.num_first, result.num_second
+        total = m + n
+        mean_runs = 1 + 2 * m * n / total
+        variance = 2 * m * n * (2 * m * n - total) / (total**2 * (total - 1))
+        uncorrected = abs(result.num_runs - mean_runs) / variance**0.5
+        assert abs(result.z_statistic) <= uncorrected + 1e-12
+
+    def test_symbols_must_be_binary(self):
+        with pytest.raises(ValueError):
+            runs_test([0, 1, 2, 1])
+
+    def test_too_short_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            runs_test([1])
+
+    def test_false_rejection_rate_close_to_significance_level(self):
+        """Under H0 the rejection rate should be near alpha (the paper's Eq. (6))."""
+        rng = np.random.default_rng(5)
+        alpha = 0.20
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            symbols = rng.integers(0, 2, size=320).tolist()
+            if not runs_test(symbols, significance_level=alpha).accepted:
+                rejections += 1
+        rate = rejections / trials
+        assert rate == pytest.approx(alpha, abs=0.07)

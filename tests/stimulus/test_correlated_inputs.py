@@ -1,0 +1,95 @@
+"""Unit tests for the correlated input generators."""
+
+import numpy as np
+import pytest
+
+from repro.stimulus.correlated_inputs import LagOneMarkovStimulus, SpatiallyCorrelatedStimulus
+
+
+def _bit_series(stimulus, input_index, cycles, rng, width=1):
+    series = []
+    for _ in range(cycles):
+        pattern = stimulus.next_pattern(rng, width=width)
+        series.append(pattern[input_index] & 1)
+    return np.array(series, dtype=float)
+
+
+class TestLagOneMarkovStimulus:
+    def test_stationary_probability(self):
+        stimulus = LagOneMarkovStimulus(1, probability=0.3, correlation=0.6)
+        series = _bit_series(stimulus, 0, 6000, np.random.default_rng(1))
+        assert series.mean() == pytest.approx(0.3, abs=0.04)
+
+    def test_lag_one_autocorrelation(self):
+        stimulus = LagOneMarkovStimulus(1, probability=0.5, correlation=0.7)
+        series = _bit_series(stimulus, 0, 8000, np.random.default_rng(2))
+        centred = series - series.mean()
+        rho = np.dot(centred[:-1], centred[1:]) / np.dot(centred, centred)
+        assert rho == pytest.approx(0.7, abs=0.06)
+
+    def test_zero_correlation_behaves_like_bernoulli(self):
+        stimulus = LagOneMarkovStimulus(1, probability=0.5, correlation=0.0)
+        series = _bit_series(stimulus, 0, 6000, np.random.default_rng(3))
+        centred = series - series.mean()
+        rho = np.dot(centred[:-1], centred[1:]) / np.dot(centred, centred)
+        assert abs(rho) < 0.05
+
+    def test_reset_clears_state(self):
+        stimulus = LagOneMarkovStimulus(2, correlation=0.9)
+        stimulus.next_pattern(np.random.default_rng(4))
+        stimulus.reset()
+        assert stimulus._state is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LagOneMarkovStimulus(2, probability=1.5)
+        with pytest.raises(ValueError):
+            LagOneMarkovStimulus(2, correlation=1.5)
+        with pytest.raises(ValueError):
+            LagOneMarkovStimulus(2, probability=[0.5])
+
+    def test_lane_width_change_restarts_chains(self):
+        stimulus = LagOneMarkovStimulus(1, correlation=0.9)
+        rng = np.random.default_rng(5)
+        stimulus.next_pattern(rng, width=1)
+        pattern = stimulus.next_pattern(rng, width=8)
+        assert 0 <= pattern[0] < (1 << 8)
+
+
+class TestSpatiallyCorrelatedStimulus:
+    def test_same_group_inputs_positively_correlated(self):
+        stimulus = SpatiallyCorrelatedStimulus(2, num_groups=1, coupling=0.9)
+        rng = np.random.default_rng(6)
+        a_series, b_series = [], []
+        for _ in range(6000):
+            pattern = stimulus.next_pattern(rng)
+            a_series.append(pattern[0] & 1)
+            b_series.append(pattern[1] & 1)
+        a = np.array(a_series, dtype=float) - np.mean(a_series)
+        b = np.array(b_series, dtype=float) - np.mean(b_series)
+        correlation = np.dot(a, b) / np.sqrt(np.dot(a, a) * np.dot(b, b))
+        assert correlation > 0.5
+
+    def test_different_group_inputs_uncorrelated(self):
+        stimulus = SpatiallyCorrelatedStimulus(2, num_groups=2, coupling=0.9)
+        rng = np.random.default_rng(7)
+        a_series, b_series = [], []
+        for _ in range(6000):
+            pattern = stimulus.next_pattern(rng)
+            a_series.append(pattern[0] & 1)
+            b_series.append(pattern[1] & 1)
+        a = np.array(a_series, dtype=float) - np.mean(a_series)
+        b = np.array(b_series, dtype=float) - np.mean(b_series)
+        correlation = np.dot(a, b) / np.sqrt(np.dot(a, a) * np.dot(b, b))
+        assert abs(correlation) < 0.1
+
+    def test_marginal_probability_stays_half(self):
+        stimulus = SpatiallyCorrelatedStimulus(3, num_groups=2, coupling=0.8)
+        series = _bit_series(stimulus, 0, 6000, np.random.default_rng(8))
+        assert series.mean() == pytest.approx(0.5, abs=0.04)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SpatiallyCorrelatedStimulus(2, num_groups=0)
+        with pytest.raises(ValueError):
+            SpatiallyCorrelatedStimulus(2, coupling=1.5)

@@ -1,0 +1,68 @@
+"""Unit tests for the Bernoulli input generator."""
+
+import numpy as np
+import pytest
+
+from repro.stimulus.base import pack_lane_bits, unpack_lane_bits
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+class TestPacking:
+    def test_pack_unpack_round_trip(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        word = pack_lane_bits(bits)
+        assert np.array_equal(unpack_lane_bits(word, 8), bits)
+
+    def test_pack_empty(self):
+        assert pack_lane_bits(np.array([], dtype=np.uint8)) == 0
+
+
+class TestBernoulliStimulus:
+    def test_pattern_shape(self):
+        stimulus = BernoulliStimulus(5, 0.5)
+        pattern = stimulus.next_pattern(np.random.default_rng(0), width=8)
+        assert len(pattern) == 5
+        assert all(0 <= word < (1 << 8) for word in pattern)
+
+    def test_zero_probability_gives_all_zero(self):
+        stimulus = BernoulliStimulus(3, 0.0)
+        pattern = stimulus.next_pattern(np.random.default_rng(0), width=16)
+        assert pattern == [0, 0, 0]
+
+    def test_one_probability_gives_all_ones(self):
+        stimulus = BernoulliStimulus(3, 1.0)
+        pattern = stimulus.next_pattern(np.random.default_rng(0), width=16)
+        assert pattern == [(1 << 16) - 1] * 3
+
+    def test_empirical_probability_matches(self):
+        stimulus = BernoulliStimulus(1, 0.3)
+        rng = np.random.default_rng(1)
+        ones = 0
+        cycles = 4000
+        for _ in range(cycles):
+            ones += stimulus.next_pattern(rng, width=1)[0]
+        assert ones / cycles == pytest.approx(0.3, abs=0.03)
+
+    def test_per_input_probabilities(self):
+        stimulus = BernoulliStimulus(2, [0.0, 1.0])
+        pattern = stimulus.next_pattern(np.random.default_rng(2), width=4)
+        assert pattern == [0, 0b1111]
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliStimulus(2, 1.5)
+        with pytest.raises(ValueError):
+            BernoulliStimulus(2, [0.5])
+
+    def test_zero_inputs_supported(self):
+        stimulus = BernoulliStimulus(0)
+        assert stimulus.next_pattern(np.random.default_rng(0)) == []
+
+    def test_patterns_helper(self):
+        stimulus = BernoulliStimulus(2, 0.5)
+        patterns = stimulus.patterns(np.random.default_rng(3), cycles=10, width=1)
+        assert len(patterns) == 10
+        assert all(len(p) == 2 for p in patterns)
+
+    def test_describe_mentions_probability(self):
+        assert "0.5" in BernoulliStimulus(4, 0.5).describe()

@@ -1,0 +1,52 @@
+"""Unit tests for the trace-replay stimulus."""
+
+import numpy as np
+import pytest
+
+from repro.stimulus.sequence import SequenceStimulus
+
+
+class TestSequenceStimulus:
+    def test_replays_in_order(self):
+        stimulus = SequenceStimulus([[0, 1], [1, 0], [1, 1]])
+        rng = np.random.default_rng(0)
+        assert stimulus.next_pattern(rng) == [0, 1]
+        assert stimulus.next_pattern(rng) == [1, 0]
+        assert stimulus.next_pattern(rng) == [1, 1]
+
+    def test_wraps_around(self):
+        stimulus = SequenceStimulus([[1], [0]])
+        rng = np.random.default_rng(0)
+        values = [stimulus.next_pattern(rng)[0] for _ in range(5)]
+        assert values == [1, 0, 1, 0, 1]
+
+    def test_reset_restarts_trace(self):
+        stimulus = SequenceStimulus([[1], [0]])
+        rng = np.random.default_rng(0)
+        stimulus.next_pattern(rng)
+        stimulus.reset()
+        assert stimulus.next_pattern(rng) == [1]
+
+    def test_multi_lane_consumes_consecutive_vectors(self):
+        stimulus = SequenceStimulus([[1, 0], [0, 1]])
+        rng = np.random.default_rng(0)
+        pattern = stimulus.next_pattern(rng, width=2)
+        # lane 0 = first vector, lane 1 = second vector
+        assert pattern[0] == 0b01
+        assert pattern[1] == 0b10
+
+    def test_values_are_masked_to_bits(self):
+        stimulus = SequenceStimulus([[2, 3]])  # non-binary values collapse to LSB
+        rng = np.random.default_rng(0)
+        assert stimulus.next_pattern(rng) == [0, 1]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceStimulus([])
+
+    def test_ragged_trace_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceStimulus([[0, 1], [1]])
+
+    def test_describe_mentions_length(self):
+        assert "trace_length=3" in SequenceStimulus([[0], [1], [0]]).describe()

@@ -1,0 +1,48 @@
+"""Tests of the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing attribute {name}"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README quickstart must keep working verbatim."""
+        circuit = repro.build_circuit("s298")
+        estimate = repro.estimate_average_power(
+            circuit,
+            config=repro.EstimationConfig(
+                randomness_sequence_length=64,
+                min_samples=64,
+                check_interval=32,
+                max_samples=2000,
+                warmup_cycles=16,
+            ),
+            rng=1,
+        )
+        assert estimate.average_power_mw > 0
+        assert estimate.independence_interval >= 0
+        assert estimate.sample_size >= 64
+
+    def test_bench_parser_reachable_from_top_level(self):
+        netlist = repro.parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(a)\n")
+        assert netlist.num_latches == 1
+        assert "DFF" in repro.write_bench(netlist)
+
+    def test_estimators_exported(self):
+        assert repro.DipeEstimator is not None
+        assert repro.ConsecutiveCycleEstimator is not None
+        assert repro.FixedWarmupEstimator is not None
+
+    def test_list_circuits_contains_paper_set(self):
+        names = repro.list_circuits()
+        for expected in ("s27", "s298", "s1494", "s15850"):
+            assert expected in names

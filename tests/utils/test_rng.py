@@ -1,0 +1,42 @@
+"""Unit tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rngs, spawn_rng
+
+
+class TestSpawnRng:
+    def test_none_gives_generator(self):
+        assert isinstance(spawn_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert spawn_rng(5).integers(0, 1000) == spawn_rng(5).integers(0, 1000)
+
+    def test_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert spawn_rng(generator) is generator
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(TypeError):
+            spawn_rng("seed")
+
+
+class TestChildRngs:
+    def test_count_and_independence(self):
+        children = child_rngs(7, 4)
+        assert len(children) == 4
+        draws = [child.integers(0, 10**9) for child in children]
+        assert len(set(draws)) == 4
+
+    def test_deterministic_given_seed(self):
+        first = [rng.integers(0, 10**9) for rng in child_rngs(3, 3)]
+        second = [rng.integers(0, 10**9) for rng in child_rngs(3, 3)]
+        assert first == second
+
+    def test_zero_children_allowed(self):
+        assert child_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_rngs(1, -1)

@@ -1,0 +1,39 @@
+"""Unit tests for the text-table formatter."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_table
+
+
+class TestTextTable:
+    def test_alignment_and_content(self):
+        table = TextTable(headers=["Circuit", "Power"], precision=2)
+        table.add_row(["s27", 0.123456])
+        table.add_row(["s15850", 5.9])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("Circuit")
+        assert "0.12" in text
+        assert "5.90" in text
+        # All lines are padded to the same column starts.
+        assert lines[2].index("0.12") == lines[3].index("5.90")
+
+    def test_row_width_checked(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_integers_not_reformatted(self):
+        table = TextTable(headers=["n"], precision=3)
+        table.add_row([42])
+        assert "42" in table.render()
+        assert "42.000" not in table.render()
+
+    def test_format_table_helper(self):
+        text = format_table(["x", "y"], [[1, 2.5], [3, 4.5]], precision=1)
+        assert "2.5" in text and "4.5" in text
+
+    def test_str_dunder(self):
+        table = TextTable(headers=["only"])
+        table.add_row(["value"])
+        assert "value" in str(table)
