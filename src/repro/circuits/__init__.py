@@ -15,6 +15,14 @@ Three sources of circuits are provided:
   name (see DESIGN.md, "Substitutions").
 """
 
+from repro.circuits.generators import SyntheticCircuitSpec, generate_sequential_circuit
+from repro.circuits.iscas89 import (
+    CIRCUIT_SPECS,
+    TABLE_CIRCUIT_NAMES,
+    build_circuit,
+    circuit_summary,
+    list_circuits,
+)
 from repro.circuits.library import (
     binary_counter,
     johnson_counter,
@@ -23,14 +31,6 @@ from repro.circuits.library import (
     s27,
     shift_register,
     toggle_cell,
-)
-from repro.circuits.generators import SyntheticCircuitSpec, generate_sequential_circuit
-from repro.circuits.iscas89 import (
-    CIRCUIT_SPECS,
-    TABLE_CIRCUIT_NAMES,
-    build_circuit,
-    circuit_summary,
-    list_circuits,
 )
 
 __all__ = [

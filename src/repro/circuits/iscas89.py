@@ -107,9 +107,7 @@ def build_netlist(name: str) -> Netlist:
     and different machines — always obtain the identical circuit.
     """
     if name not in CIRCUIT_SPECS:
-        raise KeyError(
-            f"unknown benchmark {name!r}; available: {', '.join(list_circuits())}"
-        )
+        raise KeyError(f"unknown benchmark {name!r}; available: {', '.join(list_circuits())}")
     if name == "s27":
         return s27()
     num_inputs, num_outputs, num_latches, num_gates = CIRCUIT_SPECS[name]

@@ -44,6 +44,8 @@ def _estimation_config(args: argparse.Namespace) -> EstimationConfig:
         confidence=args.confidence,
         stopping_criterion=args.stopping,
         power_simulator=args.power_simulator,
+        num_chains=args.chains,
+        simulation_backend=args.backend,
     )
 
 
@@ -58,6 +60,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         default="order-statistic", help="stopping criterion")
     parser.add_argument("--power-simulator", choices=("zero-delay", "event-driven"),
                         default="zero-delay", help="power engine for the sampled cycles")
+    parser.add_argument("--chains", type=int, default=1,
+                        help="independent Monte Carlo chains advanced per gate sweep "
+                             "(>1 uses the vectorized multi-chain sampler)")
+    parser.add_argument("--backend", choices=("auto", "bigint", "numpy"), default="auto",
+                        help="zero-delay simulator backend (auto picks by ensemble width)")
     parser.add_argument("--seed", type=int, default=2025, help="random seed")
 
 
@@ -92,6 +99,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     estimate = DipeEstimator(circuit, stimulus=stimulus, config=config, rng=args.seed).estimate()
 
     print(f"circuit               : {circuit.name}")
+    print(f"chains / backend      : {config.num_chains} / {config.simulation_backend}")
     print(f"average power         : {estimate.average_power_mw:.4f} mW")
     print(f"confidence interval   : [{estimate.lower_bound_w * 1e3:.4f}, "
           f"{estimate.upper_bound_w * 1e3:.4f}] mW")
@@ -115,7 +123,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    names = TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    names = (
+        TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    )
     result = run_table1(
         circuit_names=names,
         config=_estimation_config(args),
@@ -127,7 +137,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    names = TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    names = (
+        TABLE_CIRCUIT_NAMES if args.all_circuits else tuple(args.circuits) or SMALL_CIRCUIT_NAMES
+    )
     result = run_table2(
         circuit_names=names,
         runs_per_circuit=args.runs,
@@ -182,7 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
     table2.add_argument("circuits", nargs="*", help="circuit names (default: quick subset)")
     table2.add_argument("--all-circuits", action="store_true", help="use all 24 paper circuits")
-    table2.add_argument("--runs", type=int, default=25, help="repeated runs per circuit (paper: 1000)")
+    table2.add_argument(
+        "--runs", type=int, default=25, help="repeated runs per circuit (paper: 1000)"
+    )
     table2.add_argument("--reference-cycles", type=int, default=50_000)
     _add_config_arguments(table2)
     table2.set_defaults(handler=_cmd_table2)

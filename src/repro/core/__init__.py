@@ -8,15 +8,16 @@ provides the comparison estimators (consecutive-cycle Monte Carlo and a fixed
 a-priori warm-up scheme) used in the ablation experiments.
 """
 
-from repro.core.config import EstimationConfig
-from repro.core.results import IntervalSelectionResult, IntervalTrial, PowerEstimate
-from repro.core.sampler import PowerSampler
-from repro.core.interval import select_independence_interval
-from repro.core.dipe import DipeEstimator, estimate_average_power
 from repro.core.baselines import (
     ConsecutiveCycleEstimator,
     FixedWarmupEstimator,
 )
+from repro.core.batch_sampler import BatchPowerSampler
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator, estimate_average_power
+from repro.core.interval import select_independence_interval
+from repro.core.results import IntervalSelectionResult, IntervalTrial, PowerEstimate
+from repro.core.sampler import PowerSampler
 
 __all__ = [
     "EstimationConfig",
@@ -24,6 +25,7 @@ __all__ = [
     "IntervalTrial",
     "PowerEstimate",
     "PowerSampler",
+    "BatchPowerSampler",
     "select_independence_interval",
     "DipeEstimator",
     "estimate_average_power",

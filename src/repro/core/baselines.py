@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.results import PowerEstimate
 from repro.core.sampler import PowerSampler
@@ -47,9 +48,16 @@ class _BaselineEstimator:
         self.circuit = circuit
         self.config = config or EstimationConfig()
         self.stimulus = stimulus or BernoulliStimulus(circuit.num_inputs, 0.5)
-        self.sampler = PowerSampler(circuit, self.stimulus, self.config, rng=rng)
+        self.sampler: PowerSampler | BatchPowerSampler = make_sampler(
+            circuit, self.stimulus, self.config, rng=rng
+        )
 
-    def _sample_once(self) -> float:
+    @property
+    def _batch(self) -> bool:
+        return isinstance(self.sampler, BatchPowerSampler)
+
+    def _collect_batch(self) -> list[float]:
+        """Draw the next batch of samples (one per chain in batch mode)."""
         raise NotImplementedError
 
     def _interval(self) -> int:
@@ -73,8 +81,11 @@ class _BaselineEstimator:
         samples: list[float] = []
         decision = criterion.evaluate(samples)
         while len(samples) < config.max_samples:
-            for _ in range(config.check_interval):
-                samples.append(self._sample_once())
+            added = 0
+            while added < config.check_interval:
+                new_samples = self._collect_batch()
+                samples.extend(new_samples)
+                added += len(new_samples)
             decision = criterion.evaluate(samples)
             if decision.should_stop:
                 break
@@ -124,8 +135,8 @@ class ConsecutiveCycleEstimator(_BaselineEstimator):
     def _stopping_name(self) -> str:
         return self._stopping
 
-    def _sample_once(self) -> float:
-        return self.sampler.next_sample(interval=0)
+    def _collect_batch(self) -> list[float]:
+        return draw_samples(self.sampler, interval=0)
 
 
 class FixedWarmupEstimator(_BaselineEstimator):
@@ -162,7 +173,9 @@ class FixedWarmupEstimator(_BaselineEstimator):
     def _interval(self) -> int:
         return self.warmup_period
 
-    def _sample_once(self) -> float:
+    def _collect_batch(self) -> list[float]:
         self.sampler.restart_from_random_state()
         self.sampler.advance(self.warmup_period)
-        return self.sampler.measure_cycle()
+        if self._batch:
+            return [float(s) for s in self.sampler.measure_cycle()]
+        return [self.sampler.measure_cycle()]

@@ -1,0 +1,239 @@
+"""Multi-chain Monte Carlo power sampling on the vectorized simulator.
+
+:class:`BatchPowerSampler` is the ensemble counterpart of
+:class:`~repro.core.sampler.PowerSampler`: instead of one FSM trajectory it
+advances ``num_chains`` statistically independent DIPE chains in lock-step,
+one lane per chain, so a single gate sweep of the zero-delay simulator
+produces ``num_chains`` power observations.  Every chain owns its own
+stimulus stream (lane *k* of the vectorized stimulus draws), its own random
+initial state and its own warm-up, so the chains are mutually independent and
+each one is individually distributed exactly like a single-chain sampler run.
+
+The two-phase sampling scheme of the paper carries over unchanged: during the
+independence interval all chains are only *advanced* (cheap sweeps, no
+measurement); on the sampled cycle one lane-resolved measurement yields one
+power sample per chain.  The samples of consecutive measured cycles are
+interleaved chain-major into the growing sample that feeds the stopping
+criteria — exchangeable, independent draws from the same stationary power
+distribution.
+
+With ``num_chains=1`` and the big-int backend the sampler consumes the RNG
+stream identically to :class:`~repro.core.sampler.PowerSampler` and therefore
+reproduces its samples one-for-one under a fixed seed (a property the test
+suite pins down).
+
+The event-driven (glitch-aware) power engine is inherently scalar and is not
+supported here; use :class:`~repro.core.sampler.PowerSampler` for
+``power_simulator="event-driven"`` configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import EstimationConfig
+from repro.core.sampler import PowerSampler
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.stimulus.base import Stimulus
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+def make_sampler(
+    circuit: CompiledCircuit,
+    stimulus: Stimulus,
+    config: EstimationConfig,
+    rng: RandomSource = None,
+) -> "PowerSampler | BatchPowerSampler":
+    """Build the sampler the configuration asks for.
+
+    ``num_chains > 1`` selects the multi-chain batch sampler; otherwise the
+    single-chain two-phase sampler (which also supports the event-driven
+    power engine) is used.  Every estimator dispatches through this single
+    point so the selection rule cannot drift between them.
+    """
+    if config.num_chains > 1:
+        return BatchPowerSampler(circuit, stimulus, config, rng=rng)
+    return PowerSampler(circuit, stimulus, config, rng=rng)
+
+
+def draw_samples(sampler: "PowerSampler | BatchPowerSampler", interval: int) -> list[float]:
+    """Draw the next batch of power samples: one per chain, or a single one."""
+    if isinstance(sampler, BatchPowerSampler):
+        return [float(sample) for sample in sampler.next_samples(interval)]
+    return [sampler.next_sample(interval)]
+
+
+class BatchPowerSampler:
+    """Generates per-cycle switched-capacitance observations for N chains at once.
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit under estimation.
+    stimulus:
+        Primary-input pattern generator; lane *k* of its draws drives chain *k*.
+    config:
+        Estimation configuration (must use the zero-delay power engine).
+    rng:
+        Seed or generator; all randomness of the run flows through it.
+    num_chains:
+        Number of independent chains advanced per gate sweep; defaults to
+        ``config.num_chains``.
+    backend:
+        Simulator backend (``"auto"``, ``"bigint"`` or ``"numpy"``); defaults
+        to ``config.simulation_backend``.
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        stimulus: Stimulus,
+        config: EstimationConfig | None = None,
+        rng: RandomSource = None,
+        num_chains: int | None = None,
+        backend: str | None = None,
+    ):
+        self.circuit = circuit
+        self.stimulus = stimulus
+        self.config = config or EstimationConfig()
+        self.rng: np.random.Generator = spawn_rng(rng)
+        self.num_chains = self.config.num_chains if num_chains is None else num_chains
+        if self.num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        if self.config.power_simulator != "zero-delay":
+            raise ValueError(
+                "BatchPowerSampler supports the zero-delay power engine only; "
+                "use PowerSampler for event-driven power measurement"
+            )
+        if stimulus.num_inputs != circuit.num_inputs:
+            raise ValueError(
+                f"stimulus drives {stimulus.num_inputs} inputs but circuit "
+                f"{circuit.name!r} has {circuit.num_inputs}"
+            )
+
+        node_caps = self.config.capacitance_model.node_capacitances(circuit)
+        self._engine = ZeroDelaySimulator(
+            circuit,
+            width=self.num_chains,
+            node_capacitance=node_caps,
+            backend=self.config.simulation_backend if backend is None else backend,
+        )
+        self._use_words = self._engine.backend == "numpy"
+
+        self.cycles_simulated = 0
+        self._prepared = False
+
+    @property
+    def backend(self) -> str:
+        """Resolved simulator backend ("bigint" or "numpy")."""
+        return self._engine.backend
+
+    @property
+    def chain_cycles(self) -> int:
+        """Total chain-cycles advanced (gate sweeps times chains)."""
+        return self.cycles_simulated * self.num_chains
+
+    # ----------------------------------------------------------------- set-up
+    def _next_pattern(self):
+        if self._use_words:
+            return self.stimulus.next_pattern_words(self.rng, width=self.num_chains)
+        return self.stimulus.next_pattern(self.rng, width=self.num_chains)
+
+    def prepare(self, warmup_cycles: int | None = None) -> None:
+        """Randomise every chain's state, settle, and run the warm-up cycles."""
+        warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
+        self.stimulus.reset()
+        self._engine.randomize_state(self.rng)
+        self._engine.settle(self._next_pattern())
+        for _ in range(warmup):
+            self._advance_one_cycle()
+        self._prepared = True
+
+    def restart_from_random_state(self) -> None:
+        """Re-randomise every chain's latch state and settle (no warm-up).
+
+        Used by the fixed-warm-up baseline, which draws every batch of
+        samples from independently re-initialised states.
+        """
+        self._engine.randomize_state(self.rng)
+        self._engine.settle(self._next_pattern())
+        self._prepared = True
+
+    def _require_prepared(self) -> None:
+        if not self._prepared:
+            self.prepare()
+
+    # ------------------------------------------------------------------ steps
+    def _advance_one_cycle(self) -> None:
+        self._engine.step(self._next_pattern())
+        self.cycles_simulated += 1
+
+    # ------------------------------------------------------------------- API
+    def advance(self, cycles: int) -> None:
+        """Advance all chains *cycles* clock cycles without measuring power."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._require_prepared()
+        for _ in range(cycles):
+            self._advance_one_cycle()
+
+    def measure_cycle(self) -> np.ndarray:
+        """Simulate one clock cycle; return each chain's switched capacitance.
+
+        The result has shape ``(num_chains,)``: entry *k* is the
+        capacitance-weighted transition count of chain *k* in this cycle.
+        """
+        self._require_prepared()
+        switched = self._engine.step_and_measure_lanes(self._next_pattern())
+        self.cycles_simulated += 1
+        return switched
+
+    def measure_cycle_total(self) -> float:
+        """Simulate one clock cycle; return the switched capacitance summed over chains.
+
+        Cheaper than :meth:`measure_cycle` (no per-lane resolution) — this is
+        the long-run ensemble-reference workload.
+        """
+        self._require_prepared()
+        switched = self._engine.step_and_measure(self._next_pattern())
+        self.cycles_simulated += 1
+        return switched
+
+    def collect_sequence(self, interval: int, length: int) -> list[float]:
+        """Collect an ordered power sequence from chain 0 for the randomness test.
+
+        Adjacent entries are separated by *interval* un-measured clock cycles.
+        All chains advance in lock-step, so the same interval structure holds
+        for every chain; chain 0's sequence is returned because the runs test
+        needs one temporally ordered series (samples interleaved *across*
+        chains would be trivially independent and would bias the test toward
+        accepting too-short intervals).
+        """
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if length < 1:
+            raise ValueError("length must be at least 1")
+        self._require_prepared()
+        sequence = []
+        for _ in range(length):
+            for _ in range(interval):
+                self._advance_one_cycle()
+            sequence.append(float(self.measure_cycle()[0]))
+        return sequence
+
+    def next_samples(self, interval: int) -> np.ndarray:
+        """Return one power sample per chain, preceded by *interval* un-measured cycles."""
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self._require_prepared()
+        for _ in range(interval):
+            self._advance_one_cycle()
+        return self.measure_cycle()
+
+    def samples(self, interval: int, count: int) -> list[float]:
+        """Return at least *count* samples spaced by *interval* cycles, interleaved chain-major."""
+        collected: list[float] = []
+        while len(collected) < count:
+            collected.extend(float(value) for value in self.next_samples(interval))
+        return collected

@@ -19,6 +19,9 @@ POWER_SIMULATORS = ("zero-delay", "event-driven")
 #: Stopping criteria accepted by :class:`EstimationConfig`.
 STOPPING_CRITERIA = ("order-statistic", "clt", "ks")
 
+#: Simulator backends accepted by :class:`EstimationConfig`.
+SIMULATION_BACKENDS = ("auto", "bigint", "numpy")
+
 
 @dataclass(frozen=True)
 class EstimationConfig:
@@ -59,6 +62,15 @@ class EstimationConfig:
         ``"zero-delay"`` measures functional transitions only;
         ``"event-driven"`` uses the general-delay simulator and therefore
         includes glitch power (slower).
+    num_chains:
+        Number of independent Monte Carlo chains advanced in lock-step by the
+        bit-parallel simulator.  1 reproduces the paper's single-chain flow;
+        larger values use the multi-chain batch sampler (zero-delay power
+        engine only), which amortises every gate sweep over all chains.
+    simulation_backend:
+        Lane-storage backend of the zero-delay simulator: ``"bigint"``
+        (Python integers), ``"numpy"`` (word-sliced uint64 arrays) or
+        ``"auto"`` (pick by ensemble width).
     power_model / capacitance_model:
         Electrical models; defaults are the paper's 5 V / 20 MHz operating
         point and the default standard-cell capacitance values.
@@ -75,6 +87,8 @@ class EstimationConfig:
     max_samples: int = 200_000
     warmup_cycles: int = 64
     power_simulator: str = "zero-delay"
+    num_chains: int = 1
+    simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
     capacitance_model: CapacitanceModel = field(default_factory=CapacitanceModel)
 
@@ -106,6 +120,18 @@ class EstimationConfig:
             raise ValueError(
                 f"power_simulator must be one of {POWER_SIMULATORS}, "
                 f"got {self.power_simulator!r}"
+            )
+        if self.num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        if self.num_chains > 1 and self.power_simulator == "event-driven":
+            raise ValueError(
+                "multi-chain sampling (num_chains > 1) requires the zero-delay "
+                "power engine; the event-driven simulator is single-chain"
+            )
+        if self.simulation_backend not in SIMULATION_BACKENDS:
+            raise ValueError(
+                f"simulation_backend must be one of {SIMULATION_BACKENDS}, "
+                f"got {self.simulation_backend!r}"
             )
 
     def paper_defaults(self) -> "EstimationConfig":

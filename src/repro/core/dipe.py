@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 
+from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.interval import select_independence_interval
 from repro.core.results import PowerEstimate
@@ -60,7 +61,9 @@ class DipeEstimator:
         self.circuit = circuit
         self.config = config or EstimationConfig()
         self.stimulus = stimulus or BernoulliStimulus(circuit.num_inputs, 0.5)
-        self.sampler = PowerSampler(circuit, self.stimulus, self.config, rng=rng)
+        self.sampler: PowerSampler | BatchPowerSampler = make_sampler(
+            circuit, self.stimulus, self.config, rng=rng
+        )
         self.stopping_criterion = make_stopping_criterion(
             self.config.stopping_criterion,
             max_relative_error=self.config.max_relative_error,
@@ -81,8 +84,13 @@ class DipeEstimator:
         samples: list[float] = []
         decision = self.stopping_criterion.evaluate(samples)
         while len(samples) < config.max_samples:
-            for _ in range(config.check_interval):
-                samples.append(self.sampler.next_sample(interval))
+            added = 0
+            while added < config.check_interval:
+                # One measured sweep yields one sample per chain; the chains'
+                # draws are interleaved into the growing sample.
+                new_samples = draw_samples(self.sampler, interval)
+                samples.extend(new_samples)
+                added += len(new_samples)
             decision = self.stopping_criterion.evaluate(samples)
             if decision.should_stop:
                 break

@@ -63,7 +63,12 @@ class PowerSampler:
             )
 
         node_caps = self.config.capacitance_model.node_capacitances(circuit)
-        self._state_engine = ZeroDelaySimulator(circuit, width=1, node_capacitance=node_caps)
+        self._state_engine = ZeroDelaySimulator(
+            circuit,
+            width=1,
+            node_capacitance=node_caps,
+            backend=self.config.simulation_backend,
+        )
         self._event_engine: EventDrivenSimulator | None = None
         if self.config.power_simulator == "event-driven":
             self._event_engine = EventDrivenSimulator(circuit, node_capacitance=node_caps)

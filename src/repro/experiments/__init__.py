@@ -18,14 +18,6 @@ layout as the paper:
   selection to the runs-test sequence length (the paper's choice of 320).
 """
 
-from repro.experiments.table1 import Table1Result, Table1Row, format_table1, run_table1
-from repro.experiments.table2 import Table2Result, Table2Row, format_table2, run_table2
-from repro.experiments.figure3 import Figure3Point, Figure3Result, format_figure3, run_figure3
-from repro.experiments.ablation_stopping import (
-    StoppingAblationResult,
-    format_stopping_ablation,
-    run_stopping_ablation,
-)
 from repro.experiments.ablation_baseline import (
     BaselineAblationResult,
     format_baseline_ablation,
@@ -36,6 +28,14 @@ from repro.experiments.ablation_seqlen import (
     format_seqlen_ablation,
     run_seqlen_ablation,
 )
+from repro.experiments.ablation_stopping import (
+    StoppingAblationResult,
+    format_stopping_ablation,
+    run_stopping_ablation,
+)
+from repro.experiments.figure3 import Figure3Point, Figure3Result, format_figure3, run_figure3
+from repro.experiments.table1 import Table1Result, Table1Row, format_table1, run_table1
+from repro.experiments.table2 import Table2Result, Table2Row, format_table2, run_table2
 
 __all__ = [
     "Table1Result",

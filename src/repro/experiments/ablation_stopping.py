@@ -106,7 +106,9 @@ def run_stopping_ablation(
 def format_stopping_ablation(result: StoppingAblationResult) -> str:
     """Render the ablation as an aligned text table."""
     table = TextTable(
-        headers=["Circuit", "Criterion", "Samples", "Estimate (mW)", "Ref (mW)", "Err (%)", "Cycles"],
+        headers=[
+            "Circuit", "Criterion", "Samples", "Estimate (mW)", "Ref (mW)", "Err (%)", "Cycles"
+        ],
         precision=3,
     )
     for row in result.rows:

@@ -102,6 +102,7 @@ def run_table1(
             power_model=config.power_model,
             capacitance_model=config.capacitance_model,
             rng=reference_seed,
+            backend=config.simulation_backend,
         )
         estimator = DipeEstimator(
             circuit,

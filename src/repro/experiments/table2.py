@@ -73,6 +73,7 @@ def run_table2(
             power_model=config.power_model,
             capacitance_model=config.capacitance_model,
             rng=int(master_rng.integers(0, 2**62)),
+            backend=config.simulation_backend,
         )
 
         intervals: list[int] = []

@@ -11,15 +11,15 @@ variation distance) that explain *why* a few clock cycles of independence
 interval are enough for the benchmark circuits.
 """
 
-from repro.fsm.stg import StateTransitionGraph, extract_stg
+from repro.fsm.exact_power import exact_average_power
 from repro.fsm.markov import (
     k_step_distribution,
     mixing_time,
     stationary_distribution,
     total_variation_distance,
 )
-from repro.fsm.reachability import reachable_states, is_strongly_connected
-from repro.fsm.exact_power import exact_average_power
+from repro.fsm.reachability import is_strongly_connected, reachable_states
+from repro.fsm.stg import StateTransitionGraph, extract_stg
 
 __all__ = [
     "StateTransitionGraph",

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.fsm.markov import stationary_distribution
 from repro.fsm.stg import extract_stg, input_vector_probabilities
 from repro.power.capacitance import CapacitanceModel

@@ -92,9 +92,7 @@ def mixing_time(
     size = matrix.shape[0]
     step_matrix = np.eye(size)
     for step in range(max_steps + 1):
-        worst = max(
-            total_variation_distance(step_matrix[state], pi) for state in range(size)
-        )
+        worst = max(total_variation_distance(step_matrix[state], pi) for state in range(size))
         if worst <= threshold:
             return step
         step_matrix = step_matrix @ matrix

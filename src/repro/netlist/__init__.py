@@ -7,15 +7,15 @@ validation, and levelization (topological ordering of the combinational
 block) used by the simulators.
 """
 
+from repro.netlist.bench import BenchParseError, parse_bench, parse_bench_file, write_bench
 from repro.netlist.cell_library import (
-    GateType,
     GATE_ARITY,
+    GateType,
     evaluate_gate,
     evaluate_gate_bitparallel,
 )
-from repro.netlist.netlist import Gate, Latch, Netlist, NetlistError
-from repro.netlist.bench import BenchParseError, parse_bench, parse_bench_file, write_bench
 from repro.netlist.levelize import levelize, logic_depth
+from repro.netlist.netlist import Gate, Latch, Netlist, NetlistError
 from repro.netlist.validate import ValidationIssue, validate_netlist
 
 __all__ = [

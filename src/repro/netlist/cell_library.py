@@ -88,9 +88,7 @@ def check_arity(gate_type: GateType, num_inputs: int) -> None:
         if num_inputs < 1:
             raise ValueError(f"{gate_type} gate requires at least one input")
     elif num_inputs != required:
-        raise ValueError(
-            f"{gate_type} gate requires exactly {required} input(s), got {num_inputs}"
-        )
+        raise ValueError(f"{gate_type} gate requires exactly {required} input(s), got {num_inputs}")
 
 
 def evaluate_gate(gate_type: GateType, inputs: Sequence[int]) -> int:

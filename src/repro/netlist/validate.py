@@ -73,9 +73,7 @@ def validate_netlist(netlist: Netlist) -> list[ValidationIssue]:
             )
         )
     if not netlist.primary_inputs:
-        issues.append(
-            ValidationIssue("warning", "no-inputs", "circuit has no primary inputs")
-        )
+        issues.append(ValidationIssue("warning", "no-inputs", "circuit has no primary inputs"))
     return issues
 
 

@@ -12,10 +12,10 @@ converts it to energy and average power for a supply voltage and clock
 frequency (5 V and 20 MHz in the paper's experiments).
 """
 
+from repro.power.breakdown import NetPower, PowerBreakdown, power_breakdown
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
 from repro.power.reference import ReferenceResult, estimate_reference_power
-from repro.power.breakdown import NetPower, PowerBreakdown, power_breakdown
 
 __all__ = [
     "CapacitanceModel",

@@ -106,9 +106,7 @@ def power_breakdown(
     if activity is None:
         activity = collect_activity(circuit, stimulus, cycles=cycles, rng=rng)
     elif activity.circuit_name != circuit.name:
-        raise ValueError(
-            f"activity record is for {activity.circuit_name!r}, not {circuit.name!r}"
-        )
+        raise ValueError(f"activity record is for {activity.circuit_name!r}, not {circuit.name!r}")
 
     node_caps = capacitance_model.node_capacitances(circuit)
     per_net_power = [

@@ -2,15 +2,21 @@
 
 Table 1 of the paper compares every statistical estimate against "SIM", the
 average of the power dissipated in one million consecutive clock cycles.  A
-pure-Python single-chain simulation of a million cycles is impractical for
-the larger circuits, so this estimator exploits ergodicity instead: it runs
-many independent lanes in the bit-parallel zero-delay simulator, discards a
-warm-up prefix from each lane, and averages the switched capacitance over
+single-chain simulation of a million cycles is impractical for the larger
+circuits, so this estimator exploits ergodicity instead: it is a thin wrapper
+over the multi-chain batch engine
+(:class:`~repro.core.batch_sampler.BatchPowerSampler`), running many
+independent lanes through the word-sliced zero-delay simulator, discarding a
+warm-up prefix from each lane, and averaging the switched capacitance over
 ``lanes x cycles_per_lane`` measured cycles.  For a stationary, ergodic power
 process the ensemble-and-time average converges to the same mean as the
 paper's single long time average; with the default settings the reference is
 accurate to well under 1 %, an order of magnitude tighter than the 5 % error
 bound the statistical estimators are asked to meet.
+
+With the default ``backend="auto"`` the batch engine picks the vectorized
+numpy backend for wide ensembles, which is what makes large reference budgets
+(hundreds of thousands of cycles) cheap.
 """
 
 from __future__ import annotations
@@ -21,9 +27,8 @@ from dataclasses import dataclass
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
 from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.zero_delay import ZeroDelaySimulator
 from repro.stimulus.base import Stimulus
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import RandomSource
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,7 @@ def estimate_reference_power(
     power_model: PowerModel | None = None,
     capacitance_model: CapacitanceModel | None = None,
     rng: RandomSource = None,
+    backend: str = "auto",
 ) -> ReferenceResult:
     """Estimate the circuit's true average power by long ensemble simulation.
 
@@ -94,32 +100,36 @@ def estimate_reference_power(
         point and the default standard-cell capacitances.
     rng:
         Seed or generator for reproducibility.
+    backend:
+        Simulator backend handed to the batch engine (``"auto"``,
+        ``"bigint"`` or ``"numpy"``).
     """
+    # Imported lazily: repro.core.config itself imports the power package, so
+    # a module-level import here would be circular.
+    from repro.core.batch_sampler import BatchPowerSampler
+    from repro.core.config import EstimationConfig
+
     if total_cycles < 1:
         raise ValueError("total_cycles must be at least 1")
     if lanes < 1:
         raise ValueError("lanes must be at least 1")
 
     power_model = power_model or PowerModel()
-    capacitance_model = capacitance_model or CapacitanceModel()
-    generator = spawn_rng(rng)
-    stimulus.reset()
-
-    node_caps = capacitance_model.node_capacitances(circuit)
-    simulator = ZeroDelaySimulator(circuit, width=lanes, node_capacitance=node_caps)
-    simulator.randomize_state(generator)
-    simulator.settle(stimulus.next_pattern(generator, width=lanes))
+    config = EstimationConfig(
+        warmup_cycles=warmup_cycles,
+        power_model=power_model,
+        capacitance_model=capacitance_model or CapacitanceModel(),
+    )
+    sampler = BatchPowerSampler(
+        circuit, stimulus, config=config, rng=rng, num_chains=lanes, backend=backend
+    )
 
     start = time.perf_counter()
-    for _ in range(warmup_cycles):
-        simulator.step(stimulus.next_pattern(generator, width=lanes))
-
+    sampler.prepare(warmup_cycles)
     cycles_per_lane = max(1, (total_cycles + lanes - 1) // lanes)
     total_switched = 0.0
     for _ in range(cycles_per_lane):
-        total_switched += simulator.step_and_measure(
-            stimulus.next_pattern(generator, width=lanes)
-        )
+        total_switched += sampler.measure_cycle_total()
     elapsed = time.perf_counter() - start
 
     measured_cycles = cycles_per_lane * lanes

@@ -15,6 +15,7 @@ strategy of the paper (Section IV):
   including glitches, for the cycles in which power is actually sampled.
 """
 
+from repro.simulation.activity import ActivityRecord, collect_activity
 from repro.simulation.compiled import CompiledCircuit, CompiledGate
 from repro.simulation.delay_models import (
     DelayModel,
@@ -24,8 +25,8 @@ from repro.simulation.delay_models import (
     ZeroDelay,
 )
 from repro.simulation.event_driven import EventDrivenSimulator
-from repro.simulation.zero_delay import ZeroDelaySimulator
-from repro.simulation.activity import ActivityRecord, collect_activity
+from repro.simulation.vectorized import VectorizedZeroDelaySimulator
+from repro.simulation.zero_delay import ZeroDelaySimulator, resolve_backend
 
 __all__ = [
     "CompiledCircuit",
@@ -37,6 +38,8 @@ __all__ = [
     "TypeTableDelay",
     "EventDrivenSimulator",
     "ZeroDelaySimulator",
+    "VectorizedZeroDelaySimulator",
+    "resolve_backend",
     "ActivityRecord",
     "collect_activity",
 ]

@@ -50,9 +50,7 @@ class ActivityRecord:
 
     def busiest_nets(self, count: int = 10) -> list[tuple[str, float]]:
         """Return the *count* nets with the highest transition density."""
-        ranked = sorted(
-            zip(self.net_names, self.transition_density), key=lambda item: -item[1]
-        )
+        ranked = sorted(zip(self.net_names, self.transition_density), key=lambda item: -item[1])
         return ranked[:count]
 
 

@@ -100,9 +100,7 @@ class EventDrivenSimulator:
         general delays (glitches included) from the correct starting network.
         """
         if len(values) != self.circuit.num_nets:
-            raise ValueError(
-                f"expected {self.circuit.num_nets} net values, got {len(values)}"
-            )
+            raise ValueError(f"expected {self.circuit.num_nets} net values, got {len(values)}")
         self.values = [value & 1 for value in values]
         self._settled = True
 

@@ -1,0 +1,427 @@
+"""Word-sliced, array-backed zero-delay simulator.
+
+This is the numpy backend of :class:`~repro.simulation.zero_delay.ZeroDelaySimulator`.
+Where the big-int backend packs all simulation lanes into one Python integer
+per net, this engine stores each net as a row of ``num_words`` ``uint64``
+words — lane *k* of net *i* lives in bit ``k % 64`` of ``words[i, k // 64]``
+— so the whole Monte Carlo ensemble advances through one gate sweep with
+C-speed bitwise operations instead of per-gate Python big-int arithmetic.
+
+Two sweep strategies share the same word tables:
+
+* **grouped numpy** (always available): gates are levelized and grouped by
+  reduction kind (AND-like, OR-like, XOR-like); each group is evaluated with
+  one gather / one ``ufunc.reduce`` / one scatter, so the interpreter cost is
+  per *level group*, not per gate;
+* **compiled kernel** (optional, see :mod:`repro.simulation._native`): a
+  small C routine runs the topologically ordered gate list directly over the
+  same flat word buffer, removing the remaining per-group dispatch overhead.
+
+Transition counting uses ``np.bitwise_count`` over the XOR of consecutive
+settled states, either aggregated over all lanes (:meth:`step_and_measure`)
+or resolved per lane (:meth:`step_and_measure_lanes`) for the multi-chain
+sampler, which needs one power sample per chain.
+
+Input patterns are accepted either in the lane-packed integer form used by
+the big-int backend, or as ``(num_inputs, num_words)`` uint64 word arrays
+(the fast path used by :class:`~repro.core.batch_sampler.BatchPowerSampler`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.netlist.cell_library import GateType
+from repro.simulation import _native
+from repro.simulation.compiled import CompiledCircuit
+from repro.utils.bitpack import (
+    bits_to_words,
+    lane_mask_words,
+    pack_int_to_words,
+    unpack_words_to_int,
+    words_per_width,
+)
+from repro.utils.rng import RandomSource, spawn_rng
+
+__all__ = [
+    "VectorizedZeroDelaySimulator",
+    "bits_to_words",
+    "lane_mask_words",
+    "pack_int_to_words",
+    "unpack_words_to_int",
+    "words_per_width",
+]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Reduction kind per gate type: (opcode, output inverted).
+_GATE_OPS: dict[GateType, tuple[int, bool]] = {
+    GateType.AND: (_native.OP_AND, False),
+    GateType.NAND: (_native.OP_AND, True),
+    GateType.OR: (_native.OP_OR, False),
+    GateType.NOR: (_native.OP_OR, True),
+    GateType.XOR: (_native.OP_XOR, False),
+    GateType.XNOR: (_native.OP_XOR, True),
+    GateType.BUFF: (_native.OP_AND, False),
+    GateType.NOT: (_native.OP_AND, True),
+}
+
+_REDUCERS = {
+    _native.OP_AND: np.bitwise_and,
+    _native.OP_OR: np.bitwise_or,
+    _native.OP_XOR: np.bitwise_xor,
+}
+
+
+class _LevelGroup:
+    """One gather/reduce/scatter unit of the grouped-numpy sweep."""
+
+    __slots__ = ("reducer", "gather", "shape", "out_invert", "scatter", "buffer", "acc")
+
+    def __init__(self, reducer, gather, shape, out_invert, scatter):
+        self.reducer = reducer
+        self.gather = gather
+        self.shape = shape
+        self.out_invert = out_invert  # (G, 1) uint64 or None
+        self.scatter = scatter
+        self.buffer = np.empty(gather.size, dtype=np.uint64)
+        self.acc = np.empty((shape[0], shape[2]), dtype=np.uint64)
+
+
+class VectorizedZeroDelaySimulator:
+    """Cycle-based zero-delay simulator over word-sliced uint64 lane arrays.
+
+    Mirrors the public API and semantics of the big-int
+    :class:`~repro.simulation.zero_delay.ZeroDelaySimulator` (same RNG
+    consumption, same cycle ordering, same return values) so the two are
+    interchangeable backends.
+    """
+
+    backend = "numpy"
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        width: int = 1,
+        node_capacitance: Sequence[float] | None = None,
+    ):
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self.circuit = circuit
+        self.width = width
+        self.num_words = words_per_width(width)
+        self.mask = (1 << width) - 1
+        if node_capacitance is None:
+            self.node_capacitance = [1.0] * circuit.num_nets
+        else:
+            if len(node_capacitance) != circuit.num_nets:
+                raise ValueError(
+                    "node_capacitance must have one entry per net "
+                    f"({circuit.num_nets}), got {len(node_capacitance)}"
+                )
+            self.node_capacitance = list(node_capacitance)
+        self._caps = np.asarray(self.node_capacitance, dtype=np.float64)
+        self._mask_words = lane_mask_words(width)
+        self._partial_last_word = bool(width % 64)
+
+        num_nets = circuit.num_nets
+        num_words = self.num_words
+        # Two virtual rows behind the real nets: an all-ones row (AND-group
+        # fan-in padding) and an all-zeros row (OR/XOR-group padding).
+        self._row_one = num_nets
+        self._row_zero = num_nets + 1
+        self._flat = np.zeros((num_nets + 2) * num_words, dtype=np.uint64)
+        self.words = self._flat[: num_nets * num_words].reshape(num_nets, num_words)
+        self._flat[self._row_one * num_words : (self._row_one + 1) * num_words] = self._mask_words
+
+        word_span = np.arange(num_words, dtype=np.intp)
+        self._latch_q_rows = np.asarray(circuit.latch_q, dtype=np.intp)
+        self._latch_d_rows = np.asarray(circuit.latch_d, dtype=np.intp)
+        self._input_rows = np.asarray(circuit.primary_inputs, dtype=np.intp)
+        self._input_flat = (self._input_rows[:, None] * num_words + word_span).reshape(-1)
+        self._latch_q_flat = (self._latch_q_rows[:, None] * num_words + word_span).reshape(-1)
+        self._latch_d_flat = (self._latch_d_rows[:, None] * num_words + word_span).reshape(-1)
+
+        self._const_rows = [
+            (gate.output, gate.gate_type is GateType.CONST1)
+            for gate in circuit.gates
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1)
+        ]
+        # The compiled kernel and the grouped-numpy schedule are alternative
+        # sweep strategies; only materialise the (index-table heavy) groups
+        # when no kernel is available.
+        self._native_call = self._build_native_call()
+        self._groups = self._build_groups() if self._native_call is None else None
+        self._prev = np.empty_like(self.words)
+        self._diff = np.empty_like(self.words)
+        self._toggle_words = np.empty_like(self.words, dtype=np.uint8)
+        self._toggles = np.empty(num_nets, dtype=np.float64)
+
+        self._settled = False
+        self.cycles_simulated = 0
+        self.reset()
+
+    # ------------------------------------------------------------- schedules
+    def _gate_levels(self) -> list[int]:
+        level = [0] * self.circuit.num_nets
+        gate_levels = []
+        for gate in self.circuit.gates:
+            gate_level = max((level[src] for src in gate.inputs), default=0) + 1
+            level[gate.output] = gate_level
+            gate_levels.append(gate_level)
+        return gate_levels
+
+    def _build_groups(self) -> list[_LevelGroup]:
+        num_words = self.num_words
+        word_span = np.arange(num_words, dtype=np.intp)
+        gate_levels = self._gate_levels()
+        buckets: dict[tuple[int, int], list] = {}
+        for gate, gate_level in zip(self.circuit.gates, gate_levels):
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+                continue
+            opcode, inverted = _GATE_OPS[gate.gate_type]
+            buckets.setdefault((gate_level, opcode), []).append((gate, inverted))
+
+        groups = []
+        for (gate_level, opcode), members in sorted(buckets.items()):
+            arity = max(len(gate.inputs) for gate, _ in members)
+            pad_row = self._row_one if opcode == _native.OP_AND else self._row_zero
+            rows = np.full((len(members), arity), pad_row, dtype=np.intp)
+            outs = np.empty(len(members), dtype=np.intp)
+            out_invert = np.zeros((len(members), 1), dtype=np.uint64)
+            any_invert = False
+            for index, (gate, inverted) in enumerate(members):
+                rows[index, : len(gate.inputs)] = gate.inputs
+                outs[index] = gate.output
+                if inverted:
+                    out_invert[index, 0] = _ALL_ONES
+                    any_invert = True
+            gather = (rows[:, :, None] * num_words + word_span).reshape(-1)
+            scatter = (outs[:, None] * num_words + word_span).reshape(-1)
+            groups.append(
+                _LevelGroup(
+                    reducer=_REDUCERS[opcode],
+                    gather=gather,
+                    shape=(len(members), arity, num_words),
+                    out_invert=out_invert if any_invert else None,
+                    scatter=scatter,
+                )
+            )
+        return groups
+
+    def _build_native_call(self):
+        kernel = _native.load_kernel()
+        if kernel is None:
+            return None
+        gates = [
+            gate
+            for gate in self.circuit.gates
+            if gate.gate_type not in (GateType.CONST0, GateType.CONST1)
+        ]
+        ops = np.empty(len(gates), dtype=np.uint8)
+        out_rows = np.empty(len(gates), dtype=np.int64)
+        in_ptr = np.zeros(len(gates) + 1, dtype=np.int64)
+        in_rows = []
+        for index, gate in enumerate(gates):
+            opcode, inverted = _GATE_OPS[gate.gate_type]
+            ops[index] = opcode | (_native.OP_INVERT if inverted else 0)
+            out_rows[index] = gate.output
+            in_rows.extend(gate.inputs)
+            in_ptr[index + 1] = len(in_rows)
+        # Keep the table arrays alive and bind their raw pointers once: all
+        # buffers are preallocated and never reallocated, so the per-sweep
+        # call avoids ctypes argument marshalling on the hot path.
+        self._native_arrays = (ops, out_rows, in_ptr, np.asarray(in_rows, dtype=np.int64))
+        return _native.bind_sweep(
+            kernel,
+            self._flat,
+            int(self.num_words),
+            int(len(gates)),
+            *self._native_arrays,
+            self._mask_words,
+        )
+
+    # ----------------------------------------------------------------- state
+    def reset(self, latch_state: int | Sequence[int] | None = None) -> None:
+        """Reset all nets to 0 and load *latch_state* into the flip-flops.
+
+        Accepts the same forms as the big-int backend: ``None`` (declared
+        init values), a scalar integer broadcast across lanes, or one
+        lane-packed integer per latch.
+        """
+        self.words[:] = 0
+        for row, is_one in self._const_rows:
+            self.words[row] = self._mask_words if is_one else 0
+        if latch_state is None:
+            packed = [
+                self._mask_words if init else np.zeros(self.num_words, dtype=np.uint64)
+                for init in self.circuit.latch_init
+            ]
+        elif isinstance(latch_state, int):
+            packed = [
+                self._mask_words
+                if (latch_state >> i) & 1
+                else np.zeros(self.num_words, dtype=np.uint64)
+                for i in range(self.circuit.num_latches)
+            ]
+        else:
+            if len(latch_state) != self.circuit.num_latches:
+                raise ValueError(f"latch_state must have {self.circuit.num_latches} entries")
+            packed = [
+                pack_int_to_words(int(value) & self.mask, self.num_words)
+                for value in latch_state
+            ]
+        for row, value in zip(self._latch_q_rows, packed):
+            self.words[row] = value
+        self._settled = False
+        self.cycles_simulated = 0
+
+    def randomize_state(self, rng: RandomSource = None) -> None:
+        """Load an independent uniform-random state into every latch of every lane.
+
+        Draws exactly the same RNG stream as the big-int backend (one
+        ``integers(0, 2, size=width)`` call per latch) so the two backends
+        are reproducible from the same seed.
+        """
+        generator = spawn_rng(rng)
+        for row in self._latch_q_rows:
+            bits = generator.integers(0, 2, size=self.width, dtype="uint8")
+            self.words[row] = bits_to_words(bits, self.num_words)
+        self._settled = False
+
+    @property
+    def values(self) -> list[int]:
+        """Current net values as lane-packed integers (big-int compatible view)."""
+        return [unpack_words_to_int(self.words[row]) for row in range(self.circuit.num_nets)]
+
+    def latch_state(self) -> list[int]:
+        """Return the current lane-packed value of every latch output."""
+        return [unpack_words_to_int(self.words[row]) for row in self._latch_q_rows]
+
+    def latch_state_scalar(self, lane: int = 0) -> int:
+        """Return the state of one lane as an integer (bit *i* = latch *i*)."""
+        word, bit = divmod(lane, 64)
+        state = 0
+        for i, row in enumerate(self._latch_q_rows):
+            state |= ((int(self.words[row, word]) >> bit) & 1) << i
+        return state
+
+    def net_value(self, name: str, lane: int = 0) -> int:
+        """Return the current value (0/1) of net *name* in *lane*."""
+        word, bit = divmod(lane, 64)
+        return (int(self.words[self.circuit.net_id(name), word]) >> bit) & 1
+
+    # ------------------------------------------------------------- evaluation
+    def _pattern_words(self, pattern) -> np.ndarray:
+        """Coerce a pattern (packed ints or a word array) to (num_inputs, W)."""
+        if isinstance(pattern, np.ndarray) and pattern.dtype == np.uint64:
+            if pattern.shape != (self.circuit.num_inputs, self.num_words):
+                raise ValueError(
+                    f"pattern words must have shape "
+                    f"({self.circuit.num_inputs}, {self.num_words}), got {pattern.shape}"
+                )
+            if not self._partial_last_word:
+                return pattern
+            return pattern & self._mask_words
+        if len(pattern) != self.circuit.num_inputs:
+            raise ValueError(
+                f"pattern must have {self.circuit.num_inputs} entries, got {len(pattern)}"
+            )
+        words = np.empty((self.circuit.num_inputs, self.num_words), dtype=np.uint64)
+        for index, value in enumerate(pattern):
+            words[index] = pack_int_to_words(int(value) & self.mask, self.num_words)
+        return words
+
+    def apply_inputs(self, pattern) -> None:
+        """Drive the primary inputs with *pattern* (packed ints or word array)."""
+        self._flat[self._input_flat] = self._pattern_words(pattern).reshape(-1)
+
+    def evaluate(self) -> None:
+        """Propagate the combinational logic (one word-sliced gate sweep)."""
+        if self._native_call is not None:
+            self._native_call()
+        else:
+            flat = self._flat
+            partial = self._partial_last_word
+            mask = self._mask_words
+            for group in self._groups:
+                np.take(flat, group.gather, out=group.buffer)
+                inputs = group.buffer.reshape(group.shape)
+                group.reducer.reduce(inputs, axis=1, out=group.acc)
+                if group.out_invert is not None:
+                    np.bitwise_xor(group.acc, group.out_invert, out=group.acc)
+                    if partial:
+                        np.bitwise_and(group.acc, mask, out=group.acc)
+                flat[group.scatter] = group.acc.reshape(-1)
+        self._settled = True
+
+    def clock(self) -> None:
+        """Clock edge: copy each latch's settled D value onto its Q output."""
+        captured = self._flat.take(self._latch_d_flat)
+        self._flat[self._latch_q_flat] = captured
+        self._settled = False
+
+    def settle(self, pattern) -> None:
+        """Apply *pattern* and settle the logic without counting transitions."""
+        self.apply_inputs(pattern)
+        self.evaluate()
+
+    def step(self, pattern) -> None:
+        """Advance one clock cycle without measuring power."""
+        if not self._settled:
+            self.evaluate()
+        self.clock()
+        self.apply_inputs(pattern)
+        self.evaluate()
+        self.cycles_simulated += 1
+
+    def _advance_and_diff(self, pattern) -> np.ndarray:
+        if not self._settled:
+            self.evaluate()
+        np.copyto(self._prev, self.words)
+        self.clock()
+        self.apply_inputs(pattern)
+        self.evaluate()
+        self.cycles_simulated += 1
+        np.bitwise_xor(self._prev, self.words, out=self._diff)
+        return self._diff
+
+    def step_and_measure(self, pattern) -> float:
+        """Advance one clock cycle and return the lane-summed switched capacitance."""
+        diff = self._advance_and_diff(pattern)
+        np.bitwise_count(diff, out=self._toggle_words)
+        self._toggle_words.sum(axis=1, dtype=np.float64, out=self._toggles)
+        return float(self._caps @ self._toggles)
+
+    def step_and_measure_lanes(self, pattern) -> np.ndarray:
+        """Advance one clock cycle; return the switched capacitance of every lane.
+
+        This is the per-chain measurement the multi-chain Monte Carlo sampler
+        is built on: one gate sweep yields ``width`` independent power
+        observations.
+        """
+        diff = self._advance_and_diff(pattern)
+        bits = np.unpackbits(
+            diff.view(np.uint8).reshape(self.circuit.num_nets, -1),
+            axis=1,
+            bitorder="little",
+        )[:, : self.width]
+        return self._caps @ bits
+
+    def step_and_count(self, pattern) -> list[int]:
+        """Advance one cycle and return the per-net toggle count (summed over lanes)."""
+        diff = self._advance_and_diff(pattern)
+        return [int(count) for count in np.bitwise_count(diff).sum(axis=1)]
+
+    # --------------------------------------------------------------- sequences
+    def run(self, patterns: Sequence, measure: bool = True) -> list[float]:
+        """Run one cycle per pattern; return the switched capacitance per cycle."""
+        energies: list[float] = []
+        for pattern in patterns:
+            if measure:
+                energies.append(self.step_and_measure(pattern))
+            else:
+                self.step(pattern)
+        return energies

@@ -1,13 +1,29 @@
-"""Bit-parallel, cycle-based zero-delay simulator.
+"""Bit-parallel, cycle-based zero-delay simulator with switchable backends.
 
-Every net value is a Python integer whose bit *k* carries the logic value of
-the net in simulation lane *k*.  All lanes are advanced simultaneously by one
-pass over the topologically ordered gates, so the simulator doubles as:
+Every net value carries the logic value of the net in ``width`` independent
+simulation lanes.  All lanes are advanced simultaneously by one pass over the
+topologically ordered gates, so the simulator doubles as:
 
 * a fast single-chain next-state engine (``width=1``) used during the
   independence interval, where no power needs to be measured, and
 * a many-lane ensemble simulator used by the long-run reference power
-  estimator, where hundreds of independent chains share one gate sweep.
+  estimator and the multi-chain Monte Carlo sampler, where hundreds to
+  thousands of independent chains share one gate sweep.
+
+Two interchangeable backends implement the lane storage:
+
+* ``"bigint"`` — every net is a Python integer whose bit *k* is lane *k*.
+  Lowest constant overhead, ideal for narrow ensembles (especially the
+  single-lane state engine of the two-phase sampler).
+* ``"numpy"`` — every net is a ``(num_words,)`` uint64 array (64 lanes per
+  word); see :class:`~repro.simulation.vectorized.VectorizedZeroDelaySimulator`.
+  The gate sweep runs as grouped numpy bitwise operations (optionally a
+  compiled kernel), which wins decisively for wide ensembles.
+
+``backend="auto"`` (the default) keeps the historical big-int behaviour for
+narrow simulators and transparently switches to the vectorized engine above
+a width threshold, so existing callers pick up the fast path without code
+changes.
 
 Power accounting follows the zero-delay convention: the energy of clock cycle
 *t* is proportional to the capacitance-weighted number of nets whose settled
@@ -20,8 +36,33 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.simulation.compiled import CompiledCircuit
 from repro.utils.rng import RandomSource, spawn_rng
+
+#: Backends accepted by :class:`ZeroDelaySimulator`.
+BACKENDS = ("auto", "bigint", "numpy")
+
+#: ``backend="auto"`` switches to the numpy engine at this width when the
+#: compiled sweep kernel is available ...
+AUTO_NUMPY_WIDTH_NATIVE = 64
+
+#: ... and at this width when only the grouped-numpy sweep is available
+#: (pure-numpy sweeps need wider ensembles to amortise dispatch overhead).
+AUTO_NUMPY_WIDTH_PORTABLE = 256
+
+
+def resolve_backend(backend: str, width: int) -> str:
+    """Resolve a user-facing backend choice to ``"bigint"`` or ``"numpy"``."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend != "auto":
+        return backend
+    from repro.simulation._native import native_kernel_available
+
+    threshold = AUTO_NUMPY_WIDTH_NATIVE if native_kernel_available() else AUTO_NUMPY_WIDTH_PORTABLE
+    return "numpy" if width >= threshold else "bigint"
 
 
 class ZeroDelaySimulator:
@@ -37,6 +78,10 @@ class ZeroDelaySimulator:
         Optional per-net capacitance (farads) used to weight transitions when
         measuring switched capacitance.  When omitted, every net weighs 1.0
         (the simulator then reports toggle counts instead of farads).
+    backend:
+        ``"bigint"``, ``"numpy"`` or ``"auto"`` (pick by width; see module
+        docstring).  Both backends are reproducible from the same seed and
+        produce identical net values and transition counts.
     """
 
     def __init__(
@@ -44,9 +89,23 @@ class ZeroDelaySimulator:
         circuit: CompiledCircuit,
         width: int = 1,
         node_capacitance: Sequence[float] | None = None,
+        backend: str = "auto",
     ):
         if width < 1:
             raise ValueError("width must be at least 1")
+        self.backend = resolve_backend(backend, width)
+        self._vec = None
+        if self.backend == "numpy":
+            from repro.simulation.vectorized import VectorizedZeroDelaySimulator
+
+            self._vec = VectorizedZeroDelaySimulator(
+                circuit, width=width, node_capacitance=node_capacitance
+            )
+            self.circuit = circuit
+            self.width = width
+            self.mask = self._vec.mask
+            self.node_capacitance = self._vec.node_capacitance
+            return
         self.circuit = circuit
         self.width = width
         self.mask = (1 << width) - 1
@@ -59,10 +118,38 @@ class ZeroDelaySimulator:
                     f"({circuit.num_nets}), got {len(node_capacitance)}"
                 )
             self.node_capacitance = list(node_capacitance)
-        self.values: list[int] = [0] * circuit.num_nets
+        self._values: list[int] = [0] * circuit.num_nets
         self._settled = False
-        self.cycles_simulated = 0
+        self._cycles = 0
         self.reset()
+
+    # -------------------------------------------------- backend-shared state
+    @property
+    def values(self) -> list[int]:
+        """Lane-packed value of every net (bit *k* of entry *i* = net *i*, lane *k*)."""
+        if self._vec is not None:
+            return self._vec.values
+        return self._values
+
+    @values.setter
+    def values(self, new_values: list[int]) -> None:
+        if self._vec is not None:
+            raise AttributeError("values is read-only with the numpy backend")
+        self._values = new_values
+
+    @property
+    def cycles_simulated(self) -> int:
+        """Number of clock cycles advanced since the last reset."""
+        if self._vec is not None:
+            return self._vec.cycles_simulated
+        return self._cycles
+
+    @cycles_simulated.setter
+    def cycles_simulated(self, count: int) -> None:
+        if self._vec is not None:
+            self._vec.cycles_simulated = count
+        else:
+            self._cycles = count
 
     # ----------------------------------------------------------------- state
     def reset(self, latch_state: int | Sequence[int] | None = None) -> None:
@@ -72,11 +159,12 @@ class ZeroDelaySimulator:
         value), an integer whose bit *i* is broadcast to every lane of latch
         *i*, or a sequence of per-latch lane-packed integers.
         """
-        self.values = [0] * self.circuit.num_nets
+        if self._vec is not None:
+            self._vec.reset(latch_state)
+            return
+        self._values = [0] * self.circuit.num_nets
         if latch_state is None:
-            packed = [
-                self.mask if init else 0 for init in self.circuit.latch_init
-            ]
+            packed = [self.mask if init else 0 for init in self.circuit.latch_init]
         elif isinstance(latch_state, int):
             packed = [
                 self.mask if (latch_state >> i) & 1 else 0
@@ -84,20 +172,21 @@ class ZeroDelaySimulator:
             ]
         else:
             if len(latch_state) != self.circuit.num_latches:
-                raise ValueError(
-                    f"latch_state must have {self.circuit.num_latches} entries"
-                )
+                raise ValueError(f"latch_state must have {self.circuit.num_latches} entries")
             packed = [value & self.mask for value in latch_state]
         for q_id, value in zip(self.circuit.latch_q, packed):
-            self.values[q_id] = value
+            self._values[q_id] = value
         self._settled = False
-        self.cycles_simulated = 0
+        self._cycles = 0
 
     def randomize_state(self, rng: RandomSource = None) -> None:
         """Load an independent uniform-random state into every latch of every lane."""
+        if self._vec is not None:
+            self._vec.randomize_state(rng)
+            return
         generator = spawn_rng(rng)
         for q_id in self.circuit.latch_q:
-            self.values[q_id] = self._random_word(generator)
+            self._values[q_id] = self._random_word(generator)
         self._settled = False
 
     def _random_word(self, generator) -> int:
@@ -109,32 +198,49 @@ class ZeroDelaySimulator:
 
     def latch_state(self) -> list[int]:
         """Return the current lane-packed value of every latch output."""
-        return [self.values[q_id] for q_id in self.circuit.latch_q]
+        if self._vec is not None:
+            return self._vec.latch_state()
+        return [self._values[q_id] for q_id in self.circuit.latch_q]
 
     def latch_state_scalar(self, lane: int = 0) -> int:
         """Return the state of one lane as an integer (bit *i* = latch *i*)."""
+        if self._vec is not None:
+            return self._vec.latch_state_scalar(lane)
         state = 0
         for i, q_id in enumerate(self.circuit.latch_q):
-            state |= ((self.values[q_id] >> lane) & 1) << i
+            state |= ((self._values[q_id] >> lane) & 1) << i
         return state
 
     def net_value(self, name: str, lane: int = 0) -> int:
         """Return the current value (0/1) of net *name* in *lane*."""
-        return (self.values[self.circuit.net_id(name)] >> lane) & 1
+        if self._vec is not None:
+            return self._vec.net_value(name, lane)
+        return (self._values[self.circuit.net_id(name)] >> lane) & 1
 
     # ------------------------------------------------------------- evaluation
-    def apply_inputs(self, pattern: Sequence[int]) -> None:
-        """Drive the primary inputs with lane-packed *pattern* values."""
+    def apply_inputs(self, pattern) -> None:
+        """Drive the primary inputs with lane-packed *pattern* values.
+
+        Patterns are a sequence of lane-packed integers (one per primary
+        input); the numpy backend additionally accepts a
+        ``(num_inputs, num_words)`` uint64 word array.
+        """
+        if self._vec is not None:
+            self._vec.apply_inputs(pattern)
+            return
         if len(pattern) != self.circuit.num_inputs:
             raise ValueError(
                 f"pattern must have {self.circuit.num_inputs} entries, got {len(pattern)}"
             )
         for pi_id, value in zip(self.circuit.primary_inputs, pattern):
-            self.values[pi_id] = value & self.mask
+            self._values[pi_id] = value & self.mask
 
     def evaluate(self) -> None:
         """Propagate the combinational logic (one pass in topological order)."""
-        values = self.values
+        if self._vec is not None:
+            self._vec.evaluate()
+            return
+        values = self._values
         mask = self.mask
         for gate in self.circuit.gates:
             gate_type = gate.gate_type
@@ -171,51 +277,62 @@ class ZeroDelaySimulator:
 
     def clock(self) -> None:
         """Clock edge: copy each latch's settled D value onto its Q output."""
-        values = self.values
+        if self._vec is not None:
+            self._vec.clock()
+            return
+        values = self._values
         new_q = [values[d_id] for d_id in self.circuit.latch_d]
         for q_id, value in zip(self.circuit.latch_q, new_q):
             values[q_id] = value
         self._settled = False
 
-    def settle(self, pattern: Sequence[int]) -> None:
+    def settle(self, pattern) -> None:
         """Apply *pattern* and settle the logic without counting transitions.
 
         Used once after :meth:`reset`/:meth:`randomize_state` so the very
         first measured cycle starts from a consistent settled network.
         """
+        if self._vec is not None:
+            self._vec.settle(pattern)
+            return
         self.apply_inputs(pattern)
         self.evaluate()
 
-    def step(self, pattern: Sequence[int]) -> None:
+    def step(self, pattern) -> None:
         """Advance one clock cycle without measuring power.
 
         Sequence: clock edge (capture previous D values), drive the new input
         *pattern*, settle the combinational logic.
         """
+        if self._vec is not None:
+            self._vec.step(pattern)
+            return
         if not self._settled:
             self.evaluate()
         self.clock()
         self.apply_inputs(pattern)
         self.evaluate()
-        self.cycles_simulated += 1
+        self._cycles += 1
 
-    def step_and_measure(self, pattern: Sequence[int]) -> float:
+    def step_and_measure(self, pattern) -> float:
         """Advance one clock cycle and return the lane-summed switched capacitance.
 
         With ``width == 1`` the return value is the switched capacitance of
         that single cycle; with more lanes it is the sum over all lanes (used
         by the ensemble reference estimator, which only needs the aggregate).
         """
+        if self._vec is not None:
+            return self._vec.step_and_measure(pattern)
         if not self._settled:
             self.evaluate()
-        previous = list(self.values)
+        previous = list(self._values)
         self.clock()
         self.apply_inputs(pattern)
         self.evaluate()
-        self.cycles_simulated += 1
+        self._cycles += 1
 
         switched = 0.0
-        values = self.values
+        values = self._values
         capacitance = self.node_capacitance
         for net_id in range(self.circuit.num_nets):
             diff = previous[net_id] ^ values[net_id]
@@ -223,22 +340,56 @@ class ZeroDelaySimulator:
                 switched += capacitance[net_id] * diff.bit_count()
         return switched
 
-    def step_and_count(self, pattern: Sequence[int]) -> list[int]:
-        """Advance one cycle and return the per-net toggle count (summed over lanes)."""
+    def step_and_measure_lanes(self, pattern) -> np.ndarray:
+        """Advance one clock cycle; return the switched capacitance of every lane.
+
+        One gate sweep yields ``width`` independent per-chain power
+        observations — the primitive the multi-chain Monte Carlo sampler is
+        built on.  The numpy backend resolves lanes with vectorized popcounts;
+        this big-int implementation walks the set bits of every net's
+        transition word and exists mainly so narrow ensembles and equivalence
+        tests can use either backend.
+        """
+        if self._vec is not None:
+            return self._vec.step_and_measure_lanes(pattern)
         if not self._settled:
             self.evaluate()
-        previous = list(self.values)
+        previous = list(self._values)
         self.clock()
         self.apply_inputs(pattern)
         self.evaluate()
-        self.cycles_simulated += 1
+        self._cycles += 1
+
+        switched = np.zeros(self.width, dtype=np.float64)
+        values = self._values
+        capacitance = self.node_capacitance
+        for net_id in range(self.circuit.num_nets):
+            diff = previous[net_id] ^ values[net_id]
+            cap = capacitance[net_id]
+            while diff:
+                low = diff & -diff
+                switched[low.bit_length() - 1] += cap
+                diff ^= low
+        return switched
+
+    def step_and_count(self, pattern) -> list[int]:
+        """Advance one cycle and return the per-net toggle count (summed over lanes)."""
+        if self._vec is not None:
+            return self._vec.step_and_count(pattern)
+        if not self._settled:
+            self.evaluate()
+        previous = list(self._values)
+        self.clock()
+        self.apply_inputs(pattern)
+        self.evaluate()
+        self._cycles += 1
         return [
-            (previous[net_id] ^ self.values[net_id]).bit_count()
+            (previous[net_id] ^ self._values[net_id]).bit_count()
             for net_id in range(self.circuit.num_nets)
         ]
 
     # --------------------------------------------------------------- sequences
-    def run(self, patterns: Sequence[Sequence[int]], measure: bool = True) -> list[float]:
+    def run(self, patterns: Sequence, measure: bool = True) -> list[float]:
         """Run one cycle per pattern; return the switched capacitance per cycle.
 
         With ``measure=False`` an empty list is returned and only the state is

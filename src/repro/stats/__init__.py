@@ -14,13 +14,13 @@ This package implements the statistics that make the paper's approach work:
   the paper, plus CLT-based and Kolmogorov–Smirnov-based alternatives.
 """
 
-from repro.stats.runs_test import RunsTestResult, critical_value, runs_test
+from repro.stats.descriptive import SampleSummary, summarize
 from repro.stats.randomness import (
     dichotomize,
     runs_test_on_values,
     thin_sequence,
 )
-from repro.stats.descriptive import SampleSummary, summarize
+from repro.stats.runs_test import RunsTestResult, critical_value, runs_test
 from repro.stats.stopping import (
     CltStoppingCriterion,
     KolmogorovSmirnovStoppingCriterion,

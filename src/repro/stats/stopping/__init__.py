@@ -57,6 +57,4 @@ def make_stopping_criterion(
         raise ValueError(
             f"unknown stopping criterion {name!r}; choose from {sorted(set(_CRITERIA))}"
         )
-    return _CRITERIA[key](
-        max_relative_error=max_relative_error, confidence=confidence, **kwargs
-    )
+    return _CRITERIA[key](max_relative_error=max_relative_error, confidence=confidence, **kwargs)

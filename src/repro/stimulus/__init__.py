@@ -15,15 +15,23 @@ several generators with the same interface:
   vector sequence (e.g. a recorded functional trace).
 """
 
-from repro.stimulus.base import Stimulus, pack_lane_bits, unpack_lane_bits
-from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.stimulus.base import (
+    Stimulus,
+    pack_bit_matrix,
+    pack_bit_matrix_words,
+    pack_lane_bits,
+    unpack_lane_bits,
+)
 from repro.stimulus.correlated_inputs import LagOneMarkovStimulus, SpatiallyCorrelatedStimulus
+from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.stimulus.sequence import SequenceStimulus
 
 __all__ = [
     "Stimulus",
     "pack_lane_bits",
     "unpack_lane_bits",
+    "pack_bit_matrix",
+    "pack_bit_matrix_words",
     "BernoulliStimulus",
     "LagOneMarkovStimulus",
     "SpatiallyCorrelatedStimulus",

@@ -1,9 +1,21 @@
 """Stimulus interface and lane-packing helpers.
 
 A stimulus produces one input pattern per clock cycle.  To match the
-bit-parallel simulator, patterns are *lane-packed*: the value returned for a
-primary input is an integer whose bit *k* is the logic value applied in
-simulation lane *k*.  Single-chain simulation simply uses ``width=1``.
+bit-parallel simulators, patterns exist in three equivalent encodings:
+
+* a **bit matrix** — a ``(num_inputs, width)`` uint8 array of 0/1 values,
+  the natural output of the vectorized generators (:meth:`Stimulus.next_bits`);
+* **lane-packed integers** — one Python integer per input whose bit *k* is
+  the logic value applied in simulation lane *k*, consumed by the big-int
+  simulator backend (:meth:`Stimulus.next_pattern`);
+* **lane words** — a ``(num_inputs, num_words)`` uint64 array with 64 lanes
+  per word, consumed directly by the numpy simulator backend and the
+  multi-chain batch sampler (:meth:`Stimulus.next_pattern_words`).
+
+All three draw exactly the same random variates for a given ``(rng, width)``,
+so simulations are reproducible from one seed regardless of which simulator
+backend consumes the stimulus.  Single-chain simulation simply uses
+``width=1``.
 """
 
 from __future__ import annotations
@@ -12,27 +24,43 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.utils.bitpack import bits_to_words, words_per_width
+
 
 def pack_lane_bits(bits: np.ndarray) -> int:
     """Pack a 1-D array of 0/1 values into an integer (bit *k* = ``bits[k]``)."""
-    word = 0
-    for lane, bit in enumerate(bits):
-        if bit:
-            word |= 1 << lane
-    return word
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    return int.from_bytes(np.packbits(bits, bitorder="little").tobytes(), "little")
 
 
 def unpack_lane_bits(word: int, width: int) -> np.ndarray:
     """Inverse of :func:`pack_lane_bits`: expand *word* into a length-*width* array."""
-    return np.array([(word >> lane) & 1 for lane in range(width)], dtype=np.uint8)
+    num_bytes = (width + 7) // 8
+    raw = np.frombuffer(word.to_bytes(num_bytes, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:width].copy()
+
+
+def pack_bit_matrix(bits: np.ndarray) -> list[int]:
+    """Pack a ``(num_inputs, width)`` bit matrix into lane-packed integers."""
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+def pack_bit_matrix_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(num_inputs, width)`` bit matrix into ``(num_inputs, num_words)`` uint64."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return np.ascontiguousarray(bits_to_words(bits, words_per_width(bits.shape[1])))
 
 
 class Stimulus(ABC):
     """Base class for input-pattern generators.
 
-    Subclasses may keep per-lane state (e.g. Markov chains); :meth:`reset`
-    must return the generator to its initial condition so repeated estimation
-    runs are statistically independent given independent RNG streams.
+    Subclasses implement :meth:`next_bits`, producing one bit matrix per
+    clock cycle; the packed encodings are derived from it.  Subclasses may
+    keep per-lane state (e.g. Markov chains); :meth:`reset` must return the
+    generator to its initial condition so repeated estimation runs are
+    statistically independent given independent RNG streams.
     """
 
     def __init__(self, num_inputs: int):
@@ -41,8 +69,18 @@ class Stimulus(ABC):
         self.num_inputs = num_inputs
 
     @abstractmethod
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
+        """Return the next pattern as a ``(num_inputs, width)`` uint8 bit matrix."""
+
     def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
         """Return the next pattern: one lane-packed integer per primary input."""
+        if self.num_inputs == 0:
+            return []
+        return pack_bit_matrix(self.next_bits(rng, width))
+
+    def next_pattern_words(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
+        """Return the next pattern as a ``(num_inputs, num_words)`` uint64 word array."""
+        return pack_bit_matrix_words(self.next_bits(rng, width))
 
     def reset(self) -> None:
         """Forget any internal state (default: stateless, nothing to do)."""

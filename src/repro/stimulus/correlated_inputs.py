@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.stimulus.base import Stimulus, pack_lane_bits
+from repro.stimulus.base import Stimulus
 
 
 class LagOneMarkovStimulus(Stimulus):
@@ -55,9 +55,9 @@ class LagOneMarkovStimulus(Stimulus):
     def reset(self) -> None:
         self._state = None
 
-    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
-            return []
+            return np.zeros((0, width), dtype=np.uint8)
         if self._state is None or self._state.shape[1] != width:
             draws = rng.random((self.num_inputs, width))
             self._state = (draws < self.probability[:, None]).astype(np.uint8)
@@ -69,7 +69,7 @@ class LagOneMarkovStimulus(Stimulus):
             draws = rng.random((self.num_inputs, width))
             prob_one = np.where(self._state == 1, stay_one, go_one)
             self._state = (draws < prob_one).astype(np.uint8)
-        return [pack_lane_bits(self._state[i]) for i in range(self.num_inputs)]
+        return self._state
 
     def describe(self) -> str:
         return (
@@ -96,16 +96,17 @@ class SpatiallyCorrelatedStimulus(Stimulus):
             raise ValueError("coupling must lie in [0, 1]")
         self.num_groups = num_groups
         self.coupling = coupling
-        self.group_of_input = np.arange(num_inputs) % num_groups if num_inputs else np.array([], dtype=int)
+        self.group_of_input = (
+            np.arange(num_inputs) % num_groups if num_inputs else np.array([], dtype=int)
+        )
 
-    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
-            return []
+            return np.zeros((0, width), dtype=np.uint8)
         latent = rng.integers(0, 2, size=(self.num_groups, width), dtype=np.uint8)
         private = rng.integers(0, 2, size=(self.num_inputs, width), dtype=np.uint8)
         use_latent = rng.random((self.num_inputs, width)) < self.coupling
-        bits = np.where(use_latent, latent[self.group_of_input], private).astype(np.uint8)
-        return [pack_lane_bits(bits[i]) for i in range(self.num_inputs)]
+        return np.where(use_latent, latent[self.group_of_input], private).astype(np.uint8)
 
     def describe(self) -> str:
         return (

@@ -6,7 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.stimulus.base import Stimulus, pack_lane_bits
+from repro.stimulus.base import Stimulus
 
 
 class BernoulliStimulus(Stimulus):
@@ -31,19 +31,16 @@ class BernoulliStimulus(Stimulus):
         else:
             probs = np.asarray(probabilities, dtype=float)
             if probs.shape != (num_inputs,):
-                raise ValueError(
-                    f"expected {num_inputs} probabilities, got shape {probs.shape}"
-                )
+                raise ValueError(f"expected {num_inputs} probabilities, got shape {probs.shape}")
         if np.any(probs < 0.0) or np.any(probs > 1.0):
             raise ValueError("probabilities must lie in [0, 1]")
         self.probabilities = probs
 
-    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
-            return []
+            return np.zeros((0, width), dtype=np.uint8)
         draws = rng.random((self.num_inputs, width))
-        bits = (draws < self.probabilities[:, None]).astype(np.uint8)
-        return [pack_lane_bits(bits[i]) for i in range(self.num_inputs)]
+        return (draws < self.probabilities[:, None]).astype(np.uint8)
 
     def describe(self) -> str:
         unique = np.unique(self.probabilities)

@@ -33,17 +33,15 @@ class SequenceStimulus(Stimulus):
     def reset(self) -> None:
         self._position = 0
 
-    def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
-            return []
-        pattern = [0] * self.num_inputs
+            return np.zeros((0, width), dtype=np.uint8)
+        bits = np.empty((self.num_inputs, width), dtype=np.uint8)
         for lane in range(width):
             vector = self.vectors[self._position]
             self._position = (self._position + 1) % len(self.vectors)
-            for input_index, bit in enumerate(vector):
-                if bit:
-                    pattern[input_index] |= 1 << lane
-        return pattern
+            bits[:, lane] = vector
+        return bits
 
     def describe(self) -> str:
         return f"SequenceStimulus(trace_length={len(self.vectors)}, inputs={self.num_inputs})"

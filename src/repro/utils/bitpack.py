@@ -1,0 +1,56 @@
+"""Lane/word packing shared by the vectorized simulator and the stimuli.
+
+Simulation lanes are packed 64 per ``uint64`` word: lane *k* lives in bit
+``k % 64`` of word ``k // 64`` (little-endian across words, matching the
+lane-packed Python-integer encoding of the big-int simulator backend).
+Keeping every conversion in one module guarantees the encodings cannot
+drift apart between producers (stimuli) and consumers (simulator backends).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def words_per_width(width: int) -> int:
+    """Number of uint64 words needed to hold *width* lanes."""
+    return (width + 63) // 64
+
+
+def lane_mask_words(width: int) -> np.ndarray:
+    """Per-word mask with exactly the low *width* lanes set."""
+    num_words = words_per_width(width)
+    mask = np.full(num_words, _ALL_ONES, dtype=np.uint64)
+    tail = width % 64
+    if tail:
+        mask[-1] = np.uint64((1 << tail) - 1)
+    return mask
+
+
+def pack_int_to_words(value: int, num_words: int) -> np.ndarray:
+    """Expand a lane-packed Python integer into little-endian uint64 words."""
+    raw = value.to_bytes(num_words * 8, "little")
+    return np.frombuffer(raw, dtype="<u8").astype(np.uint64, copy=False)
+
+
+def unpack_words_to_int(words: np.ndarray) -> int:
+    """Inverse of :func:`pack_int_to_words`."""
+    return int.from_bytes(words.astype("<u8", copy=False).tobytes(), "little")
+
+
+def bits_to_words(bits: np.ndarray, num_words: int) -> np.ndarray:
+    """Pack a trailing lane axis of 0/1 values into uint64 words.
+
+    ``bits`` has shape ``(..., width)``; the result has shape
+    ``(..., num_words)`` with lane *k* in bit ``k % 64`` of word ``k // 64``.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = num_words * 8 - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)], axis=-1
+        )
+    return packed.view("<u8").astype(np.uint64, copy=False)

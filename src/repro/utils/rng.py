@@ -9,7 +9,7 @@ yields the same circuit, the same stimulus and therefore the same estimate.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -38,9 +38,7 @@ class TextTable:
         """Append one row; floats are formatted with the table precision."""
         row = [_cell(v, self.precision) for v in values]
         if len(row) != len(self.headers):
-            raise ValueError(
-                f"row has {len(row)} cells but table has {len(self.headers)} columns"
-            )
+            raise ValueError(f"row has {len(row)} cells but table has {len(self.headers)} columns")
         self.rows.append(row)
 
     def render(self) -> str:
@@ -61,7 +59,9 @@ class TextTable:
         return self.render()
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Iterable[object]], precision: int = 3) -> str:
+def format_table(
+    headers: Sequence[str], rows: Iterable[Iterable[object]], precision: int = 3
+) -> str:
     """One-shot helper: build and render a :class:`TextTable`."""
     table = TextTable(headers=headers, precision=precision)
     for row in rows:

@@ -23,10 +23,12 @@ def _errors(netlist):
 class TestStructure:
     @pytest.mark.parametrize(
         "factory",
-        [s27, toggle_cell, lambda: binary_counter(4), lambda: binary_counter(3, with_enable=False),
+        [s27, toggle_cell, lambda: binary_counter(4),
+         lambda: binary_counter(3, with_enable=False),
          lambda: shift_register(5), lambda: lfsr(5), lambda: johnson_counter(4),
          lambda: parity_tracker(3)],
-        ids=["s27", "toggle", "counter4", "counter3-free", "shift5", "lfsr5", "johnson4", "parity3"],
+        ids=["s27", "toggle", "counter4", "counter3-free", "shift5", "lfsr5",
+             "johnson4", "parity3"],
     )
     def test_all_library_circuits_are_valid(self, factory):
         netlist = factory()

@@ -1,0 +1,151 @@
+"""Unit tests for the multi-chain batch power sampler and its estimator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import ConsecutiveCycleEstimator, FixedWarmupEstimator
+from repro.core.batch_sampler import BatchPowerSampler
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.core.sampler import PowerSampler
+from repro.power.reference import estimate_reference_power
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+def _batch(circuit, chains=8, config=None, rng=0, backend="auto"):
+    config = config or EstimationConfig(warmup_cycles=8)
+    stimulus = BernoulliStimulus(circuit.num_inputs, 0.5)
+    return BatchPowerSampler(
+        circuit, stimulus, config, rng=rng, num_chains=chains, backend=backend
+    )
+
+
+class TestBatchPowerSampler:
+    def test_invalid_arguments_rejected(self, s27_circuit):
+        with pytest.raises(ValueError, match="num_chains"):
+            _batch(s27_circuit, chains=0)
+        with pytest.raises(ValueError, match="stimulus drives"):
+            BatchPowerSampler(s27_circuit, BernoulliStimulus(2, 0.5), EstimationConfig())
+        with pytest.raises(ValueError, match="zero-delay"):
+            BatchPowerSampler(
+                s27_circuit,
+                BernoulliStimulus(s27_circuit.num_inputs, 0.5),
+                EstimationConfig(power_simulator="event-driven"),
+            )
+        sampler = _batch(s27_circuit)
+        with pytest.raises(ValueError):
+            sampler.next_samples(interval=-1)
+        with pytest.raises(ValueError):
+            sampler.collect_sequence(interval=-1, length=10)
+        with pytest.raises(ValueError):
+            sampler.collect_sequence(interval=0, length=0)
+        with pytest.raises(ValueError):
+            sampler.advance(-1)
+
+    def test_measure_cycle_shape_and_sign(self, s27_circuit):
+        sampler = _batch(s27_circuit, chains=16)
+        switched = sampler.measure_cycle()
+        assert switched.shape == (16,)
+        assert np.all(switched >= 0.0)
+
+    def test_cycle_accounting(self, s27_circuit):
+        sampler = _batch(s27_circuit, chains=4)
+        sampler.prepare(warmup_cycles=10)
+        assert sampler.cycles_simulated == 10
+        sampler.next_samples(interval=3)
+        assert sampler.cycles_simulated == 14
+        assert sampler.chain_cycles == 14 * 4
+
+    def test_collect_sequence_is_chain_zero_series(self, s27_circuit):
+        sampler = _batch(s27_circuit, chains=8, rng=4)
+        sequence = sampler.collect_sequence(interval=1, length=30)
+        assert len(sequence) == 30
+        assert all(value >= 0.0 for value in sequence)
+        assert any(value > 0.0 for value in sequence)
+
+    def test_samples_interleaved_across_chains(self, s27_circuit):
+        sampler = _batch(s27_circuit, chains=8)
+        values = sampler.samples(interval=0, count=20)
+        assert len(values) == 24  # rounded up to whole batches of 8
+
+    def test_reproducible_given_seed(self, s27_circuit):
+        first = _batch(s27_circuit, chains=8, rng=42)
+        second = _batch(s27_circuit, chains=8, rng=42)
+        assert np.array_equal(first.next_samples(2), second.next_samples(2))
+
+    def test_backends_agree_on_samples(self, s27_circuit):
+        a = _batch(s27_circuit, chains=8, rng=7, backend="bigint")
+        b = _batch(s27_circuit, chains=8, rng=7, backend="numpy")
+        for _ in range(5):
+            assert b.next_samples(1) == pytest.approx(a.next_samples(1))
+
+    def test_ensemble_mean_matches_single_chain_mean(self, s27_circuit):
+        config = EstimationConfig(warmup_cycles=32)
+        batch = _batch(s27_circuit, chains=64, config=config, rng=1)
+        single = PowerSampler(
+            s27_circuit, BernoulliStimulus(s27_circuit.num_inputs, 0.5), config, rng=2
+        )
+        batch_mean = float(np.mean([batch.next_samples(2) for _ in range(100)]))
+        single_mean = float(np.mean([single.next_sample(2) for _ in range(400)]))
+        assert batch_mean == pytest.approx(single_mean, rel=0.15)
+
+
+class TestEstimatorWiring:
+    def test_dipe_with_chains_reaches_accuracy(self, s27_circuit, quick_config):
+        config = EstimationConfig(
+            randomness_sequence_length=64,
+            min_samples=64,
+            check_interval=16,
+            max_samples=4000,
+            warmup_cycles=16,
+            max_independence_interval=16,
+            num_chains=16,
+        )
+        estimator = DipeEstimator(s27_circuit, config=config, rng=5)
+        assert isinstance(estimator.sampler, BatchPowerSampler)
+        estimate = estimator.estimate()
+        assert estimate.sample_size >= config.min_samples
+        assert estimate.sample_size % 16 == 0 or estimate.sample_size == config.max_samples
+        assert estimate.average_power_w > 0
+
+    def test_multi_chain_estimate_consistent_with_single_chain(self, s27_circuit):
+        kwargs = dict(
+            randomness_sequence_length=64,
+            min_samples=128,
+            check_interval=32,
+            max_samples=8000,
+            warmup_cycles=16,
+            max_independence_interval=16,
+        )
+        multi = DipeEstimator(
+            s27_circuit, config=EstimationConfig(num_chains=32, **kwargs), rng=9
+        ).estimate()
+        single = DipeEstimator(s27_circuit, config=EstimationConfig(**kwargs), rng=9).estimate()
+        assert multi.average_power_w == pytest.approx(single.average_power_w, rel=0.2)
+
+    def test_config_rejects_batch_event_driven(self):
+        with pytest.raises(ValueError, match="multi-chain"):
+            EstimationConfig(num_chains=4, power_simulator="event-driven")
+
+    def test_baselines_support_chains(self, s27_circuit):
+        config = EstimationConfig(
+            min_samples=64, check_interval=16, max_samples=2000, warmup_cycles=8, num_chains=8
+        )
+        consecutive = ConsecutiveCycleEstimator(s27_circuit, config=config, rng=3).estimate()
+        assert consecutive.sample_size >= 64
+        fixed = FixedWarmupEstimator(
+            s27_circuit, config=config, rng=3, warmup_period=10
+        ).estimate()
+        assert fixed.sample_size >= 64
+        assert fixed.average_power_w == pytest.approx(consecutive.average_power_w, rel=0.3)
+
+    def test_reference_backends_agree(self, s27_circuit):
+        stimulus = BernoulliStimulus(s27_circuit.num_inputs, 0.5)
+        bigint = estimate_reference_power(
+            s27_circuit, stimulus, total_cycles=5000, lanes=64, rng=1, backend="bigint"
+        )
+        vector = estimate_reference_power(
+            s27_circuit, stimulus, total_cycles=5000, lanes=64, rng=1, backend="numpy"
+        )
+        assert vector.average_power_w == pytest.approx(bigint.average_power_w)
+        assert vector.total_cycles == bigint.total_cycles == 5056

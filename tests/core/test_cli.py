@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
 from repro.circuits.library import S27_BENCH
+from repro.cli import build_parser, main
 
 
 class TestParser:

@@ -1,6 +1,5 @@
 """Unit tests for independence-interval selection."""
 
-import pytest
 
 from repro.circuits.iscas89 import build_circuit
 from repro.core.config import EstimationConfig

@@ -2,11 +2,11 @@
 
 import pytest
 
+from repro.circuits.library import toggle_cell
 from repro.fsm.exact_power import exact_average_power
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
 from repro.simulation.compiled import CompiledCircuit
-from repro.circuits.library import toggle_cell
 
 
 class TestExactPower:

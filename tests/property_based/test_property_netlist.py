@@ -43,8 +43,8 @@ def test_bench_round_trip_preserves_structure(spec, seed):
     assert [(g.output, g.gate_type, g.inputs) for g in reparsed.gates] == [
         (g.output, g.gate_type, g.inputs) for g in netlist.gates
     ]
-    assert [(l.output, l.data) for l in reparsed.latches] == [
-        (l.output, l.data) for l in netlist.latches
+    assert [(latch.output, latch.data) for latch in reparsed.latches] == [
+        (latch.output, latch.data) for latch in netlist.latches
     ]
 
 

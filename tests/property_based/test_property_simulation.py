@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.circuits.library import s27
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
+from repro.simulation.compiled import CompiledCircuit
 from repro.simulation.delay_models import FanoutDelay, UnitDelay, ZeroDelay
 from repro.simulation.event_driven import EventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator
-from repro.circuits.library import s27
-from repro.simulation.compiled import CompiledCircuit
 
 _S27 = CompiledCircuit.from_netlist(s27())
 _CAPS = CapacitanceModel().node_capacitances(_S27)

@@ -81,7 +81,9 @@ class TestBitParallelConsistency:
         scalar_sims = []
         for lane in range(width):
             scalar = ZeroDelaySimulator(s27_circuit, width=1)
-            scalar.reset(latch_state=[int(initial_states[i, lane]) for i in range(s27_circuit.num_latches)])
+            scalar.reset(
+                latch_state=[int(initial_states[i, lane]) for i in range(s27_circuit.num_latches)]
+            )
             scalar.settle([int(patterns[0, i, lane]) for i in range(s27_circuit.num_inputs)])
             scalar_sims.append(scalar)
 
