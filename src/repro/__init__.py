@@ -16,8 +16,24 @@ Quickstart::
     circuit = build_circuit("s298")
     estimate = estimate_average_power(circuit, rng=1)
     print(estimate.average_power_mw, estimate.independence_interval)
+
+The job-oriented API in :mod:`repro.api` is the preferred entry surface::
+
+    from repro import JobSpec, run_job
+
+    result = run_job(JobSpec(circuit="s298", seed=1))
+    print(result.estimate.average_power_mw)
 """
 
+from repro.api.batch import BatchResult, BatchRunner, run_batch
+from repro.api.checkpoint import RunCheckpoint
+from repro.api.events import ProgressEvent
+from repro.api.jobs import JobResult, JobSpec, StimulusSpec, run_job
+from repro.api.registry import (
+    register_estimator,
+    register_stimulus,
+    register_stopping_criterion,
+)
 from repro.circuits import build_circuit, list_circuits
 from repro.core import (
     ConsecutiveCycleEstimator,
@@ -40,10 +56,23 @@ from repro.stimulus import (
     SpatiallyCorrelatedStimulus,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    # job-oriented API
+    "JobSpec",
+    "StimulusSpec",
+    "JobResult",
+    "run_job",
+    "BatchRunner",
+    "BatchResult",
+    "run_batch",
+    "ProgressEvent",
+    "RunCheckpoint",
+    "register_estimator",
+    "register_stimulus",
+    "register_stopping_criterion",
     # circuits
     "build_circuit",
     "list_circuits",

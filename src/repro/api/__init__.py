@@ -1,0 +1,89 @@
+"""repro.api — the job-oriented public surface of the estimation library.
+
+This package is the single entry point for programmatic use:
+
+* :class:`~repro.api.jobs.JobSpec` / :class:`~repro.api.jobs.StimulusSpec` —
+  fully JSON-serializable run requests with bit-exact ``to_dict`` /
+  ``from_dict`` round-tripping; :func:`~repro.api.jobs.run_job` executes one.
+* Plugin registries (:func:`register_estimator`, :func:`register_stimulus`,
+  :func:`register_stopping_criterion`) — string-keyed dispatch for every
+  pluggable component; built-ins self-register.
+* Streaming progress events (:mod:`repro.api.events`) — estimators yield
+  typed :class:`~repro.api.events.ProgressEvent` objects from ``run()``;
+  checkpoint/resume via :class:`~repro.api.checkpoint.RunCheckpoint`.
+* :class:`~repro.api.batch.BatchRunner` — fans job lists across worker
+  processes and writes a JSON results manifest; bit-identical to serial
+  execution of the same specs.
+
+Quickstart::
+
+    from repro.api import JobSpec, StimulusSpec, run_job
+
+    spec = JobSpec(circuit="s298", seed=7,
+                   stimulus=StimulusSpec.bernoulli(0.5))
+    result = run_job(spec, progress=lambda event: print(event.kind))
+    print(result.estimate.average_power_mw)
+
+Attributes resolve lazily (PEP 562): the component modules register
+themselves with the registries in :mod:`repro.api.registry`, so this
+package's own import must stay light enough to be imported from anywhere in
+the library without cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    # registries (leaf module — safe to import from anywhere)
+    "Registry": "repro.api.registry",
+    "ESTIMATOR_REGISTRY": "repro.api.registry",
+    "STIMULUS_REGISTRY": "repro.api.registry",
+    "STOPPING_CRITERION_REGISTRY": "repro.api.registry",
+    "register_estimator": "repro.api.registry",
+    "register_stimulus": "repro.api.registry",
+    "register_stopping_criterion": "repro.api.registry",
+    "get_estimator": "repro.api.registry",
+    "get_stimulus": "repro.api.registry",
+    "get_stopping_criterion": "repro.api.registry",
+    "estimator_names": "repro.api.registry",
+    "stimulus_names": "repro.api.registry",
+    "stopping_criterion_names": "repro.api.registry",
+    # events + checkpoint
+    "ProgressEvent": "repro.api.events",
+    "RunStarted": "repro.api.events",
+    "IntervalTrialEvent": "repro.api.events",
+    "IntervalSelected": "repro.api.events",
+    "SampleProgress": "repro.api.events",
+    "EstimateCompleted": "repro.api.events",
+    "RunCheckpoint": "repro.api.checkpoint",
+    # jobs
+    "JobSpec": "repro.api.jobs",
+    "StimulusSpec": "repro.api.jobs",
+    "JobResult": "repro.api.jobs",
+    "run_job": "repro.api.jobs",
+    "run_job_safely": "repro.api.jobs",
+    "register_result_type": "repro.api.jobs",
+    "resolve_circuit": "repro.api.jobs",
+    "derive_job_seeds": "repro.api.jobs",
+    # batch
+    "BatchRunner": "repro.api.batch",
+    "BatchResult": "repro.api.batch",
+    "run_batch": "repro.api.batch",
+    "load_jobs": "repro.api.batch",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

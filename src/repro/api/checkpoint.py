@@ -1,0 +1,68 @@
+"""Checkpoint/resume of a half-finished estimation run.
+
+A :class:`RunCheckpoint` freezes everything a streaming estimator needs to
+continue exactly where it stopped: the samples collected so far, the selected
+independence interval (with its diagnostics), and the full state of the
+sampler — RNG bit-generator state, simulator lane values and stimulus state —
+so a resumed run consumes the *same* random stream the uninterrupted run
+would have and therefore produces the identical estimate.
+
+Checkpoints are in-memory objects (picklable, since they contain numpy arrays
+and big integers); they are not JSON-serializable.  Typical use::
+
+    estimator = DipeEstimator(circuit, config=config, rng=7)
+    stream = estimator.run()
+    for event in stream:
+        if isinstance(event, SampleProgress) and event.samples_drawn >= 128:
+            checkpoint = estimator.make_checkpoint()
+            stream.close()                      # abort the first run
+            break
+
+    resumed = DipeEstimator(circuit, config=config, rng=7)
+    estimate = resumed.estimate_from(checkpoint)   # identical to uninterrupted
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # import would be circular at runtime (repro.core imports this)
+    from repro.core.results import IntervalSelectionResult
+
+
+@dataclass(frozen=True)
+class RunCheckpoint:
+    """Frozen mid-run state of a streaming estimator.
+
+    Attributes
+    ----------
+    method:
+        Method string of the estimator that produced the checkpoint; resuming
+        with a different estimator kind is rejected.
+    circuit_name:
+        Name of the circuit under estimation (sanity-checked on resume).
+    samples:
+        Switched-capacitance samples collected so far (farads).
+    interval_selection:
+        Interval-selection diagnostics (``None`` for estimators that skip the
+        interval-selection phase, e.g. the baselines).
+    sampler_state:
+        Opaque sampler snapshot from ``sampler.get_state()``: RNG state,
+        simulator lane values, stimulus state and cycle counters.
+    elapsed_seconds:
+        Wall-clock seconds consumed before the checkpoint (added to the
+        resumed run's elapsed time).
+    """
+
+    method: str
+    circuit_name: str
+    samples: tuple[float, ...] = field(repr=False)
+    interval_selection: IntervalSelectionResult | None = field(repr=False)
+    sampler_state: dict[str, Any] = field(repr=False)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def samples_drawn(self) -> int:
+        """Number of samples captured in the checkpoint."""
+        return len(self.samples)

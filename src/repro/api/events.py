@@ -1,0 +1,119 @@
+"""Typed progress events streamed by :meth:`Estimator.run`.
+
+Every estimator exposes ``run()`` as a generator of :class:`ProgressEvent`
+subclasses, so callers can observe a run incrementally (progress bars,
+structured logs, early abort via ``generator.close()``) instead of blocking
+inside a monolithic ``estimate()`` call.  The event stream of a well-behaved
+estimator satisfies two invariants the test suite pins down:
+
+* ``samples_drawn`` is monotonically non-decreasing across the stream, and
+* the final event is an :class:`EstimateCompleted` whose ``estimate`` equals
+  the value returned by ``estimate()``.
+
+Events carry plain data and serialize to JSON-compatible dicts via
+:meth:`ProgressEvent.to_dict` (used by the CLI's ``--progress`` stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Any, ClassVar
+
+if TYPE_CHECKING:  # import would be circular at runtime (repro.core imports this)
+    from repro.core.results import IntervalSelectionResult
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Base class of all streaming events.
+
+    Attributes
+    ----------
+    circuit:
+        Name of the circuit under estimation.
+    method:
+        Estimator method string (``"dipe"``, ``"consecutive-mc"``, ...).
+    samples_drawn:
+        Power samples collected so far (monotonic across a stream).
+    cycles_simulated:
+        Total simulated clock cycles so far.
+    """
+
+    kind: ClassVar[str] = "progress"
+
+    circuit: str
+    method: str
+    samples_drawn: int
+    cycles_simulated: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (shallow; rich payloads summarised)."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            if not f.repr:
+                continue
+            value = getattr(self, f.name)
+            if hasattr(value, "to_dict"):
+                value = value.to_dict()
+            data[f.name] = value
+        return data
+
+
+@dataclass(frozen=True)
+class RunStarted(ProgressEvent):
+    """First event of a fresh (non-resumed) run."""
+
+    kind: ClassVar[str] = "run-started"
+
+
+@dataclass(frozen=True)
+class IntervalTrialEvent(ProgressEvent):
+    """One trial of the sequential interval-selection / z-profile sweep."""
+
+    kind: ClassVar[str] = "interval-trial"
+
+    interval: int = 0
+    z_statistic: float = 0.0
+    accepted: bool = False
+
+
+@dataclass(frozen=True)
+class IntervalSelected(ProgressEvent):
+    """The independence interval has been fixed; random sampling starts next.
+
+    ``selection`` carries the full interval-selection diagnostics
+    (:class:`~repro.core.results.IntervalSelectionResult`).
+    """
+
+    kind: ClassVar[str] = "interval-selected"
+
+    interval: int = 0
+    converged: bool = True
+    num_trials: int = 0
+    selection: IntervalSelectionResult | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class SampleProgress(ProgressEvent):
+    """Stopping-criterion verdict after a batch of new samples.
+
+    ``running_mean_w`` and the bounds are in watts (converted through the
+    configuration's power model, like the final estimate).
+    """
+
+    kind: ClassVar[str] = "sample-progress"
+
+    running_mean_w: float = 0.0
+    lower_bound_w: float = 0.0
+    upper_bound_w: float = 0.0
+    relative_half_width: float = float("inf")
+    accuracy_met: bool = False
+
+
+@dataclass(frozen=True)
+class EstimateCompleted(ProgressEvent):
+    """Final event of a run; ``estimate`` is exactly the ``estimate()`` return value."""
+
+    kind: ClassVar[str] = "estimate-completed"
+
+    estimate: Any = None

@@ -1,0 +1,302 @@
+"""Serializable job specifications — the request objects of the estimation API.
+
+A :class:`JobSpec` captures *everything* a power-estimation run depends on —
+circuit reference, stimulus specification, estimation configuration,
+estimator kind and seed — as plain JSON-serializable data with bit-exact
+``to_dict``/``from_dict`` round-tripping.  That makes runs shippable: specs
+can be written to a jobs file, fanned out across worker processes by the
+:class:`~repro.api.batch.BatchRunner`, or re-executed later to reproduce a
+result exactly (all randomness flows from the spec's seed).
+
+:func:`run_job` is the single execution entry point: it resolves the circuit,
+builds the stimulus and estimator through the plugin registries, and drives
+the estimator's streaming ``run()`` protocol to completion, optionally
+forwarding every :class:`~repro.api.events.ProgressEvent` to a callback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.api.events import ProgressEvent
+from repro.api.registry import get_estimator, get_stimulus
+from repro.core.config import EstimationConfig
+from repro.core.results import PowerEstimate
+from repro.simulation.compiled import CompiledCircuit
+from repro.stimulus.base import Stimulus
+from repro.utils.rng import child_seeds
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+#: Result payload types a :class:`JobResult` can carry, keyed by manifest tag.
+_RESULT_TYPES: dict[str, type] = {}
+
+
+def register_result_type(tag: str, cls: type) -> type:
+    """Register a result payload class (must provide ``to_dict``/``from_dict``)."""
+    existing = _RESULT_TYPES.get(tag)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"result type {tag!r} is already registered to {existing!r}")
+    _RESULT_TYPES[tag] = cls
+    return cls
+
+
+def _result_type(tag: str) -> type:
+    if tag not in _RESULT_TYPES:
+        # Built-in estimators register their result types on import; loading
+        # the estimator registry's built-ins brings them in.
+        from repro.api.registry import ESTIMATOR_REGISTRY
+
+        ESTIMATOR_REGISTRY._bootstrap()
+    if tag not in _RESULT_TYPES:
+        raise KeyError(f"unknown result type {tag!r}; registered: {sorted(_RESULT_TYPES)}")
+    return _RESULT_TYPES[tag]
+
+
+def _result_tag(payload: Any) -> str:
+    if not _RESULT_TYPES:
+        from repro.api.registry import ESTIMATOR_REGISTRY
+
+        ESTIMATOR_REGISTRY._bootstrap()
+    for tag, cls in _RESULT_TYPES.items():
+        if isinstance(payload, cls):
+            return tag
+    raise TypeError(f"no registered result type for {type(payload)!r}")
+
+
+register_result_type("power-estimate", PowerEstimate)
+
+
+def resolve_circuit(ref: str) -> CompiledCircuit:
+    """Resolve a circuit reference: a registered benchmark name or a ``.bench`` path."""
+    # Imported here, not at module level: the circuit registry pulls in the
+    # synthetic generators, which this module should not force on importers
+    # that never execute a job.
+    from repro.circuits.iscas89 import build_circuit, list_circuits
+
+    if ref in list_circuits():
+        return build_circuit(ref)
+    if ref.endswith(".bench"):
+        from repro.netlist.bench import parse_bench_file
+
+        return CompiledCircuit.from_netlist(parse_bench_file(ref))
+    raise ValueError(
+        f"unknown circuit {ref!r}: pass a registered benchmark name "
+        f"({', '.join(list_circuits())}) or a path to a .bench file"
+    )
+
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """Serializable description of a primary-input pattern generator.
+
+    ``kind`` is a name from the stimulus registry (``"bernoulli"``,
+    ``"lag-one-markov"``, ``"spatially-correlated"``, ``"sequence"``, or any
+    name registered by the caller); ``params`` are the factory's keyword
+    arguments.  The number of inputs comes from the circuit at build time, so
+    the same spec applies to any circuit.
+    """
+
+    kind: str = "bernoulli"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind.strip():
+            raise ValueError("stimulus kind must be a non-empty string")
+        object.__setattr__(self, "params", dict(self.params))
+
+    @classmethod
+    def bernoulli(cls, probability: float = 0.5) -> "StimulusSpec":
+        """The paper's experimental setting: independent inputs, P(1) = *probability*."""
+        return cls(kind="bernoulli", params={"probabilities": probability})
+
+    def build(self, num_inputs: int) -> Stimulus:
+        """Instantiate the stimulus for a circuit with *num_inputs* primary inputs."""
+        factory = get_stimulus(self.kind)
+        return factory(num_inputs, **self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": json.loads(json.dumps(self.params))}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StimulusSpec":
+        return cls(kind=data.get("kind", "bernoulli"), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A fully serializable power-estimation request.
+
+    Attributes
+    ----------
+    circuit:
+        Registered benchmark name (``"s298"``) or path to a ``.bench`` file.
+    estimator:
+        Estimator kind from the registry (``"dipe"``, ``"consecutive-mc"``,
+        ``"fixed-warmup"``, ``"figure3-profile"``, ...).
+    stimulus:
+        Input-pattern specification; defaults to the paper's independent
+        inputs with probability 0.5.
+    config:
+        Estimation configuration (paper defaults when omitted).
+    seed:
+        Integer seed; every random choice of the run derives from it, so a
+        spec re-executed anywhere reproduces its result bit-for-bit.
+    params:
+        Extra keyword arguments for the estimator factory (e.g.
+        ``warmup_period`` for ``"fixed-warmup"``).
+    label:
+        Optional human-readable job name used in manifests and logs.
+    """
+
+    circuit: str
+    estimator: str = "dipe"
+    stimulus: StimulusSpec = field(default_factory=StimulusSpec)
+    config: EstimationConfig = field(default_factory=EstimationConfig)
+    seed: int = 2025
+    params: dict[str, Any] = field(default_factory=dict)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.circuit, str) or not self.circuit.strip():
+            raise ValueError("circuit must be a non-empty string")
+        if not isinstance(self.estimator, str) or not self.estimator.strip():
+            raise ValueError("estimator must be a non-empty string")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an integer (JobSpecs are serializable)")
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def name(self) -> str:
+        """Label if set, otherwise a deterministic ``estimator:circuit@seed`` tag."""
+        return self.label or f"{self.estimator}:{self.circuit}@{self.seed}"
+
+    # ------------------------------------------------------------- execution
+    def build_estimator(self):
+        """Resolve the circuit and instantiate the configured estimator."""
+        circuit = resolve_circuit(self.circuit)
+        stimulus = self.stimulus.build(circuit.num_inputs)
+        factory = get_estimator(self.estimator)
+        return factory(circuit, stimulus=stimulus, config=self.config, rng=self.seed, **self.params)
+
+    def run(self, progress: ProgressCallback | None = None) -> "JobResult":
+        """Execute the job (see :func:`run_job`)."""
+        return run_job(self, progress=progress)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "circuit": self.circuit,
+            "estimator": self.estimator,
+            "stimulus": self.stimulus.to_dict(),
+            "config": self.config.to_dict(),
+            "seed": self.seed,
+            "params": json.loads(json.dumps(self.params)),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobSpec":
+        config = data.get("config")
+        stimulus = data.get("stimulus")
+        return cls(
+            circuit=data["circuit"],
+            estimator=data.get("estimator", "dipe"),
+            stimulus=StimulusSpec.from_dict(stimulus) if stimulus is not None else StimulusSpec(),
+            config=EstimationConfig.from_dict(config) if config is not None else EstimationConfig(),
+            seed=int(data.get("seed", 2025)),
+            params=dict(data.get("params", {})),
+            label=data.get("label"),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one executed :class:`JobSpec`.
+
+    ``result`` is the estimator's payload — a
+    :class:`~repro.core.results.PowerEstimate` for the mean estimators, a
+    :class:`~repro.experiments.figure3.Figure3Result` for the z-profile sweep
+    — or ``None`` when the job failed (``status == "error"``).
+    """
+
+    spec: JobSpec
+    result: Any = None
+    status: str = "ok"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def estimate(self) -> PowerEstimate:
+        """The payload as a :class:`PowerEstimate` (raises if the job failed)."""
+        if not self.ok:
+            raise RuntimeError(f"job {self.spec.name!r} failed: {self.error}")
+        if not isinstance(self.result, PowerEstimate):
+            raise TypeError(f"job {self.spec.name!r} produced {type(self.result).__name__}")
+        return self.result
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.result is None:
+            payload = None
+        else:
+            payload = {"type": _result_tag(self.result), "data": self.result.to_dict()}
+        return {
+            "name": self.spec.name,
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "error": self.error,
+            "result": payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JobResult":
+        payload = data.get("result")
+        result = None
+        if payload is not None:
+            result = _result_type(payload["type"]).from_dict(payload["data"])
+        return cls(
+            spec=JobSpec.from_dict(data["spec"]),
+            result=result,
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+        )
+
+
+def run_job(spec: JobSpec, progress: ProgressCallback | None = None) -> JobResult:
+    """Execute *spec* and return its :class:`JobResult`.
+
+    The estimator is driven through its streaming ``run()`` protocol; when
+    *progress* is given it receives every :class:`ProgressEvent` as it is
+    produced.  Exceptions propagate — use :func:`run_job_safely` (what the
+    batch runner does) to capture them as error results instead.
+    """
+    estimator = spec.build_estimator()
+    result = estimator.estimate(progress=progress)
+    return JobResult(spec=spec, result=result, status="ok")
+
+
+def run_job_safely(spec: JobSpec) -> JobResult:
+    """Like :func:`run_job` but capture failures as ``status="error"`` results."""
+    try:
+        return run_job(spec)
+    except Exception as exc:  # noqa: BLE001 — batch jobs must not kill the runner
+        return JobResult(
+            spec=spec, result=None, status="error", error=f"{type(exc).__name__}: {exc}"
+        )
+
+
+def derive_job_seeds(master_seed: int, count: int) -> list[int]:
+    """Derive *count* independent per-job seeds deterministically from one master seed."""
+    return child_seeds(master_seed, count)

@@ -1,39 +1,44 @@
 """Command-line interface for the DIPE reproduction.
 
-The CLI wraps the library's main entry points so the paper's experiments can
-be driven without writing Python:
+The CLI is a thin veneer over the job-oriented API in :mod:`repro.api` —
+every estimation verb builds a serializable :class:`~repro.api.JobSpec` and
+executes it through :func:`~repro.api.run_job`:
 
-* ``repro-dipe circuits`` — list the registered benchmark circuits and sizes.
-* ``repro-dipe estimate s298`` — run DIPE (and optionally the reference) on
-  one circuit, either a registered benchmark or a ``.bench`` file.
-* ``repro-dipe table1`` / ``table2`` / ``figure3`` — regenerate the paper's
-  tables and figure with configurable budgets.
+* ``repro circuits`` — list the registered benchmark circuits and sizes.
+* ``repro estimate s298`` — run a registered estimator (DIPE by default) on
+  one circuit, either a registered benchmark or a ``.bench`` file, with
+  optional streaming progress (``--progress``).
+* ``repro batch jobs.json --workers N`` — fan a JSON list of job specs
+  across worker processes and write a results manifest.
+* ``repro table1`` / ``table2`` / ``figure3`` — regenerate the paper's
+  tables and figure with configurable budgets (``--workers`` shards the
+  estimation jobs; results are identical for any worker count).
 
-Every command accepts ``--seed`` so results are reproducible.
+Every verb accepts ``--seed`` for reproducibility and ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro.api.batch import BatchRunner, load_jobs
+from repro.api.jobs import JobSpec, StimulusSpec, run_job
+from repro.api.registry import estimator_names, stopping_criterion_names
 from repro.circuits.iscas89 import (
     SMALL_CIRCUIT_NAMES,
     TABLE_CIRCUIT_NAMES,
-    build_circuit,
     circuit_summary,
     list_circuits,
 )
 from repro.core.config import EstimationConfig
-from repro.core.dipe import DipeEstimator
 from repro.experiments.figure3 import format_figure3, run_figure3
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
-from repro.netlist.bench import parse_bench_file
 from repro.power.reference import estimate_reference_power
-from repro.simulation.compiled import CompiledCircuit
-from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.utils.tables import TextTable
 
 
@@ -49,6 +54,10 @@ def _estimation_config(args: argparse.Namespace) -> EstimationConfig:
     )
 
 
+def _stimulus_spec(args: argparse.Namespace) -> StimulusSpec:
+    return StimulusSpec.bernoulli(args.input_probability)
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=float, default=0.20,
                         help="runs-test significance level (paper: 0.20)")
@@ -56,7 +65,7 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="maximum relative error of the estimate (paper: 0.05)")
     parser.add_argument("--confidence", type=float, default=0.99,
                         help="confidence of the estimate (paper: 0.99)")
-    parser.add_argument("--stopping", choices=("order-statistic", "clt", "ks"),
+    parser.add_argument("--stopping", choices=sorted(stopping_criterion_names()),
                         default="order-statistic", help="stopping criterion")
     parser.add_argument("--power-simulator", choices=("zero-delay", "event-driven"),
                         default="zero-delay", help="power engine for the sampled cycles")
@@ -65,27 +74,34 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                              "(>1 uses the vectorized multi-chain sampler)")
     parser.add_argument("--backend", choices=("auto", "bigint", "numpy"), default="auto",
                         help="zero-delay simulator backend (auto picks by ensemble width)")
+    parser.add_argument("--input-probability", type=float, default=0.5,
+                        help="probability of 1 at every primary input (paper: 0.5)")
     parser.add_argument("--seed", type=int, default=2025, help="random seed")
 
 
-def _load_circuit(name_or_path: str) -> CompiledCircuit:
-    if name_or_path in list_circuits():
-        return build_circuit(name_or_path)
-    if name_or_path.endswith(".bench"):
-        return CompiledCircuit.from_netlist(parse_bench_file(name_or_path))
-    raise SystemExit(
-        f"unknown circuit {name_or_path!r}: pass a registered benchmark name "
-        f"({', '.join(list_circuits())}) or a path to a .bench file"
-    )
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+
+
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2))
+
+
+def _print_progress_event(event) -> None:
+    print(json.dumps(event.to_dict()), file=sys.stderr)
 
 
 # --------------------------------------------------------------------- verbs
-def _cmd_circuits(_args: argparse.Namespace) -> int:
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    summaries = [dict(circuit_summary(name), circuit=name) for name in list_circuits()]
+    if args.json:
+        _print_json(summaries)
+        return 0
     table = TextTable(headers=["Circuit", "Inputs", "Outputs", "Latches", "Gates", "Nets"])
-    for name in list_circuits():
-        summary = circuit_summary(name)
+    for summary in summaries:
         table.add_row(
-            [name, summary["inputs"], summary["outputs"], summary["latches"],
+            [summary["circuit"], summary["inputs"], summary["outputs"], summary["latches"],
              summary["gates"], summary["nets"]]
         )
     print(table.render())
@@ -93,12 +109,56 @@ def _cmd_circuits(_args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
-    config = _estimation_config(args)
-    stimulus = BernoulliStimulus(circuit.num_inputs, args.input_probability)
-    estimate = DipeEstimator(circuit, stimulus=stimulus, config=config, rng=args.seed).estimate()
+    if not isinstance(args.params, dict):
+        raise SystemExit("--params must be a JSON object, e.g. '{\"warmup_period\": 12}'")
+    spec = JobSpec(
+        circuit=args.circuit,
+        estimator=args.estimator,
+        stimulus=_stimulus_spec(args),
+        config=_estimation_config(args),
+        seed=args.seed,
+        params=args.params,
+    )
+    progress = _print_progress_event if args.progress else None
+    try:
+        result = run_job(spec, progress=progress)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if not result.ok or not hasattr(result.result, "average_power_mw"):
+        # Estimator kinds with non-PowerEstimate payloads (e.g. the
+        # figure3-profile sweep) have no tabular text form here; emit the
+        # serialized job result instead.
+        _print_json(result.to_dict())
+        return 0 if result.ok else 1
+    estimate = result.estimate
 
-    print(f"circuit               : {circuit.name}")
+    reference = None
+    if args.reference_cycles > 0:
+        from repro.api.jobs import resolve_circuit
+        from repro.stimulus.random_inputs import BernoulliStimulus
+
+        circuit = resolve_circuit(args.circuit)
+        reference = estimate_reference_power(
+            circuit,
+            BernoulliStimulus(circuit.num_inputs, args.input_probability),
+            total_cycles=args.reference_cycles,
+            rng=args.seed + 1,
+        )
+
+    if args.json:
+        payload = result.to_dict()
+        if reference is not None:
+            payload["reference"] = {
+                "average_power_w": reference.average_power_w,
+                "total_cycles": reference.total_cycles,
+                "relative_error": estimate.relative_error_to(reference.average_power_w),
+            }
+        _print_json(payload)
+        return 0
+
+    config = spec.config
+    print(f"circuit               : {estimate.circuit_name}")
+    print(f"estimator             : {spec.estimator}")
     print(f"chains / backend      : {config.num_chains} / {config.simulation_backend}")
     print(f"average power         : {estimate.average_power_mw:.4f} mW")
     print(f"confidence interval   : [{estimate.lower_bound_w * 1e3:.4f}, "
@@ -107,19 +167,52 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(f"sample size           : {estimate.sample_size}")
     print(f"cycles simulated      : {estimate.cycles_simulated}")
     print(f"accuracy met          : {estimate.accuracy_met}")
-
-    if args.reference_cycles > 0:
-        reference = estimate_reference_power(
-            circuit,
-            BernoulliStimulus(circuit.num_inputs, args.input_probability),
-            total_cycles=args.reference_cycles,
-            rng=args.seed + 1,
-        )
+    if reference is not None:
         error = estimate.relative_error_to(reference.average_power_w)
         print(f"reference power       : {reference.average_power_mw:.4f} mW "
               f"({reference.total_cycles} cycles)")
         print(f"relative error        : {100 * error:.2f} %")
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        specs = load_jobs(args.jobs_file)
+    except (OSError, ValueError, KeyError) as error:
+        raise SystemExit(f"cannot load jobs from {args.jobs_file!r}: {error}") from None
+    if not specs:
+        raise SystemExit(f"jobs file {args.jobs_file!r} contains no jobs")
+
+    result = BatchRunner(workers=args.workers).run(specs)
+    output = args.output or "batch_results.json"
+    result.write_manifest(output)
+
+    if args.json:
+        _print_json(result.to_dict())
+    else:
+        table = TextTable(
+            headers=["Job", "Circuit", "Status", "Power (mW)", "Samples", "I.I."], precision=4
+        )
+        for job in result.results:
+            estimate = job.result if job.ok else None
+            power = getattr(estimate, "average_power_mw", None)
+            table.add_row(
+                [
+                    job.spec.name,
+                    job.spec.circuit,
+                    job.status,
+                    power if power is not None else "-",
+                    getattr(estimate, "sample_size", "-"),
+                    getattr(estimate, "independence_interval", "-"),
+                ]
+            )
+        print(table.render())
+        print(f"\n{len(result.results)} jobs, {result.num_errors} errors; "
+              f"manifest written to {output}")
+        for job in result.results:
+            if not job.ok:
+                print(f"  FAILED {job.spec.name}: {job.error}")
+    return 0 if result.all_ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -131,8 +224,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         config=_estimation_config(args),
         reference_cycles=args.reference_cycles,
         seed=args.seed,
+        input_probability=args.input_probability,
+        workers=args.workers,
     )
-    print(format_table1(result))
+    if args.json:
+        _print_json(result.to_dict())
+    else:
+        print(format_table1(result))
     return 0
 
 
@@ -146,8 +244,13 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         config=_estimation_config(args),
         reference_cycles=args.reference_cycles,
         seed=args.seed,
+        input_probability=args.input_probability,
+        workers=args.workers,
     )
-    print(format_table2(result))
+    if args.json:
+        _print_json(result.to_dict())
+    else:
+        print(format_table2(result))
     return 0
 
 
@@ -158,8 +261,12 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
         sequence_length=args.sequence_length,
         significance_level=args.alpha,
         seed=args.seed,
+        input_probability=args.input_probability,
     )
-    print(format_figure3(result))
+    if args.json:
+        _print_json(result.to_dict())
+    else:
+        print(format_figure3(result))
     return 0
 
 
@@ -173,22 +280,44 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     circuits = subparsers.add_parser("circuits", help="list the registered benchmark circuits")
+    _add_json_argument(circuits)
     circuits.set_defaults(handler=_cmd_circuits)
 
     estimate = subparsers.add_parser("estimate", help="estimate one circuit's average power")
     estimate.add_argument("circuit", help="benchmark name or path to a .bench file")
-    estimate.add_argument("--input-probability", type=float, default=0.5,
-                          help="probability of 1 at every primary input (paper: 0.5)")
+    estimate.add_argument("--estimator", choices=sorted(estimator_names()), default="dipe",
+                          help="registered estimator kind (default: dipe)")
+    estimate.add_argument("--params", type=json.loads, default={},
+                          help="extra estimator parameters as a JSON object "
+                               "(e.g. '{\"warmup_period\": 12}' for fixed-warmup)")
     estimate.add_argument("--reference-cycles", type=int, default=0,
                           help="also run a reference simulation of this many cycles (0 = skip)")
+    estimate.add_argument("--progress", action="store_true",
+                          help="stream JSON progress events to stderr while running")
     _add_config_arguments(estimate)
+    _add_json_argument(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON list of job specs, optionally across worker processes"
+    )
+    batch.add_argument("jobs_file",
+                       help="JSON file: a list of JobSpec dicts or {'jobs': [...]}")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results are identical for any count)")
+    batch.add_argument("--output", default=None,
+                       help="results manifest path (default: batch_results.json)")
+    _add_json_argument(batch)
+    batch.set_defaults(handler=_cmd_batch)
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("circuits", nargs="*", help="circuit names (default: quick subset)")
     table1.add_argument("--all-circuits", action="store_true", help="use all 24 paper circuits")
     table1.add_argument("--reference-cycles", type=int, default=50_000)
+    table1.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the estimation jobs")
     _add_config_arguments(table1)
+    _add_json_argument(table1)
     table1.set_defaults(handler=_cmd_table1)
 
     table2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
@@ -198,7 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=25, help="repeated runs per circuit (paper: 1000)"
     )
     table2.add_argument("--reference-cycles", type=int, default=50_000)
+    table2.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the estimation jobs")
     _add_config_arguments(table2)
+    _add_json_argument(table2)
     table2.set_defaults(handler=_cmd_table2)
 
     figure3 = subparsers.add_parser("figure3", help="regenerate the paper's Figure 3 sweep")
@@ -206,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure3.add_argument("--max-interval", type=int, default=30)
     figure3.add_argument("--sequence-length", type=int, default=10_000)
     _add_config_arguments(figure3)
+    _add_json_argument(figure3)
     figure3.set_defaults(handler=_cmd_figure3)
 
     return parser

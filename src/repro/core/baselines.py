@@ -13,12 +13,28 @@
   but wastes simulation cycles whenever the circuit mixes faster than the
   pessimistic assumption — the inefficiency DIPE's dynamic interval selection
   removes.
+
+Both baselines speak the same incremental-execution protocol as
+:class:`~repro.core.dipe.DipeEstimator`: ``run()`` streams typed
+:class:`~repro.api.events.ProgressEvent` objects, ``estimate()`` drives the
+stream, and :meth:`make_checkpoint` / ``run(resume_from=...)`` freeze and
+resume a half-finished run.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Iterator
 
+from repro.api.checkpoint import RunCheckpoint
+from repro.api.events import (
+    EstimateCompleted,
+    ProgressEvent,
+    RunStarted,
+    SampleProgress,
+)
+from repro.api.protocol import StreamingEstimator
+from repro.api.registry import register_estimator
 from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.results import PowerEstimate
@@ -31,7 +47,7 @@ from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.utils.rng import RandomSource
 
 
-class _BaselineEstimator:
+class _BaselineEstimator(StreamingEstimator):
     """Shared plumbing of the baseline estimators."""
 
     method = "baseline"
@@ -66,9 +82,12 @@ class _BaselineEstimator:
     def _stopping_name(self) -> str:
         return self.config.stopping_criterion
 
-    def estimate(self) -> PowerEstimate:
-        """Run the baseline estimation loop and return a :class:`PowerEstimate`."""
+    # -------------------------------------------------------------- streaming
+    def run(self, resume_from: RunCheckpoint | None = None) -> Iterator[ProgressEvent]:
+        """Execute the baseline loop incrementally, yielding progress events."""
         config = self.config
+        power_model = config.power_model
+        circuit_name = self.circuit.name
         criterion = make_stopping_criterion(
             self._stopping_name(),
             max_relative_error=config.max_relative_error,
@@ -76,24 +95,47 @@ class _BaselineEstimator:
             min_samples=config.min_samples,
         )
         start_time = time.perf_counter()
-        self.sampler.prepare(config.warmup_cycles)
+        elapsed_before = 0.0
 
-        samples: list[float] = []
+        if resume_from is None:
+            yield RunStarted(
+                circuit=circuit_name, method=self.method, samples_drawn=0, cycles_simulated=0
+            )
+            self.sampler.prepare(config.warmup_cycles)
+            samples: list[float] = []
+        else:
+            self._validate_checkpoint(resume_from)
+            elapsed_before = resume_from.elapsed_seconds
+            self.sampler.set_state(resume_from.sampler_state)
+            samples = list(resume_from.samples)
+
+        self._samples = samples
+        self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
+
         decision = criterion.evaluate(samples)
-        while len(samples) < config.max_samples:
+        while not decision.should_stop and len(samples) < config.max_samples:
             added = 0
             while added < config.check_interval:
                 new_samples = self._collect_batch()
                 samples.extend(new_samples)
                 added += len(new_samples)
             decision = criterion.evaluate(samples)
-            if decision.should_stop:
-                break
+            self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
+            yield SampleProgress(
+                circuit=circuit_name,
+                method=self.method,
+                samples_drawn=len(samples),
+                cycles_simulated=self.sampler.cycles_simulated,
+                running_mean_w=power_model.cycle_power(max(decision.estimate, 0.0)),
+                lower_bound_w=power_model.cycle_power(max(decision.lower, 0.0)),
+                upper_bound_w=power_model.cycle_power(max(decision.upper, 0.0)),
+                relative_half_width=decision.relative_half_width,
+                accuracy_met=decision.should_stop,
+            )
 
-        elapsed = time.perf_counter() - start_time
-        power_model = config.power_model
-        return PowerEstimate(
-            circuit_name=self.circuit.name,
+        elapsed = elapsed_before + (time.perf_counter() - start_time)
+        estimate = PowerEstimate(
+            circuit_name=circuit_name,
             method=self.method,
             average_power_w=power_model.cycle_power(decision.estimate),
             lower_bound_w=power_model.cycle_power(max(decision.lower, 0.0)),
@@ -108,8 +150,15 @@ class _BaselineEstimator:
             interval_selection=None,
             samples_switched_capacitance_f=tuple(samples),
         )
+        yield EstimateCompleted(
+            circuit=circuit_name,
+            method=self.method,
+            samples_drawn=len(samples),
+            cycles_simulated=self.sampler.cycles_simulated,
+            estimate=estimate,
+        )
 
-
+@register_estimator("consecutive-mc")
 class ConsecutiveCycleEstimator(_BaselineEstimator):
     """Monte-Carlo estimation from consecutive (correlated) clock cycles.
 
@@ -139,6 +188,7 @@ class ConsecutiveCycleEstimator(_BaselineEstimator):
         return draw_samples(self.sampler, interval=0)
 
 
+@register_estimator("fixed-warmup")
 class FixedWarmupEstimator(_BaselineEstimator):
     """Independent samples via a fixed, a-priori warm-up period.
 

@@ -164,6 +164,25 @@ class BatchPowerSampler:
         if not self._prepared:
             self.prepare()
 
+    # ------------------------------------------------------------------ state
+    def get_state(self) -> dict:
+        """Snapshot the sampler for checkpoint/resume (see :class:`PowerSampler`)."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "cycles_simulated": self.cycles_simulated,
+            "prepared": self._prepared,
+            "engine": self._engine.get_state(),
+            "stimulus": self.stimulus.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.rng.bit_generator.state = state["rng"]
+        self.cycles_simulated = state["cycles_simulated"]
+        self._prepared = state["prepared"]
+        self._engine.set_state(state["engine"])
+        self.stimulus.set_state(state["stimulus"])
+
     # ------------------------------------------------------------------ steps
     def _advance_one_cycle(self) -> None:
         self._engine.step(self._next_pattern())

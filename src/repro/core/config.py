@@ -8,7 +8,8 @@ distribution-independent (order-statistics) stopping criterion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
+from typing import Any
 
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
@@ -16,7 +17,9 @@ from repro.power.power_model import PowerModel
 #: Power-measurement engines accepted by :class:`EstimationConfig`.
 POWER_SIMULATORS = ("zero-delay", "event-driven")
 
-#: Stopping criteria accepted by :class:`EstimationConfig`.
+#: The paper's built-in stopping criteria.  Kept for backwards compatibility;
+#: validation goes through the extensible registry in
+#: :mod:`repro.api.registry`, so names registered by plugins are accepted too.
 STOPPING_CRITERIA = ("order-statistic", "clt", "ks")
 
 #: Simulator backends accepted by :class:`EstimationConfig`.
@@ -103,9 +106,14 @@ class EstimationConfig:
             raise ValueError("max_relative_error must lie strictly between 0 and 1")
         if not 0.0 < self.confidence < 1.0:
             raise ValueError("confidence must lie strictly between 0 and 1")
-        if self.stopping_criterion not in STOPPING_CRITERIA:
+        # Imported lazily: repro.api.jobs imports this module, so a top-level
+        # import of the registry package would be circular.
+        from repro.api.registry import STOPPING_CRITERION_REGISTRY
+
+        if self.stopping_criterion not in STOPPING_CRITERION_REGISTRY:
             raise ValueError(
-                f"stopping_criterion must be one of {STOPPING_CRITERIA}, "
+                f"stopping_criterion must be one of "
+                f"{STOPPING_CRITERION_REGISTRY.names()}, "
                 f"got {self.stopping_criterion!r}"
             )
         if self.min_samples < 2:
@@ -135,13 +143,52 @@ class EstimationConfig:
             )
 
     def paper_defaults(self) -> "EstimationConfig":
-        """Return a copy with the exact experimental settings of the paper."""
-        return EstimationConfig(
+        """Return a copy with the exact statistical settings of the paper.
+
+        Only the paper's statistical knobs are reset; execution choices
+        (``power_simulator``, ``num_chains``, ``simulation_backend``) and the
+        sampling-budget fields (``min_samples``, ``check_interval``,
+        ``max_samples``, ``warmup_cycles``, ``max_independence_interval``)
+        carry over unchanged.
+        """
+        return replace(
+            self,
             significance_level=0.20,
             randomness_sequence_length=320,
             max_relative_error=0.05,
             confidence=0.99,
             stopping_criterion="order-statistic",
-            power_model=self.power_model,
-            capacitance_model=self.capacitance_model,
+        )
+
+    # ------------------------------------------------------------ serialization
+    _MODEL_FIELDS = ("power_model", "capacitance_model")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation; inverse of :meth:`from_dict` bit-for-bit."""
+        data: dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name not in self._MODEL_FIELDS
+        }
+        data["power_model"] = {
+            "vdd": self.power_model.vdd,
+            "clock_frequency_hz": self.power_model.clock_frequency_hz,
+        }
+        data["capacitance_model"] = {
+            f.name: getattr(self.capacitance_model, f.name) for f in fields(self.capacitance_model)
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EstimationConfig":
+        """Rebuild a configuration from :meth:`to_dict` output (partial dicts allowed)."""
+        data = dict(data)
+        power_model = data.pop("power_model", None)
+        capacitance_model = data.pop("capacitance_model", None)
+        return cls(
+            **data,
+            power_model=PowerModel(**power_model) if power_model is not None else PowerModel(),
+            capacitance_model=(
+                CapacitanceModel(**capacitance_model)
+                if capacitance_model is not None
+                else CapacitanceModel()
+            ),
         )

@@ -11,15 +11,36 @@
 4. feed the growing sample into a distribution-independent stopping criterion
    and terminate when the requested accuracy and confidence are reached.
 
-The convenience function :func:`estimate_average_power` wraps the class for
-one-line use; the class itself exposes the intermediate artefacts (interval
-selection diagnostics, the raw sample) for analysis.
+The flow executes incrementally: :meth:`DipeEstimator.run` is a generator
+that yields typed :class:`~repro.api.events.ProgressEvent` objects — run
+start, interval-selection diagnostics, a stopping-criterion verdict after
+every batch of new samples, and a final
+:class:`~repro.api.events.EstimateCompleted` carrying the
+:class:`~repro.core.results.PowerEstimate`.  :meth:`DipeEstimator.estimate`
+is a thin driver over the stream; :meth:`DipeEstimator.make_checkpoint` /
+``run(resume_from=...)`` freeze and resume a half-finished run with an
+identical final estimate.
+
+The convenience function :func:`estimate_average_power` is the legacy
+one-line entry point; new code should prefer
+:func:`repro.api.run_job` with a :class:`~repro.api.JobSpec`.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Iterator
 
+from repro.api.checkpoint import RunCheckpoint
+from repro.api.events import (
+    EstimateCompleted,
+    IntervalSelected,
+    ProgressEvent,
+    RunStarted,
+    SampleProgress,
+)
+from repro.api.protocol import StreamingEstimator
+from repro.api.registry import register_estimator
 from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.interval import select_independence_interval
@@ -33,7 +54,8 @@ from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.utils.rng import RandomSource
 
 
-class DipeEstimator:
+@register_estimator("dipe")
+class DipeEstimator(StreamingEstimator):
     """Average-power estimator for sequential circuits (the paper's DIPE tool).
 
     Parameters
@@ -48,6 +70,8 @@ class DipeEstimator:
     rng:
         Seed or generator controlling every random choice of the run.
     """
+
+    method = "dipe"
 
     def __init__(
         self,
@@ -71,19 +95,56 @@ class DipeEstimator:
             min_samples=self.config.min_samples,
         )
 
-    def estimate(self) -> PowerEstimate:
-        """Run the full DIPE flow and return the :class:`PowerEstimate`."""
+    # -------------------------------------------------------------- streaming
+    def run(self, resume_from: RunCheckpoint | None = None) -> Iterator[ProgressEvent]:
+        """Execute the DIPE flow incrementally, yielding progress events.
+
+        The stream's ``samples_drawn`` is monotonically non-decreasing and
+        its final event is an :class:`EstimateCompleted` whose ``estimate``
+        equals the :meth:`estimate` return value.  Closing the generator
+        aborts the run; :meth:`make_checkpoint` (valid between events)
+        freezes it so ``run(resume_from=checkpoint)`` on a fresh estimator
+        continues the identical trajectory.
+        """
         config = self.config
         power_model = config.power_model
+        circuit_name = self.circuit.name
         start_time = time.perf_counter()
+        elapsed_before = 0.0
 
-        self.sampler.prepare(config.warmup_cycles)
-        interval_result = select_independence_interval(self.sampler, config)
+        if resume_from is None:
+            yield RunStarted(
+                circuit=circuit_name, method=self.method, samples_drawn=0, cycles_simulated=0
+            )
+            self.sampler.prepare(config.warmup_cycles)
+            interval_result = select_independence_interval(self.sampler, config)
+            samples: list[float] = []
+        else:
+            self._validate_checkpoint(resume_from)
+            if resume_from.interval_selection is None:
+                raise ValueError("DIPE checkpoints must carry the interval selection")
+            elapsed_before = resume_from.elapsed_seconds
+            self.sampler.set_state(resume_from.sampler_state)
+            interval_result = resume_from.interval_selection
+            samples = list(resume_from.samples)
+
+        self._samples = samples
+        self._interval_result = interval_result
+        self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
         interval = interval_result.interval
+        yield IntervalSelected(
+            circuit=circuit_name,
+            method=self.method,
+            samples_drawn=len(samples),
+            cycles_simulated=self.sampler.cycles_simulated,
+            interval=interval,
+            converged=interval_result.converged,
+            num_trials=interval_result.num_trials,
+            selection=interval_result,
+        )
 
-        samples: list[float] = []
         decision = self.stopping_criterion.evaluate(samples)
-        while len(samples) < config.max_samples:
+        while not decision.should_stop and len(samples) < config.max_samples:
             added = 0
             while added < config.check_interval:
                 # One measured sweep yields one sample per chain; the chains'
@@ -92,13 +153,23 @@ class DipeEstimator:
                 samples.extend(new_samples)
                 added += len(new_samples)
             decision = self.stopping_criterion.evaluate(samples)
-            if decision.should_stop:
-                break
+            self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
+            yield SampleProgress(
+                circuit=circuit_name,
+                method=self.method,
+                samples_drawn=len(samples),
+                cycles_simulated=self.sampler.cycles_simulated,
+                running_mean_w=power_model.cycle_power(max(decision.estimate, 0.0)),
+                lower_bound_w=power_model.cycle_power(max(decision.lower, 0.0)),
+                upper_bound_w=power_model.cycle_power(max(decision.upper, 0.0)),
+                relative_half_width=decision.relative_half_width,
+                accuracy_met=decision.should_stop,
+            )
 
-        elapsed = time.perf_counter() - start_time
-        return PowerEstimate(
-            circuit_name=self.circuit.name,
-            method="dipe",
+        elapsed = elapsed_before + (time.perf_counter() - start_time)
+        estimate = PowerEstimate(
+            circuit_name=circuit_name,
+            method=self.method,
             average_power_w=power_model.cycle_power(decision.estimate),
             lower_bound_w=power_model.cycle_power(max(decision.lower, 0.0)),
             upper_bound_w=power_model.cycle_power(max(decision.upper, 0.0)),
@@ -112,7 +183,13 @@ class DipeEstimator:
             interval_selection=interval_result,
             samples_switched_capacitance_f=tuple(samples),
         )
-
+        yield EstimateCompleted(
+            circuit=circuit_name,
+            method=self.method,
+            samples_drawn=len(samples),
+            cycles_simulated=self.sampler.cycles_simulated,
+            estimate=estimate,
+        )
 
 def estimate_average_power(
     circuit: CompiledCircuit | Netlist,
@@ -123,6 +200,9 @@ def estimate_average_power(
     """One-call DIPE estimation of a circuit's average power.
 
     Equivalent to constructing a :class:`DipeEstimator` and calling
-    :meth:`~DipeEstimator.estimate`.
+    :meth:`~DipeEstimator.estimate`.  Kept as a compatibility shim; new code
+    should build a :class:`repro.api.JobSpec` and call
+    :func:`repro.api.run_job`, which adds registries, streaming progress and
+    batch execution on top of the same flow.
     """
     return DipeEstimator(circuit, stimulus=stimulus, config=config, rng=rng).estimate()

@@ -1,8 +1,15 @@
-"""Result records produced by the estimators."""
+"""Result records produced by the estimators.
+
+All records are JSON-serializable through ``to_dict``/``from_dict`` pairs
+that round-trip bit-exactly (floats survive the JSON text encoding unchanged
+— Python serializes them with ``repr`` precision), so estimates can be
+written to batch manifests and reloaded without losing information.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -13,6 +20,13 @@ class IntervalTrial:
     z_statistic: float
     accepted: bool
     sequence_length: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IntervalTrial":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -46,6 +60,25 @@ class IntervalSelectionResult:
     def num_trials(self) -> int:
         """Number of trial intervals examined."""
         return len(self.trials)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "converged": self.converged,
+            "trials": [trial.to_dict() for trial in self.trials],
+            "significance_level": self.significance_level,
+            "cycles_simulated": self.cycles_simulated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IntervalSelectionResult":
+        return cls(
+            interval=data["interval"],
+            converged=data["converged"],
+            trials=tuple(IntervalTrial.from_dict(trial) for trial in data["trials"]),
+            significance_level=data["significance_level"],
+            cycles_simulated=data["cycles_simulated"],
+        )
 
 
 @dataclass(frozen=True)
@@ -112,3 +145,49 @@ class PowerEstimate:
         if reference_power_w <= 0:
             raise ValueError("reference power must be positive")
         return abs(reference_power_w - self.average_power_w) / reference_power_w
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation; inverse of :meth:`from_dict` bit-for-bit."""
+        return {
+            "circuit_name": self.circuit_name,
+            "method": self.method,
+            "average_power_w": self.average_power_w,
+            "lower_bound_w": self.lower_bound_w,
+            "upper_bound_w": self.upper_bound_w,
+            "relative_half_width": self.relative_half_width,
+            "sample_size": self.sample_size,
+            "independence_interval": self.independence_interval,
+            "cycles_simulated": self.cycles_simulated,
+            "elapsed_seconds": self.elapsed_seconds,
+            "stopping_criterion": self.stopping_criterion,
+            "accuracy_met": self.accuracy_met,
+            "interval_selection": (
+                self.interval_selection.to_dict() if self.interval_selection is not None else None
+            ),
+            "samples_switched_capacitance_f": list(self.samples_switched_capacitance_f),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PowerEstimate":
+        """Rebuild an estimate from :meth:`to_dict` output."""
+        interval_selection = data.get("interval_selection")
+        return cls(
+            circuit_name=data["circuit_name"],
+            method=data["method"],
+            average_power_w=data["average_power_w"],
+            lower_bound_w=data["lower_bound_w"],
+            upper_bound_w=data["upper_bound_w"],
+            relative_half_width=data["relative_half_width"],
+            sample_size=data["sample_size"],
+            independence_interval=data["independence_interval"],
+            cycles_simulated=data["cycles_simulated"],
+            elapsed_seconds=data["elapsed_seconds"],
+            stopping_criterion=data["stopping_criterion"],
+            accuracy_met=data["accuracy_met"],
+            interval_selection=(
+                IntervalSelectionResult.from_dict(interval_selection)
+                if interval_selection is not None
+                else None
+            ),
+            samples_switched_capacitance_f=tuple(data.get("samples_switched_capacitance_f", ())),
+        )

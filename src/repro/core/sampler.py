@@ -113,6 +113,30 @@ class PowerSampler:
         self.cycles_simulated += 1
         return switched
 
+    # ------------------------------------------------------------------ state
+    def get_state(self) -> dict:
+        """Snapshot the sampler for checkpoint/resume.
+
+        Captures the RNG bit-generator state, the simulator's lane values,
+        the stimulus state and the cycle counter — everything needed so a
+        restored sampler continues the *same* random trajectory.
+        """
+        return {
+            "rng": self.rng.bit_generator.state,
+            "cycles_simulated": self.cycles_simulated,
+            "prepared": self._prepared,
+            "engine": self._state_engine.get_state(),
+            "stimulus": self.stimulus.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        self.rng.bit_generator.state = state["rng"]
+        self.cycles_simulated = state["cycles_simulated"]
+        self._prepared = state["prepared"]
+        self._state_engine.set_state(state["engine"])
+        self.stimulus.set_state(state["stimulus"])
+
     # ------------------------------------------------------------------- API
     def restart_from_random_state(self) -> None:
         """Re-randomise the latch state and settle the network (no warm-up).

@@ -33,22 +33,45 @@ from repro.experiments.ablation_stopping import (
     format_stopping_ablation,
     run_stopping_ablation,
 )
-from repro.experiments.figure3 import Figure3Point, Figure3Result, format_figure3, run_figure3
-from repro.experiments.table1 import Table1Result, Table1Row, format_table1, run_table1
-from repro.experiments.table2 import Table2Result, Table2Row, format_table2, run_table2
+from repro.experiments.figure3 import (
+    Figure3Estimator,
+    Figure3Point,
+    Figure3Result,
+    figure3_job,
+    format_figure3,
+    run_figure3,
+)
+from repro.experiments.table1 import (
+    Table1Result,
+    Table1Row,
+    format_table1,
+    run_table1,
+    table1_jobs,
+)
+from repro.experiments.table2 import (
+    Table2Result,
+    Table2Row,
+    format_table2,
+    run_table2,
+    table2_jobs,
+)
 
 __all__ = [
     "Table1Result",
     "Table1Row",
     "run_table1",
+    "table1_jobs",
     "format_table1",
     "Table2Result",
     "Table2Row",
     "run_table2",
+    "table2_jobs",
     "format_table2",
+    "Figure3Estimator",
     "Figure3Point",
     "Figure3Result",
     "run_figure3",
+    "figure3_job",
     "format_figure3",
     "StoppingAblationResult",
     "run_stopping_ablation",

@@ -8,19 +8,27 @@ different capacitance calibration, Python instead of a C simulator on a
 SPARC 20), but the shape of the table is the point: intervals of a few clock
 cycles, estimates within the 5 % specification of the reference, and sample
 sizes of a few hundred to a few thousand.
+
+The harness is a :class:`~repro.api.jobs.JobSpec` producer:
+:func:`table1_jobs` emits one serializable spec per circuit (deterministic
+per-job seeds derived from the master seed) and :func:`run_table1` executes
+them through the :class:`~repro.api.batch.BatchRunner` — pass ``workers=N``
+to fan the circuits across processes; results are bit-identical to the
+serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
 
+from repro.api.batch import BatchRunner
+from repro.api.jobs import JobSpec, StimulusSpec
 from repro.circuits.iscas89 import SMALL_CIRCUIT_NAMES, build_circuit
 from repro.core.config import EstimationConfig
-from repro.core.dipe import DipeEstimator
 from repro.power.reference import estimate_reference_power
 from repro.stimulus.random_inputs import BernoulliStimulus
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import spawn_rng
 from repro.utils.tables import TextTable
 
 
@@ -56,14 +64,73 @@ class Table1Result:
             return 0.0
         return sum(row.relative_error for row in self.rows) / len(self.rows)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rows": [asdict(row) for row in self.rows],
+            "reference_cycles": self.reference_cycles,
+            "config": self.config.to_dict(),
+        }
+
+
+def _table1_seeds(seed, circuit_names: Sequence[str]) -> list[tuple[int, int]]:
+    """Per-circuit ``(reference_seed, estimate_seed)`` pairs from the master seed.
+
+    The draw order (reference before estimate, circuit by circuit) is part of
+    the reproducibility contract: it matches the historical serial harness,
+    so a given master seed keeps producing the same table.
+    """
+    master_rng = spawn_rng(seed)
+    return [
+        (int(master_rng.integers(0, 2**62)), int(master_rng.integers(0, 2**62)))
+        for _ in circuit_names
+    ]
+
+
+def _table1_specs(
+    names: Sequence[str],
+    config: EstimationConfig,
+    seeds: Sequence[tuple[int, int]],
+    input_probability: float,
+) -> tuple[JobSpec, ...]:
+    return tuple(
+        JobSpec(
+            circuit=name,
+            estimator="dipe",
+            stimulus=StimulusSpec.bernoulli(input_probability),
+            config=config,
+            seed=estimate_seed,
+            label=f"table1:{name}",
+        )
+        for name, (_, estimate_seed) in zip(names, seeds)
+    )
+
+
+def table1_jobs(
+    circuit_names: Sequence[str] | None = None,
+    config: EstimationConfig | None = None,
+    seed=2025,
+    input_probability: float = 0.5,
+) -> tuple[JobSpec, ...]:
+    """Emit the serializable DIPE JobSpecs behind Table 1 (one per circuit).
+
+    The reference ("SIM") simulations are not jobs — :func:`run_table1` runs
+    them alongside — but the estimate seeds here are exactly the seeds the
+    full harness uses, so specs can also be executed standalone (e.g. via
+    ``repro batch``) and compared against a full table run.
+    """
+    names = tuple(circuit_names) if circuit_names is not None else SMALL_CIRCUIT_NAMES
+    config = config or EstimationConfig()
+    return _table1_specs(names, config, _table1_seeds(seed, names), input_probability)
+
 
 def run_table1(
     circuit_names: Sequence[str] | None = None,
     config: EstimationConfig | None = None,
     reference_cycles: int = 50_000,
     reference_lanes: int = 64,
-    seed: RandomSource = 2025,
+    seed=2025,
     input_probability: float = 0.5,
+    workers: int = 1,
 ) -> Table1Result:
     """Regenerate Table 1.
 
@@ -83,17 +150,20 @@ def run_table1(
         Master seed; each circuit derives its own independent stream.
     input_probability:
         Probability of 1 at every primary input (paper: 0.5).
+    workers:
+        Worker processes for the DIPE estimation jobs (results are identical
+        for any worker count).
     """
     names = tuple(circuit_names) if circuit_names is not None else SMALL_CIRCUIT_NAMES
     config = config or EstimationConfig()
-    master_rng = spawn_rng(seed)
+    seeds = _table1_seeds(seed, names)
+    specs = _table1_specs(names, config, seeds, input_probability)
+    batch = BatchRunner(workers=workers).run(specs)
 
     rows = []
-    for name in names:
+    for name, (reference_seed, _), job in zip(names, seeds, batch.results):
+        estimate = job.estimate  # raises with the job's error if it failed
         circuit = build_circuit(name)
-        reference_seed = int(master_rng.integers(0, 2**62))
-        estimate_seed = int(master_rng.integers(0, 2**62))
-
         reference = estimate_reference_power(
             circuit,
             BernoulliStimulus(circuit.num_inputs, input_probability),
@@ -104,13 +174,6 @@ def run_table1(
             rng=reference_seed,
             backend=config.simulation_backend,
         )
-        estimator = DipeEstimator(
-            circuit,
-            stimulus=BernoulliStimulus(circuit.num_inputs, input_probability),
-            config=config,
-            rng=estimate_seed,
-        )
-        estimate = estimator.estimate()
         rows.append(
             Table1Row(
                 circuit=name,

@@ -7,19 +7,27 @@ fraction of runs that violated the accuracy specification.  The same summary
 is produced here with a configurable (smaller by default) number of repeated
 runs — the statistics converge long before 1,000 runs for the purpose of
 checking the *shape* of the paper's results.
+
+Like Table 1, the harness is a :class:`~repro.api.jobs.JobSpec` producer:
+:func:`table2_jobs` emits ``circuits × runs`` serializable specs with
+deterministic per-run seeds and :func:`run_table2` executes them through the
+:class:`~repro.api.batch.BatchRunner` (``workers=N`` shards the repeated
+runs across processes with bit-identical results) before reducing them to
+the paper's summary statistics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Sequence
 
+from repro.api.batch import BatchRunner
+from repro.api.jobs import JobSpec, StimulusSpec
 from repro.circuits.iscas89 import SMALL_CIRCUIT_NAMES, build_circuit
 from repro.core.config import EstimationConfig
-from repro.core.dipe import DipeEstimator
 from repro.power.reference import estimate_reference_power
 from repro.stimulus.random_inputs import BernoulliStimulus
-from repro.utils.rng import RandomSource, child_rngs, spawn_rng
+from repro.utils.rng import child_seeds, spawn_rng
 from repro.utils.tables import TextTable
 
 
@@ -45,6 +53,68 @@ class Table2Result:
     runs_per_circuit: int
     config: EstimationConfig
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rows": [asdict(row) for row in self.rows],
+            "runs_per_circuit": self.runs_per_circuit,
+            "config": self.config.to_dict(),
+        }
+
+
+def _table2_seeds(
+    seed, circuit_names: Sequence[str], runs_per_circuit: int
+) -> list[tuple[int, list[int]]]:
+    """Per-circuit ``(reference_seed, [run_seed, ...])`` derived from the master seed.
+
+    Matches the historical serial harness draw for draw (reference seed, then
+    one child-seed block per circuit), so existing master seeds keep
+    producing the same table.
+    """
+    master_rng = spawn_rng(seed)
+    return [
+        (
+            int(master_rng.integers(0, 2**62)),
+            child_seeds(int(master_rng.integers(0, 2**62)), runs_per_circuit),
+        )
+        for _ in circuit_names
+    ]
+
+
+def _table2_specs(
+    names: Sequence[str],
+    config: EstimationConfig,
+    seeds: Sequence[tuple[int, list[int]]],
+    input_probability: float,
+) -> tuple[JobSpec, ...]:
+    return tuple(
+        JobSpec(
+            circuit=name,
+            estimator="dipe",
+            stimulus=StimulusSpec.bernoulli(input_probability),
+            config=config,
+            seed=run_seed,
+            label=f"table2:{name}:run{index}",
+        )
+        for name, (_, run_seeds) in zip(names, seeds)
+        for index, run_seed in enumerate(run_seeds)
+    )
+
+
+def table2_jobs(
+    circuit_names: Sequence[str] | None = None,
+    runs_per_circuit: int = 25,
+    config: EstimationConfig | None = None,
+    seed=2025,
+    input_probability: float = 0.5,
+) -> tuple[JobSpec, ...]:
+    """Emit the serializable DIPE JobSpecs behind Table 2 (circuits × runs)."""
+    if runs_per_circuit < 1:
+        raise ValueError("runs_per_circuit must be at least 1")
+    names = tuple(circuit_names) if circuit_names is not None else SMALL_CIRCUIT_NAMES
+    config = config or EstimationConfig()
+    seeds = _table2_seeds(seed, names, runs_per_circuit)
+    return _table2_specs(names, config, seeds, input_probability)
+
 
 def run_table2(
     circuit_names: Sequence[str] | None = None,
@@ -52,18 +122,21 @@ def run_table2(
     config: EstimationConfig | None = None,
     reference_cycles: int = 50_000,
     reference_lanes: int = 64,
-    seed: RandomSource = 2025,
+    seed=2025,
     input_probability: float = 0.5,
+    workers: int = 1,
 ) -> Table2Result:
     """Regenerate Table 2 (repeated-run statistics of the DIPE estimator)."""
     if runs_per_circuit < 1:
         raise ValueError("runs_per_circuit must be at least 1")
     names = tuple(circuit_names) if circuit_names is not None else SMALL_CIRCUIT_NAMES
     config = config or EstimationConfig()
-    master_rng = spawn_rng(seed)
+    seeds = _table2_seeds(seed, names, runs_per_circuit)
+    specs = _table2_specs(names, config, seeds, input_probability)
+    batch = BatchRunner(workers=workers).run(specs)
 
     rows = []
-    for name in names:
+    for circuit_index, (name, (reference_seed, _)) in enumerate(zip(names, seeds)):
         circuit = build_circuit(name)
         reference = estimate_reference_power(
             circuit,
@@ -72,22 +145,19 @@ def run_table2(
             lanes=reference_lanes,
             power_model=config.power_model,
             capacitance_model=config.capacitance_model,
-            rng=int(master_rng.integers(0, 2**62)),
+            rng=reference_seed,
             backend=config.simulation_backend,
         )
 
+        jobs = batch.results[
+            circuit_index * runs_per_circuit : (circuit_index + 1) * runs_per_circuit
+        ]
         intervals: list[int] = []
         sample_sizes: list[int] = []
         deviations: list[float] = []
         violations = 0
-        for run_rng in child_rngs(int(master_rng.integers(0, 2**62)), runs_per_circuit):
-            estimator = DipeEstimator(
-                circuit,
-                stimulus=BernoulliStimulus(circuit.num_inputs, input_probability),
-                config=config,
-                rng=run_rng,
-            )
-            estimate = estimator.estimate()
+        for job in jobs:
+            estimate = job.estimate  # raises with the job's error if it failed
             deviation = estimate.relative_error_to(reference.average_power_w)
             intervals.append(estimate.independence_interval)
             sample_sizes.append(estimate.sample_size)

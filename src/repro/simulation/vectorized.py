@@ -291,6 +291,27 @@ class VectorizedZeroDelaySimulator:
             self.words[row] = bits_to_words(bits, self.num_words)
         self._settled = False
 
+    def get_state(self) -> dict:
+        """Snapshot the word matrix (checkpoint support; owns its storage)."""
+        return {
+            "backend": "numpy",
+            "words": self.words.copy(),
+            "settled": self._settled,
+            "cycles": self.cycles_simulated,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state` (same backend only)."""
+        if state.get("backend") != "numpy":
+            raise ValueError(
+                f"cannot restore a {state.get('backend')!r} snapshot into a numpy simulator"
+            )
+        if state["words"].shape != self.words.shape:
+            raise ValueError("snapshot does not match this circuit/width")
+        self.words[:] = state["words"]
+        self._settled = state["settled"]
+        self.cycles_simulated = state["cycles"]
+
     @property
     def values(self) -> list[int]:
         """Current net values as lane-packed integers (big-int compatible view)."""

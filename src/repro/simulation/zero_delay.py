@@ -152,6 +152,36 @@ class ZeroDelaySimulator:
             self._cycles = count
 
     # ----------------------------------------------------------------- state
+    def get_state(self) -> dict:
+        """Snapshot every lane's net values (checkpoint support).
+
+        The snapshot is an opaque dict for :meth:`set_state`; it owns its
+        storage, so continuing the simulation does not mutate it.
+        """
+        if self._vec is not None:
+            return self._vec.get_state()
+        return {
+            "backend": "bigint",
+            "values": list(self._values),
+            "settled": self._settled,
+            "cycles": self._cycles,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state` (same backend only)."""
+        if self._vec is not None:
+            self._vec.set_state(state)
+            return
+        if state.get("backend") != "bigint":
+            raise ValueError(
+                f"cannot restore a {state.get('backend')!r} snapshot into a bigint simulator"
+            )
+        if len(state["values"]) != self.circuit.num_nets:
+            raise ValueError("snapshot does not match this circuit")
+        self._values = list(state["values"])
+        self._settled = state["settled"]
+        self._cycles = state["cycles"]
+
     def reset(self, latch_state: int | Sequence[int] | None = None) -> None:
         """Reset all nets to 0 and load *latch_state* into the flip-flops.
 

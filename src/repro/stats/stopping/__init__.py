@@ -18,6 +18,11 @@ provided:
 All criteria share the interface of :class:`StoppingCriterion`.
 """
 
+from repro.api.registry import (
+    STOPPING_CRITERION_REGISTRY,
+    register_stopping_criterion,
+    stopping_criterion_names,
+)
 from repro.stats.stopping.base import StoppingCriterion, StoppingDecision
 from repro.stats.stopping.clt import CltStoppingCriterion
 from repro.stats.stopping.ks import KolmogorovSmirnovStoppingCriterion
@@ -32,13 +37,11 @@ __all__ = [
     "make_stopping_criterion",
 ]
 
-_CRITERIA = {
-    "order-statistic": OrderStatisticStoppingCriterion,
-    "order_stat": OrderStatisticStoppingCriterion,
-    "clt": CltStoppingCriterion,
-    "ks": KolmogorovSmirnovStoppingCriterion,
-    "kolmogorov-smirnov": KolmogorovSmirnovStoppingCriterion,
-}
+register_stopping_criterion("order-statistic", OrderStatisticStoppingCriterion,
+                            aliases=("order_stat",))
+register_stopping_criterion("clt", CltStoppingCriterion)
+register_stopping_criterion("ks", KolmogorovSmirnovStoppingCriterion,
+                            aliases=("kolmogorov-smirnov",))
 
 
 def make_stopping_criterion(
@@ -47,14 +50,17 @@ def make_stopping_criterion(
     confidence: float = 0.99,
     **kwargs,
 ) -> StoppingCriterion:
-    """Build a stopping criterion by name.
+    """Build a stopping criterion by registered name.
 
-    Accepted names: ``"order-statistic"`` (the paper's choice, default in
-    DIPE), ``"clt"``, and ``"ks"``.
+    Built-in names: ``"order-statistic"`` (the paper's choice, default in
+    DIPE), ``"clt"``, and ``"ks"``; additional criteria can be registered via
+    :func:`repro.api.register_stopping_criterion`.
     """
-    key = name.strip().lower()
-    if key not in _CRITERIA:
+    try:
+        factory = STOPPING_CRITERION_REGISTRY.get(name)
+    except KeyError:
         raise ValueError(
-            f"unknown stopping criterion {name!r}; choose from {sorted(set(_CRITERIA))}"
-        )
-    return _CRITERIA[key](max_relative_error=max_relative_error, confidence=confidence, **kwargs)
+            f"unknown stopping criterion {name!r}; "
+            f"choose from {sorted(stopping_criterion_names())}"
+        ) from None
+    return factory(max_relative_error=max_relative_error, confidence=confidence, **kwargs)

@@ -86,20 +86,23 @@ class StoppingCriterion(ABC):
                 relative_half_width=float("inf"),
             )
         estimate, lower, upper = self.interval(sample)
+        # Normalise to Python scalars: criteria computing with numpy would
+        # otherwise leak numpy scalar types into results and JSON manifests.
+        estimate, lower, upper = float(estimate), float(lower), float(upper)
         if estimate <= 0.0:
             # Power is non-negative; a zero estimate means nothing has switched
             # yet and the sample carries no usable accuracy information.
             relative = float("inf") if upper > lower else 0.0
         else:
             relative = (upper - lower) / 2.0 / estimate
-        should_stop = size >= self.min_samples and relative <= self.max_relative_error
+        should_stop = bool(size >= self.min_samples and relative <= self.max_relative_error)
         return StoppingDecision(
             should_stop=should_stop,
             sample_size=size,
             estimate=estimate,
             lower=lower,
             upper=upper,
-            relative_half_width=relative,
+            relative_half_width=float(relative),
         )
 
     def describe(self) -> str:

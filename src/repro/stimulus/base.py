@@ -85,6 +85,20 @@ class Stimulus(ABC):
     def reset(self) -> None:
         """Forget any internal state (default: stateless, nothing to do)."""
 
+    def get_state(self):
+        """Snapshot the generator's internal state for checkpointing.
+
+        Stateless generators return ``None`` (the default); stateful
+        subclasses must return a copy deep enough that further generation
+        does not mutate the snapshot.
+        """
+        return None
+
+    def set_state(self, state) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        if state is not None:
+            raise ValueError(f"{type(self).__name__} is stateless; cannot restore {state!r}")
+
     def patterns(self, rng: np.random.Generator, cycles: int, width: int = 1) -> list[list[int]]:
         """Convenience: generate *cycles* consecutive patterns."""
         return [self.next_pattern(rng, width) for _ in range(cycles)]

@@ -13,9 +13,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_stimulus
 from repro.stimulus.base import Stimulus
 
 
+@register_stimulus("lag-one-markov")
 class LagOneMarkovStimulus(Stimulus):
     """Each input is an independent two-state Markov chain.
 
@@ -55,6 +57,12 @@ class LagOneMarkovStimulus(Stimulus):
     def reset(self) -> None:
         self._state = None
 
+    def get_state(self):
+        return None if self._state is None else self._state.copy()
+
+    def set_state(self, state) -> None:
+        self._state = None if state is None else np.asarray(state, dtype=np.uint8).copy()
+
     def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
             return np.zeros((0, width), dtype=np.uint8)
@@ -78,6 +86,7 @@ class LagOneMarkovStimulus(Stimulus):
         )
 
 
+@register_stimulus("spatially-correlated")
 class SpatiallyCorrelatedStimulus(Stimulus):
     """Inputs that share latent bits, inducing positive pairwise correlation.
 

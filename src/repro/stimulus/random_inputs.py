@@ -6,9 +6,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_stimulus
 from repro.stimulus.base import Stimulus
 
 
+@register_stimulus("bernoulli")
 class BernoulliStimulus(Stimulus):
     """Mutually independent inputs, each 1 with its own probability.
 

@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.registry import register_stimulus
 from repro.stimulus.base import Stimulus
 
 
@@ -33,6 +34,12 @@ class SequenceStimulus(Stimulus):
     def reset(self) -> None:
         self._position = 0
 
+    def get_state(self):
+        return self._position
+
+    def set_state(self, state) -> None:
+        self._position = int(state) % len(self.vectors)
+
     def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         if self.num_inputs == 0:
             return np.zeros((0, width), dtype=np.uint8)
@@ -45,3 +52,15 @@ class SequenceStimulus(Stimulus):
 
     def describe(self) -> str:
         return f"SequenceStimulus(trace_length={len(self.vectors)}, inputs={self.num_inputs})"
+
+
+@register_stimulus("sequence")
+def _build_sequence_stimulus(num_inputs: int, vectors: Sequence[Sequence[int]]) -> SequenceStimulus:
+    """Registry factory: the vector width must match the circuit's input count."""
+    stimulus = SequenceStimulus(vectors)
+    if stimulus.num_inputs != num_inputs:
+        raise ValueError(
+            f"sequence vectors have {stimulus.num_inputs} bits but the circuit "
+            f"has {num_inputs} primary inputs"
+        )
+    return stimulus

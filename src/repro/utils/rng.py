@@ -38,14 +38,24 @@ def spawn_rng(source: RandomSource = None) -> np.random.Generator:
     )
 
 
+def child_seeds(source: RandomSource, count: int) -> list[int]:
+    """Derive *count* independent integer child seeds from *source*.
+
+    The integer form of :func:`child_rngs`: seeding ``default_rng`` with
+    entry *i* reproduces child generator *i* exactly.  Serializable job specs
+    (:class:`repro.api.JobSpec`) carry these integers instead of generator
+    objects.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = spawn_rng(source)
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)]
+
+
 def child_rngs(source: RandomSource, count: int) -> list[np.random.Generator]:
     """Split *source* into *count* statistically independent child generators.
 
     Used by repeated-run experiments (Table 2) so that each run has its own
     stream while the whole experiment remains reproducible from one seed.
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    rng = spawn_rng(source)
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(seed) for seed in child_seeds(source, count)]

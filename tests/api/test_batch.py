@@ -1,0 +1,160 @@
+"""BatchRunner tests: parallel == serial, manifests, error capture."""
+
+import json
+
+import pytest
+
+from repro.api.batch import BatchResult, BatchRunner, load_jobs, run_batch
+from repro.api.jobs import JobSpec
+from repro.core.config import EstimationConfig
+
+
+@pytest.fixture(scope="module")
+def batch_config():
+    return EstimationConfig(
+        randomness_sequence_length=64,
+        min_samples=64,
+        check_interval=32,
+        max_samples=2000,
+        warmup_cycles=16,
+        max_independence_interval=16,
+    )
+
+
+@pytest.fixture(scope="module")
+def batch_specs(batch_config):
+    return [
+        JobSpec(circuit="s27", config=batch_config, seed=101, label="b:s27a"),
+        JobSpec(circuit="s27", config=batch_config, seed=102, label="b:s27b"),
+        JobSpec(circuit="s298", config=batch_config, seed=103, label="b:s298"),
+        JobSpec(
+            circuit="s27",
+            estimator="consecutive-mc",
+            config=batch_config,
+            seed=104,
+            label="b:mc",
+        ),
+    ]
+
+
+def _comparable(batch: BatchResult) -> list[dict]:
+    rows = []
+    for job in batch.results:
+        data = job.to_dict()
+        if data["result"] is not None:
+            data["result"]["data"].pop("elapsed_seconds")
+        rows.append(data)
+    return rows
+
+
+class TestBatchRunner:
+    def test_serial_results_in_submission_order(self, batch_specs):
+        result = BatchRunner(workers=1).run(batch_specs)
+        assert [job.spec.label for job in result.results] == [s.label for s in batch_specs]
+        assert result.all_ok
+
+    def test_parallel_matches_serial_job_for_job(self, batch_specs):
+        serial = BatchRunner(workers=1).run(batch_specs)
+        parallel = BatchRunner(workers=4).run(batch_specs)
+        assert _comparable(serial) == _comparable(parallel)
+
+    def test_run_batch_convenience(self, batch_specs):
+        result = run_batch(batch_specs[:1], workers=2)
+        assert len(result.results) == 1 and result.all_ok
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(workers=0)
+
+    def test_failing_job_captured_not_raised(self, batch_config, batch_specs):
+        specs = [batch_specs[0], JobSpec(circuit="no-such-circuit", config=batch_config)]
+        result = BatchRunner(workers=2).run(specs)
+        assert result.results[0].ok
+        assert not result.results[1].ok
+        assert "unknown circuit" in result.results[1].error
+        assert result.num_errors == 1 and not result.all_ok
+
+    def test_external_plugin_module_forwarded_to_workers(
+        self, tmp_path, monkeypatch, batch_config
+    ):
+        plugin = tmp_path / "repro_test_plugin.py"
+        plugin.write_text(
+            "from repro.api.registry import register_stimulus\n"
+            "from repro.stimulus.random_inputs import BernoulliStimulus\n"
+            "\n"
+            "@register_stimulus('plugin-bernoulli')\n"
+            "def build(num_inputs, probability=0.5):\n"
+            "    return BernoulliStimulus(num_inputs, probability)\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        __import__("repro_test_plugin")
+        from repro.api.jobs import StimulusSpec
+        from repro.api.registry import external_provider_modules
+
+        assert "repro_test_plugin" in external_provider_modules()
+        spec = JobSpec(
+            circuit="s27",
+            stimulus=StimulusSpec(kind="plugin-bernoulli", params={"probability": 0.4}),
+            config=batch_config,
+            seed=7,
+        )
+        result = BatchRunner(workers=2).run([spec, spec])
+        assert result.all_ok
+
+
+class TestManifest:
+    def test_manifest_round_trip(self, tmp_path, batch_specs):
+        result = BatchRunner(workers=1).run(batch_specs[:2])
+        path = tmp_path / "manifest.json"
+        result.write_manifest(path)
+        loaded = BatchResult.load_manifest(path)
+        assert _comparable(loaded) == _comparable(result)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-batch-manifest/v1"
+        assert payload["num_jobs"] == 2
+
+    def test_load_jobs_list_and_object_forms(self, tmp_path, batch_config):
+        spec = JobSpec(circuit="s27", config=batch_config, seed=1)
+        as_list = tmp_path / "list.json"
+        as_list.write_text(json.dumps([spec.to_dict()]))
+        as_object = tmp_path / "object.json"
+        as_object.write_text(json.dumps({"jobs": [spec.to_dict()]}))
+        assert load_jobs(as_list) == [spec]
+        assert load_jobs(as_object) == [spec]
+
+    def test_load_jobs_rejects_scalar(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('"just a string"')
+        with pytest.raises(ValueError, match="jobs file"):
+            load_jobs(bad)
+
+
+class TestExperimentProducers:
+    def test_table1_jobs_deterministic(self, batch_config):
+        from repro.experiments.table1 import table1_jobs
+
+        first = table1_jobs(("s27", "s298"), config=batch_config, seed=5)
+        second = table1_jobs(("s27", "s298"), config=batch_config, seed=5)
+        assert first == second
+        assert [spec.circuit for spec in first] == ["s27", "s298"]
+        assert first[0].seed != first[1].seed
+
+    def test_table2_jobs_shape(self, batch_config):
+        from repro.experiments.table2 import table2_jobs
+
+        specs = table2_jobs(("s27",), runs_per_circuit=3, config=batch_config, seed=6)
+        assert len(specs) == 3
+        assert len({spec.seed for spec in specs}) == 3
+
+    def test_run_table1_workers_match_serial(self, batch_config):
+        from repro.experiments.table1 import run_table1
+
+        serial = run_table1(("s27", "s298"), config=batch_config, reference_cycles=5000, seed=9)
+        parallel = run_table1(
+            ("s27", "s298"), config=batch_config, reference_cycles=5000, seed=9, workers=2
+        )
+        for a, b in zip(serial.rows, parallel.rows):
+            assert a.circuit == b.circuit
+            assert a.estimate_mw == b.estimate_mw
+            assert a.sample_size == b.sample_size
+            assert a.reference_power_mw == b.reference_power_mw

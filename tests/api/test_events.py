@@ -1,0 +1,171 @@
+"""Streaming-protocol tests: event invariants, early abort, checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.api.events import (
+    EstimateCompleted,
+    IntervalSelected,
+    RunStarted,
+    SampleProgress,
+)
+from repro.core.baselines import ConsecutiveCycleEstimator
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+
+
+def _without_elapsed(estimate):
+    data = estimate.to_dict()
+    data.pop("elapsed_seconds")
+    return data
+
+
+class TestStreamInvariants:
+    def test_stream_shape(self, s27_circuit, quick_config):
+        events = list(DipeEstimator(s27_circuit, config=quick_config, rng=1).run())
+        assert isinstance(events[0], RunStarted)
+        assert isinstance(events[1], IntervalSelected)
+        assert isinstance(events[-1], EstimateCompleted)
+        assert any(isinstance(event, SampleProgress) for event in events)
+
+    def test_samples_drawn_monotonic(self, s27_circuit, quick_config):
+        events = list(DipeEstimator(s27_circuit, config=quick_config, rng=2).run())
+        counts = [event.samples_drawn for event in events]
+        assert counts == sorted(counts)
+
+    def test_final_event_equals_estimate(self, s27_circuit, quick_config):
+        estimator = DipeEstimator(s27_circuit, config=quick_config, rng=3)
+        events = list(estimator.run())
+        direct = DipeEstimator(s27_circuit, config=quick_config, rng=3).estimate()
+        assert _without_elapsed(events[-1].estimate) == _without_elapsed(direct)
+        assert events[-1].samples_drawn == direct.sample_size
+
+    def test_interval_selected_carries_diagnostics(self, s27_circuit, quick_config):
+        events = list(DipeEstimator(s27_circuit, config=quick_config, rng=4).run())
+        selected = next(event for event in events if isinstance(event, IntervalSelected))
+        assert selected.selection is not None
+        assert selected.num_trials == selected.selection.num_trials
+        assert selected.interval == selected.selection.interval
+
+    def test_sample_progress_tracks_criterion(self, s27_circuit, quick_config):
+        events = list(DipeEstimator(s27_circuit, config=quick_config, rng=5).run())
+        progress = [event for event in events if isinstance(event, SampleProgress)]
+        assert progress[-1].accuracy_met or progress[-1].samples_drawn >= quick_config.max_samples
+        for event in progress:
+            assert event.lower_bound_w <= event.running_mean_w <= event.upper_bound_w
+
+    def test_events_serialize_to_json(self, s27_circuit, quick_config):
+        for event in DipeEstimator(s27_circuit, config=quick_config, rng=6).run():
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert payload["kind"] == event.kind
+            assert payload["samples_drawn"] == event.samples_drawn
+
+    def test_estimate_forwards_progress(self, s27_circuit, quick_config):
+        kinds = []
+        DipeEstimator(s27_circuit, config=quick_config, rng=7).estimate(
+            progress=lambda event: kinds.append(event.kind)
+        )
+        assert kinds[0] == "run-started" and kinds[-1] == "estimate-completed"
+
+    def test_early_abort_via_close(self, s27_circuit, quick_config):
+        estimator = DipeEstimator(s27_circuit, config=quick_config, rng=8)
+        stream = estimator.run()
+        next(stream)  # run-started
+        stream.close()  # must not raise; no estimate is produced
+
+
+class TestCheckpointResume:
+    def _checkpoint_after(self, estimator, num_progress_events):
+        stream = estimator.run()
+        seen = 0
+        for event in stream:
+            if isinstance(event, SampleProgress):
+                seen += 1
+                if seen == num_progress_events:
+                    checkpoint = estimator.make_checkpoint()
+                    stream.close()
+                    return checkpoint
+        raise AssertionError("stream finished before the requested checkpoint")
+
+    def test_resumed_run_identical(self, s27_circuit, quick_config):
+        full = DipeEstimator(s27_circuit, config=quick_config, rng=42).estimate()
+        checkpoint = self._checkpoint_after(
+            DipeEstimator(s27_circuit, config=quick_config, rng=42), 1
+        )
+        assert checkpoint.samples_drawn < full.sample_size
+        resumed = DipeEstimator(s27_circuit, config=quick_config, rng=0).estimate_from(checkpoint)
+        assert _without_elapsed(resumed) == _without_elapsed(full)
+
+    def test_resume_with_multichain_numpy_backend(self, quick_config):
+        from repro.circuits.iscas89 import build_circuit
+
+        config = EstimationConfig(
+            randomness_sequence_length=64,
+            min_samples=64,
+            check_interval=16,
+            max_samples=4000,
+            warmup_cycles=16,
+            max_independence_interval=16,
+            num_chains=8,
+            simulation_backend="numpy",
+        )
+        circuit = build_circuit("s298")
+        full = DipeEstimator(circuit, config=config, rng=5).estimate()
+        checkpoint = self._checkpoint_after(DipeEstimator(circuit, config=config, rng=5), 1)
+        resumed = DipeEstimator(circuit, config=config, rng=1).estimate_from(checkpoint)
+        assert _without_elapsed(resumed) == _without_elapsed(full)
+
+    def test_baseline_checkpoint_resume(self, s27_circuit, quick_config):
+        full = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=11).estimate()
+        estimator = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=11)
+        checkpoint = self._checkpoint_after(estimator, 1)
+        resumed = ConsecutiveCycleEstimator(
+            s27_circuit, config=quick_config, rng=2
+        ).estimate_from(checkpoint)
+        assert _without_elapsed(resumed) == _without_elapsed(full)
+
+    def test_checkpoint_outside_run_rejected(self, s27_circuit, quick_config):
+        with pytest.raises(RuntimeError, match="no run in progress"):
+            DipeEstimator(s27_circuit, config=quick_config, rng=1).make_checkpoint()
+
+    def test_mismatched_circuit_rejected(self, s27_circuit, quick_config):
+        from repro.circuits.iscas89 import build_circuit
+
+        checkpoint = self._checkpoint_after(
+            DipeEstimator(s27_circuit, config=quick_config, rng=3), 1
+        )
+        other = DipeEstimator(build_circuit("s298"), config=quick_config, rng=3)
+        with pytest.raises(ValueError, match="circuit"):
+            list(other.run(resume_from=checkpoint))
+
+    def test_mismatched_method_rejected(self, s27_circuit, quick_config):
+        checkpoint = self._checkpoint_after(
+            DipeEstimator(s27_circuit, config=quick_config, rng=3), 1
+        )
+        baseline = ConsecutiveCycleEstimator(s27_circuit, config=quick_config, rng=3)
+        with pytest.raises(ValueError, match="checkpoint"):
+            list(baseline.run(resume_from=checkpoint))
+
+
+class TestFigure3Stream:
+    def test_one_trial_event_per_interval(self, quick_config):
+        from repro.api.events import IntervalTrialEvent
+        from repro.experiments.figure3 import Figure3Estimator
+
+        from repro.circuits.iscas89 import build_circuit
+
+        estimator = Figure3Estimator(
+            build_circuit("s298"),
+            config=quick_config,
+            rng=9,
+            max_interval=3,
+            sequence_length=120,
+        )
+        events = list(estimator.run())
+        trials = [event for event in events if isinstance(event, IntervalTrialEvent)]
+        assert [event.interval for event in trials] == [0, 1, 2, 3]
+        assert isinstance(events[-1], EstimateCompleted)
+        assert events[-1].estimate.points[0].interval == 0
+        counts = [event.samples_drawn for event in events]
+        assert counts == sorted(counts)

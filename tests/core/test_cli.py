@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.circuits.library import S27_BENCH
@@ -21,6 +23,17 @@ class TestParser:
     def test_unknown_stopping_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["estimate", "s27", "--stopping", "magic"])
+
+    def test_input_probability_shared_across_verbs(self):
+        for verb in (["estimate", "s27"], ["table1"], ["table2"], ["figure3"]):
+            args = build_parser().parse_args([*verb, "--input-probability", "0.3"])
+            assert args.input_probability == pytest.approx(0.3)
+
+    def test_batch_verb_parses(self):
+        args = build_parser().parse_args(["batch", "jobs.json", "--workers", "3", "--json"])
+        assert args.jobs_file == "jobs.json"
+        assert args.workers == 3
+        assert args.json
 
 
 class TestCommands:
@@ -71,3 +84,120 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "threshold" in capsys.readouterr().out
+
+    def test_estimate_json_output(self, capsys):
+        assert main(["estimate", "s27", "--seed", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["spec"]["circuit"] == "s27"
+        assert payload["result"]["data"]["average_power_w"] > 0
+
+    def test_estimate_with_registered_estimator_kind(self, capsys):
+        exit_code = main(
+            ["estimate", "s27", "--estimator", "consecutive-mc", "--seed", "3"]
+        )
+        assert exit_code == 0
+        assert "consecutive-mc" in capsys.readouterr().out
+
+    def test_circuits_json_output(self, capsys):
+        assert main(["circuits", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["circuit"] == "s27" for entry in payload)
+
+    def test_estimate_progress_streams_events(self, capsys):
+        assert main(["estimate", "s27", "--seed", "4", "--progress"]) == 0
+        captured = capsys.readouterr()
+        kinds = [json.loads(line)["kind"] for line in captured.err.splitlines() if line]
+        assert kinds[0] == "run-started"
+        assert kinds[-1] == "estimate-completed"
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def jobs_file(self, tmp_path):
+        quick = {
+            "randomness_sequence_length": 64,
+            "min_samples": 64,
+            "check_interval": 32,
+            "max_samples": 2000,
+            "warmup_cycles": 16,
+        }
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {"circuit": "s27", "seed": 11, "label": "cli:s27", "config": quick},
+                        {"circuit": "s298", "seed": 12, "label": "cli:s298", "config": quick},
+                    ]
+                }
+            )
+        )
+        return path
+
+    def test_batch_runs_and_writes_manifest(self, tmp_path, jobs_file, capsys):
+        manifest = tmp_path / "out.json"
+        exit_code = main(["batch", str(jobs_file), "--workers", "2", "--output", str(manifest)])
+        assert exit_code == 0
+        assert "cli:s27" in capsys.readouterr().out
+        payload = json.loads(manifest.read_text())
+        assert payload["num_jobs"] == 2 and payload["num_errors"] == 0
+        assert payload["jobs"][0]["result"]["data"]["average_power_w"] > 0
+
+    def test_batch_json_output(self, tmp_path, jobs_file, capsys):
+        manifest = tmp_path / "out.json"
+        exit_code = main(["batch", str(jobs_file), "--output", str(manifest), "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-batch-manifest/v1"
+
+    def test_batch_failing_job_sets_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad_jobs.json"
+        path.write_text(json.dumps([{"circuit": "nope", "seed": 1}]))
+        manifest = tmp_path / "out.json"
+        assert main(["batch", str(path), "--output", str(manifest)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_batch_missing_file_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load jobs"):
+            main(["batch", str(tmp_path / "missing.json")])
+
+    def test_batch_typoed_config_key_reports_cleanly(self, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps([{"circuit": "s27", "config": {"max_sample": 2000}}]))
+        with pytest.raises(SystemExit, match="job #0 is invalid"):
+            main(["batch", str(path)])
+
+    def test_estimate_figure3_profile_kind_emits_json(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "s27",
+                "--estimator",
+                "figure3-profile",
+                "--params",
+                '{"max_interval": 2, "sequence_length": 100}',
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["result"]["type"] == "figure3-profile"
+
+    def test_estimate_params_forwarded(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "s27",
+                "--estimator",
+                "fixed-warmup",
+                "--params",
+                '{"warmup_period": 7}',
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        assert "independence interval : 7 cycles" in capsys.readouterr().out

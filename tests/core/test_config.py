@@ -22,6 +22,48 @@ class TestEstimationConfig:
         assert restored.randomness_sequence_length == 320
         assert restored.stopping_criterion == "order-statistic"
 
+    def test_paper_defaults_preserves_execution_and_budget_fields(self):
+        """Regression: paper_defaults() used to silently reset these to defaults."""
+        custom = EstimationConfig(
+            stopping_criterion="clt",
+            max_relative_error=0.10,
+            num_chains=8,
+            simulation_backend="numpy",
+            min_samples=32,
+            check_interval=8,
+            max_samples=500,
+            warmup_cycles=4,
+        )
+        restored = custom.paper_defaults()
+        assert restored.stopping_criterion == "order-statistic"
+        assert restored.max_relative_error == pytest.approx(0.05)
+        assert restored.num_chains == 8
+        assert restored.simulation_backend == "numpy"
+        assert restored.min_samples == 32
+        assert restored.check_interval == 8
+        assert restored.max_samples == 500
+        assert restored.warmup_cycles == 4
+
+    def test_paper_defaults_preserves_event_driven_simulator(self):
+        custom = EstimationConfig(power_simulator="event-driven", confidence=0.9)
+        restored = custom.paper_defaults()
+        assert restored.power_simulator == "event-driven"
+        assert restored.confidence == pytest.approx(0.99)
+
+    def test_dict_round_trip_bit_exact(self):
+        import json
+
+        config = EstimationConfig(
+            max_relative_error=0.03, num_chains=4, simulation_backend="numpy"
+        )
+        restored = EstimationConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_from_dict_accepts_partial(self):
+        config = EstimationConfig.from_dict({"min_samples": 16, "check_interval": 8})
+        assert config.min_samples == 16
+        assert config.confidence == pytest.approx(0.99)
+
     @pytest.mark.parametrize(
         "kwargs",
         [
