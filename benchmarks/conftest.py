@@ -3,7 +3,11 @@
 Every benchmark regenerates one of the paper's tables/figures (or one of the
 repository's ablations) and writes the formatted report to
 ``benchmarks/results/<name>.txt`` so the numbers can be inspected and pasted
-into EXPERIMENTS.md.
+into EXPERIMENTS.md.  Next to each text report, :func:`write_bench_json`
+drops a machine-readable ``BENCH_<name>.json`` (cycles/sec, speed-ups,
+circuit, width, elapsed seconds — whatever the benchmark measures) so the
+performance trajectory can be tracked across commits; CI uploads these as
+artifacts.
 
 Two scales are supported:
 
@@ -16,8 +20,12 @@ Two scales are supported:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 from pathlib import Path
+from typing import Any
 
 import pytest
 
@@ -78,3 +86,34 @@ def paper_config() -> EstimationConfig:
 def write_report(results_dir: Path, name: str, text: str) -> None:
     """Persist a formatted report alongside the benchmark run."""
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def timed_pedantic(benchmark, run):
+    """One pedantic benchmark round, returning ``(result, elapsed_seconds)``.
+
+    The wall-clock elapsed time feeds the ``BENCH_<name>.json`` metrics; it
+    wraps the whole pedantic call, which is what a CI-trajectory reader
+    experiences for these single-round experiment regenerations.
+    """
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    return result, time.perf_counter() - start
+
+
+def write_bench_json(results_dir: Path, name: str, payload: dict[str, Any]) -> Path:
+    """Persist machine-readable benchmark metrics as ``BENCH_<name>.json``.
+
+    The payload is wrapped with the benchmark name, the harness scale and the
+    Python/platform fingerprint so a downloaded artifact is self-describing;
+    per-commit trajectories come from diffing these files across CI runs.
+    """
+    document = {
+        "benchmark": name,
+        "full_scale": full_scale(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **payload,
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

@@ -9,7 +9,9 @@ burns several times more simulated cycles per sample than DIPE.
 
 from __future__ import annotations
 
-from benchmarks.conftest import full_scale, write_report
+import dataclasses
+
+from benchmarks.conftest import full_scale, timed_pedantic, write_bench_json, write_report
 from repro.experiments.ablation_baseline import (
     format_baseline_ablation,
     run_baseline_ablation,
@@ -31,9 +33,19 @@ def test_bench_ablation_baseline(benchmark, paper_config, results_dir):
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_baseline_ablation(result)
     write_report(results_dir, "ablation_baseline", report)
+    write_bench_json(
+        results_dir,
+        "ablation_baseline",
+        {
+            "elapsed_seconds": elapsed,
+            "circuits": list(circuits),
+            "runs_per_method": runs,
+            "result": dataclasses.asdict(result),
+        },
+    )
     print("\n" + report)
 
     for circuit in circuits:

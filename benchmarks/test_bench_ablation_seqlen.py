@@ -9,7 +9,9 @@ selection cost grows linearly with the sequence length.
 
 from __future__ import annotations
 
-from benchmarks.conftest import full_scale, write_report
+import dataclasses
+
+from benchmarks.conftest import full_scale, timed_pedantic, write_bench_json, write_report
 from repro.experiments.ablation_seqlen import format_seqlen_ablation, run_seqlen_ablation
 
 
@@ -27,9 +29,20 @@ def test_bench_ablation_seqlen(benchmark, paper_config, results_dir):
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_seqlen_ablation(result)
     write_report(results_dir, "ablation_seqlen", report)
+    write_bench_json(
+        results_dir,
+        "ablation_seqlen",
+        {
+            "elapsed_seconds": elapsed,
+            "circuits": list(circuits),
+            "sequence_lengths": list(lengths),
+            "runs_per_setting": runs,
+            "result": dataclasses.asdict(result),
+        },
+    )
     print("\n" + report)
 
     for circuit in circuits:

@@ -10,7 +10,9 @@ reference.
 
 from __future__ import annotations
 
-from benchmarks.conftest import full_scale, write_report
+import dataclasses
+
+from benchmarks.conftest import full_scale, timed_pedantic, write_bench_json, write_report
 from repro.experiments.ablation_stopping import (
     format_stopping_ablation,
     run_stopping_ablation,
@@ -29,9 +31,19 @@ def test_bench_ablation_stopping(benchmark, paper_config, reference_cycles, resu
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_stopping_ablation(result)
     write_report(results_dir, "ablation_stopping", report)
+    write_bench_json(
+        results_dir,
+        "ablation_stopping",
+        {
+            "elapsed_seconds": elapsed,
+            "circuits": list(circuits),
+            "criteria": ["order-statistic", "clt", "ks"],
+            "result": dataclasses.asdict(result),
+        },
+    )
     print("\n" + report)
 
     clt_samples = result.mean_sample_size("clt")

@@ -9,7 +9,7 @@ depend on the circuit analogue.
 
 from __future__ import annotations
 
-from benchmarks.conftest import full_scale, write_report
+from benchmarks.conftest import full_scale, timed_pedantic, write_bench_json, write_report
 from repro.experiments.figure3 import format_figure3, run_figure3
 
 
@@ -27,9 +27,20 @@ def test_bench_figure3(benchmark, results_dir):
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_figure3(result)
     write_report(results_dir, "figure3", report)
+    write_bench_json(
+        results_dir,
+        "figure3",
+        {
+            "elapsed_seconds": elapsed,
+            "circuit": "s1494",
+            "sequence_length": sequence_length,
+            "max_interval": max_interval,
+            "result": result.to_dict(),
+        },
+    )
     print("\n" + report)
 
     z_values = [point.z_statistic for point in result.points]

@@ -9,8 +9,11 @@ scheme of Section IV.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from benchmarks.conftest import write_bench_json
 from repro.circuits.iscas89 import build_circuit
 from repro.power.capacitance import CapacitanceModel
 from repro.simulation.event_driven import EventDrivenSimulator
@@ -72,3 +75,43 @@ def test_bench_zero_delay_large_circuit_s5378(benchmark):
     circuit = build_circuit("s5378")
     total = benchmark.pedantic(_run_zero_delay, args=(circuit, 1, 100), rounds=1, iterations=1)
     assert total > 0
+
+
+def _run_event_driven_vectorized(circuit, width, cycles=_CYCLES):
+    caps = CapacitanceModel().node_capacitances(circuit)
+    simulator = EventDrivenSimulator(circuit, node_capacitance=caps, width=width)
+    stimulus = BernoulliStimulus(circuit.num_inputs, 0.5)
+    rng = np.random.default_rng(1)
+    simulator.randomize_state(rng)
+    simulator.settle(stimulus.next_pattern_words(rng, width=width))
+    total = 0.0
+    for _ in range(cycles):
+        total += simulator.cycle(stimulus.next_pattern_words(rng, width=width))
+    return total
+
+
+def test_bench_simulators_json_snapshot(results_dir):
+    """Machine-readable cycles/sec snapshot of every simulation substrate."""
+    circuit = build_circuit("s1494")
+    configurations = {
+        "zero_delay_width1": (lambda: _run_zero_delay(circuit, 1, 100), 100, 1),
+        "zero_delay_width64": (lambda: _run_zero_delay(circuit, 64, 100), 100, 64),
+        "event_driven_scalar": (lambda: _run_event_driven(circuit, 40), 40, 1),
+        "event_driven_numpy_width64": (
+            lambda: _run_event_driven_vectorized(circuit, 64, 40),
+            40,
+            64,
+        ),
+    }
+    metrics = {}
+    for key, (runner, cycles, width) in configurations.items():
+        start = time.perf_counter()
+        assert runner() > 0
+        elapsed = time.perf_counter() - start
+        metrics[key] = {
+            "circuit": "s1494",
+            "width": width,
+            "cycles_per_second": cycles / elapsed,
+            "chain_cycles_per_second": cycles * width / elapsed,
+        }
+    write_bench_json(results_dir, "simulators", {"configurations": metrics})

@@ -45,3 +45,28 @@ def test_bench_ks_criterion(benchmark):
     criterion = make_stopping_criterion("ks")
     decision = benchmark(criterion.evaluate, sample)
     assert decision.sample_size == 4_000
+
+
+def test_bench_stats_json_snapshot(results_dir):
+    """Machine-readable evaluations/sec snapshot of the statistical kernels."""
+    import time
+
+    from benchmarks.conftest import write_bench_json
+
+    rng = np.random.default_rng(7)
+    sequence = rng.gamma(4.0, 1.0, size=320).tolist()
+    sample = rng.gamma(4.0, 1.0, size=4_000).tolist()
+    criterion = make_stopping_criterion("order-statistic")
+
+    kernels = {
+        "runs_test_320": (lambda: runs_test_on_values(sequence, 0.20), 50),
+        "order_statistic_4000": (lambda: criterion.evaluate(sample), 50),
+    }
+    metrics = {}
+    for key, (runner, repeats) in kernels.items():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            runner()
+        elapsed = time.perf_counter() - start
+        metrics[key] = {"evaluations_per_second": repeats / elapsed}
+    write_bench_json(results_dir, "stats", {"kernels": metrics})

@@ -9,7 +9,7 @@ the reference, sample sizes of a few hundred to a few thousand.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import timed_pedantic, write_bench_json, write_report
 from repro.experiments.table1 import format_table1, run_table1
 
 
@@ -24,9 +24,19 @@ def test_bench_table1(benchmark, bench_circuits, reference_cycles, paper_config,
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_table1(result)
     write_report(results_dir, "table1", report)
+    write_bench_json(
+        results_dir,
+        "table1",
+        {
+            "elapsed_seconds": elapsed,
+            "reference_cycles": reference_cycles,
+            "circuits": list(bench_circuits),
+            "result": result.to_dict(),
+        },
+    )
     print("\n" + report)
 
     assert len(result.rows) == len(bench_circuits)

@@ -8,7 +8,7 @@ the specification (near zero).  The run count is reduced at quick scale.
 
 from __future__ import annotations
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import timed_pedantic, write_bench_json, write_report
 from repro.experiments.table2 import format_table2, run_table2
 
 
@@ -26,9 +26,20 @@ def test_bench_table2(
             seed=2025,
         )
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_pedantic(benchmark, run)
     report = format_table2(result)
     write_report(results_dir, "table2", report)
+    write_bench_json(
+        results_dir,
+        "table2",
+        {
+            "elapsed_seconds": elapsed,
+            "runs_per_circuit": repeated_runs,
+            "reference_cycles": reference_cycles,
+            "circuits": list(small_bench_circuits),
+            "result": result.to_dict(),
+        },
+    )
     print("\n" + report)
 
     for row in result.rows:

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Multi-chain glitch-power estimation through the job API.
+
+``examples/glitch_power.py`` quantifies the glitch overhead with the scalar
+single-chain flow.  This example runs the same glitch-aware estimation on the
+vectorized multi-chain engine: every :class:`~repro.api.JobSpec` asks for the
+event-driven power engine *and* a lock-step chain ensemble, so each sampled
+cycle is re-simulated with general delays for all chains at once through the
+vectorized time wheel.  One job additionally enables adaptive chain scaling
+and prints the ``chains-resized`` progress events so the resize trajectory is
+visible.
+
+Run with::
+
+    python examples/glitch_power_batch.py
+"""
+
+from __future__ import annotations
+
+from repro.api import JobSpec, run_job
+from repro.api.events import ChainsResized
+from repro.core.config import EstimationConfig
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    circuits = ("s27", "s298", "s344", "s386")
+    chains = 64
+
+    table = TextTable(
+        headers=["Circuit", "Zero-delay (mW)", "Event-driven (mW)",
+                 "Glitch overhead (%)", "Sweeps"],
+        precision=4,
+    )
+
+    for name in circuits:
+        jobs = {
+            engine: JobSpec(
+                circuit=name,
+                seed=1,
+                label=f"{engine}:{name}",
+                config=EstimationConfig(power_simulator=engine, num_chains=chains),
+            )
+            for engine in ("zero-delay", "event-driven")
+        }
+        functional = run_job(jobs["zero-delay"]).estimate
+        glitchy = run_job(jobs["event-driven"]).estimate
+        overhead = 100.0 * (glitchy.average_power_w / functional.average_power_w - 1.0)
+        table.add_row(
+            [
+                name,
+                functional.average_power_mw,
+                glitchy.average_power_mw,
+                overhead,
+                glitchy.cycles_simulated,
+            ]
+        )
+
+    print(f"Multi-chain ({chains} lock-step chains) glitch-aware estimation "
+          f"via the job API\n")
+    print(table.render())
+
+    # Adaptive chain scaling: let the sampler pick the ensemble width from
+    # the stopping criterion's running accuracy, and watch it resize.
+    print("\nAdaptive chain scaling on s1494 (event-driven engine):")
+    spec = JobSpec(
+        circuit="s1494",
+        seed=1,
+        label="adaptive:s1494",
+        config=EstimationConfig(
+            power_simulator="event-driven",
+            num_chains=8,
+            adaptive_chains=True,
+            max_chains=256,
+        ),
+    )
+
+    def show_resizes(event) -> None:
+        if isinstance(event, ChainsResized):
+            print(
+                f"  chains {event.previous_chains:>4} -> {event.num_chains:<4} "
+                f"at {event.samples_drawn} samples "
+                f"(relative half-width {event.relative_half_width:.3f})"
+            )
+
+    estimate = run_job(spec, progress=show_resizes).estimate
+    print(
+        f"  final: {estimate.average_power_mw:.4f} mW from "
+        f"{estimate.sample_size} samples in {estimate.cycles_simulated} sweeps"
+    )
+    print(
+        "\nThe event-driven estimates sit above the zero-delay ones because"
+        "\nreconvergent paths with unequal arrival times produce hazard pulses"
+        "\nthe zero-delay model cannot see; the multi-chain engine measures"
+        "\nthose glitches for every chain in one vectorized time-wheel sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,7 @@ _EXPORTS = {
     "IntervalTrialEvent": "repro.api.events",
     "IntervalSelected": "repro.api.events",
     "SampleProgress": "repro.api.events",
+    "ChainsResized": "repro.api.events",
     "EstimateCompleted": "repro.api.events",
     "RunCheckpoint": "repro.api.checkpoint",
     # jobs

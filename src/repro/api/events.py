@@ -94,6 +94,23 @@ class IntervalSelected(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class ChainsResized(ProgressEvent):
+    """Adaptive chain scaling changed the lock-step ensemble width.
+
+    Emitted between sample batches when ``EstimationConfig(adaptive_chains=True)``
+    and the stopping criterion's running accuracy asked for a decisively
+    different chain count; ``relative_half_width`` is the accuracy signal the
+    decision was based on.
+    """
+
+    kind: ClassVar[str] = "chains-resized"
+
+    previous_chains: int = 0
+    num_chains: int = 0
+    relative_half_width: float = float("inf")
+
+
+@dataclass(frozen=True)
 class SampleProgress(ProgressEvent):
     """Stopping-criterion verdict after a batch of new samples.
 

@@ -50,6 +50,8 @@ def _estimation_config(args: argparse.Namespace) -> EstimationConfig:
         stopping_criterion=args.stopping,
         power_simulator=args.power_simulator,
         num_chains=args.chains,
+        adaptive_chains=args.adaptive_chains,
+        max_chains=args.max_chains,
         simulation_backend=args.backend,
     )
 
@@ -71,7 +73,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         default="zero-delay", help="power engine for the sampled cycles")
     parser.add_argument("--chains", type=int, default=1,
                         help="independent Monte Carlo chains advanced per gate sweep "
-                             "(>1 uses the vectorized multi-chain sampler)")
+                             "(>1 uses the vectorized multi-chain sampler; composes "
+                             "with either power simulator)")
+    parser.add_argument("--adaptive-chains", action="store_true",
+                        help="let the sampler grow/shrink the chain ensemble between "
+                             "batches from the stopping criterion's running accuracy")
+    parser.add_argument("--max-chains", type=int, default=1024,
+                        help="chain-count ceiling for --adaptive-chains")
     parser.add_argument("--backend", choices=("auto", "bigint", "numpy"), default="auto",
                         help="zero-delay simulator backend (auto picks by ensemble width)")
     parser.add_argument("--input-probability", type=float, default=0.5,

@@ -1,4 +1,4 @@
-"""Multi-chain Monte Carlo power sampling on the vectorized simulator.
+"""Multi-chain Monte Carlo power sampling on the vectorized simulators.
 
 :class:`BatchPowerSampler` is the ensemble counterpart of
 :class:`~repro.core.sampler.PowerSampler`: instead of one FSM trajectory it
@@ -10,31 +10,49 @@ initial state and its own warm-up, so the chains are mutually independent and
 each one is individually distributed exactly like a single-chain sampler run.
 
 The two-phase sampling scheme of the paper carries over unchanged: during the
-independence interval all chains are only *advanced* (cheap sweeps, no
-measurement); on the sampled cycle one lane-resolved measurement yields one
-power sample per chain.  The samples of consecutive measured cycles are
-interleaved chain-major into the growing sample that feeds the stopping
-criteria — exchangeable, independent draws from the same stationary power
-distribution.
+independence interval all chains are only *advanced* (cheap zero-delay
+sweeps, no measurement); on the sampled cycle one lane-resolved measurement
+yields one power sample per chain.  Both power engines are supported:
 
-With ``num_chains=1`` and the big-int backend the sampler consumes the RNG
-stream identically to :class:`~repro.core.sampler.PowerSampler` and therefore
-reproduces its samples one-for-one under a fixed seed (a property the test
-suite pins down).
+* ``power_simulator="zero-delay"`` measures the functional transitions of the
+  sweep itself;
+* ``power_simulator="event-driven"`` re-simulates the sampled cycle for all
+  chains at once with the vectorized general-delay engine
+  (:mod:`repro.simulation.vectorized_timing`), so glitch power rides the
+  same lock-step ensemble.
 
-The event-driven (glitch-aware) power engine is inherently scalar and is not
-supported here; use :class:`~repro.core.sampler.PowerSampler` for
-``power_simulator="event-driven"`` configurations.
+The samples of consecutive measured cycles are interleaved chain-major into
+the growing sample that feeds the stopping criteria — exchangeable,
+independent draws from the same stationary power distribution.  Use
+:meth:`BatchPowerSampler.sample_block` (or :func:`draw_sample_block`) to
+collect a whole stopping-criterion batch without per-sample Python loops.
+
+With ``num_chains=1`` the sampler consumes the RNG stream identically to
+:class:`~repro.core.sampler.PowerSampler` and therefore reproduces its
+samples one-for-one under a fixed seed (a property the test suite pins down
+for both power engines).
+
+**Adaptive chain scaling** (``EstimationConfig(adaptive_chains=True)``):
+between sample batches, :meth:`plan_chain_resize` converts the stopping
+criterion's running accuracy into the chain count that would finish the run
+in a handful more measured sweeps, and :meth:`resize` rebuilds the lock-step
+ensemble at that width.  Resized ensembles are re-randomised and re-warmed,
+so every sample — before or after a resize — remains an independent draw
+from the stationary power distribution.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.core.config import EstimationConfig
 from repro.core.sampler import PowerSampler
 from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.event_driven import EventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.stats.stopping.base import StoppingDecision
 from repro.stimulus.base import Stimulus
 from repro.utils.rng import RandomSource, spawn_rng
 
@@ -47,12 +65,13 @@ def make_sampler(
 ) -> "PowerSampler | BatchPowerSampler":
     """Build the sampler the configuration asks for.
 
-    ``num_chains > 1`` selects the multi-chain batch sampler; otherwise the
-    single-chain two-phase sampler (which also supports the event-driven
-    power engine) is used.  Every estimator dispatches through this single
-    point so the selection rule cannot drift between them.
+    ``num_chains > 1`` (or adaptive chain scaling, which needs a resizable
+    ensemble) selects the multi-chain batch sampler; otherwise the
+    single-chain two-phase sampler is used.  Every estimator dispatches
+    through this single point so the selection rule cannot drift between
+    them.
     """
-    if config.num_chains > 1:
+    if config.num_chains > 1 or config.adaptive_chains:
         return BatchPowerSampler(circuit, stimulus, config, rng=rng)
     return PowerSampler(circuit, stimulus, config, rng=rng)
 
@@ -60,8 +79,25 @@ def make_sampler(
 def draw_samples(sampler: "PowerSampler | BatchPowerSampler", interval: int) -> list[float]:
     """Draw the next batch of power samples: one per chain, or a single one."""
     if isinstance(sampler, BatchPowerSampler):
-        return [float(sample) for sample in sampler.next_samples(interval)]
+        # ndarray.tolist() converts lanes to Python floats in C, replacing the
+        # old per-sample Python comprehension on this hot path.
+        return sampler.next_samples(interval).tolist()
     return [sampler.next_sample(interval)]
+
+
+def draw_sample_block(
+    sampler: "PowerSampler | BatchPowerSampler", interval: int, min_count: int
+) -> list[float]:
+    """Draw at least *min_count* new samples, chain-major interleaved.
+
+    Draw-for-draw identical to calling :func:`draw_samples` in a loop until
+    *min_count* samples accumulate (same RNG consumption, same sample order),
+    but the interleaving of per-chain lanes into the flat sample happens as
+    one vectorized reshape instead of a Python loop per batch.
+    """
+    if isinstance(sampler, BatchPowerSampler):
+        return sampler.sample_block(interval, min_count).tolist()
+    return [sampler.next_sample(interval) for _ in range(min_count)]
 
 
 class BatchPowerSampler:
@@ -74,15 +110,16 @@ class BatchPowerSampler:
     stimulus:
         Primary-input pattern generator; lane *k* of its draws drives chain *k*.
     config:
-        Estimation configuration (must use the zero-delay power engine).
+        Estimation configuration (either power engine).
     rng:
         Seed or generator; all randomness of the run flows through it.
     num_chains:
         Number of independent chains advanced per gate sweep; defaults to
         ``config.num_chains``.
     backend:
-        Simulator backend (``"auto"``, ``"bigint"`` or ``"numpy"``); defaults
-        to ``config.simulation_backend``.
+        Zero-delay simulator backend (``"auto"``, ``"bigint"`` or
+        ``"numpy"``); defaults to ``config.simulation_backend``.  The
+        event-driven engine picks scalar/numpy from the chain count.
     """
 
     def __init__(
@@ -101,32 +138,42 @@ class BatchPowerSampler:
         self.num_chains = self.config.num_chains if num_chains is None else num_chains
         if self.num_chains < 1:
             raise ValueError("num_chains must be at least 1")
-        if self.config.power_simulator != "zero-delay":
-            raise ValueError(
-                "BatchPowerSampler supports the zero-delay power engine only; "
-                "use PowerSampler for event-driven power measurement"
-            )
         if stimulus.num_inputs != circuit.num_inputs:
             raise ValueError(
                 f"stimulus drives {stimulus.num_inputs} inputs but circuit "
                 f"{circuit.name!r} has {circuit.num_inputs}"
             )
 
-        node_caps = self.config.capacitance_model.node_capacitances(circuit)
-        self._engine = ZeroDelaySimulator(
-            circuit,
-            width=self.num_chains,
-            node_capacitance=node_caps,
-            backend=self.config.simulation_backend if backend is None else backend,
+        self._node_caps = self.config.capacitance_model.node_capacitances(circuit)
+        self._backend_request = (
+            self.config.simulation_backend if backend is None else backend
         )
-        self._use_words = self._engine.backend == "numpy"
+        self._build_engines()
 
         self.cycles_simulated = 0
         self._prepared = False
 
+    def _build_engines(self) -> None:
+        """(Re)build both engines at the current ``num_chains`` width."""
+        self._engine = ZeroDelaySimulator(
+            self.circuit,
+            width=self.num_chains,
+            node_capacitance=self._node_caps,
+            backend=self._backend_request,
+        )
+        self._use_words = self._engine.backend == "numpy"
+        self._event_engine: EventDrivenSimulator | None = None
+        if self.config.power_simulator == "event-driven":
+            self._event_engine = EventDrivenSimulator(
+                self.circuit,
+                node_capacitance=self._node_caps,
+                width=self.num_chains,
+                backend="auto",
+            )
+
     @property
     def backend(self) -> str:
-        """Resolved simulator backend ("bigint" or "numpy")."""
+        """Resolved zero-delay simulator backend ("bigint" or "numpy")."""
         return self._engine.backend
 
     @property
@@ -142,13 +189,16 @@ class BatchPowerSampler:
 
     def prepare(self, warmup_cycles: int | None = None) -> None:
         """Randomise every chain's state, settle, and run the warm-up cycles."""
-        warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
         self.stimulus.reset()
+        self._warm_up(warmup_cycles)
+
+    def _warm_up(self, warmup_cycles: int | None = None) -> None:
+        warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
         self._engine.randomize_state(self.rng)
         self._engine.settle(self._next_pattern())
+        self._prepared = True
         for _ in range(warmup):
             self._advance_one_cycle()
-        self._prepared = True
 
     def restart_from_random_state(self) -> None:
         """Re-randomise every chain's latch state and settle (no warm-up).
@@ -164,11 +214,67 @@ class BatchPowerSampler:
         if not self._prepared:
             self.prepare()
 
+    # ------------------------------------------------------- adaptive scaling
+    def resize(self, num_chains: int) -> None:
+        """Change the number of lock-step chains; re-warm the new ensemble.
+
+        Chains are mutually independent and individually stationary after
+        warm-up, so a resize rebuilds the engines at the new width,
+        re-randomises every chain and repeats the warm-up — samples drawn
+        before and after a resize are identically distributed.  The RNG
+        stream continues uninterrupted, so adaptive runs stay reproducible
+        from their seed.
+        """
+        if num_chains < 1:
+            raise ValueError("num_chains must be at least 1")
+        if num_chains == self.num_chains:
+            return
+        was_prepared = self._prepared
+        self.num_chains = num_chains
+        self._build_engines()
+        self._prepared = False
+        if was_prepared:
+            self._warm_up()
+
+    def plan_chain_resize(self, decision: StoppingDecision) -> int:
+        """Chain count the stopping trajectory asks for (with 2x hysteresis).
+
+        Extrapolates the sample size that meets the accuracy target from the
+        criterion's running relative half-width (half-width shrinks like
+        ``1/sqrt(n)``), aims to collect the remaining samples in a few more
+        measured sweeps, and rounds to a power of two within
+        ``[1, config.max_chains]``.  Returns the current chain count when the
+        signal is unusable (no samples yet, infinite half-width) or the
+        proposed move is smaller than 2x in either direction — rebuilding and
+        re-warming the ensemble is only worth a decisive change.
+        """
+        if decision.should_stop or decision.sample_size == 0:
+            return self.num_chains
+        half_width = decision.relative_half_width
+        if not math.isfinite(half_width) or half_width <= 0.0:
+            return self.num_chains
+        target = self.config.max_relative_error
+        needed_total = decision.sample_size * (half_width / target) ** 2
+        remaining = min(needed_total, float(self.config.max_samples)) - decision.sample_size
+        if remaining <= 0.0:
+            return self.num_chains
+        # Aim to finish in ~4 more measured sweeps at the proposed width.
+        desired = 1 << max(0, math.ceil(math.log2(max(1.0, remaining / 4.0))))
+        desired = max(1, min(self.config.max_chains, desired))
+        if desired >= 2 * self.num_chains or 2 * desired <= self.num_chains:
+            return desired
+        return self.num_chains
+
     # ------------------------------------------------------------------ state
     def get_state(self) -> dict:
-        """Snapshot the sampler for checkpoint/resume (see :class:`PowerSampler`)."""
+        """Snapshot the sampler for checkpoint/resume (see :class:`PowerSampler`).
+
+        The event-driven engine needs no snapshot: every measured cycle
+        reloads it from the zero-delay engine's settled network.
+        """
         return {
             "rng": self.rng.bit_generator.state,
+            "num_chains": self.num_chains,
             "cycles_simulated": self.cycles_simulated,
             "prepared": self._prepared,
             "engine": self._engine.get_state(),
@@ -177,6 +283,10 @@ class BatchPowerSampler:
 
     def set_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`get_state`."""
+        chains = state.get("num_chains", self.num_chains)
+        if chains != self.num_chains:
+            self.num_chains = chains
+            self._build_engines()
         self.rng.bit_generator.state = state["rng"]
         self.cycles_simulated = state["cycles_simulated"]
         self._prepared = state["prepared"]
@@ -187,6 +297,29 @@ class BatchPowerSampler:
     def _advance_one_cycle(self) -> None:
         self._engine.step(self._next_pattern())
         self.cycles_simulated += 1
+
+    def _measure_lanes(self) -> np.ndarray:
+        pattern = self._next_pattern()
+        if self._event_engine is None:
+            switched = self._engine.step_and_measure_lanes(pattern)
+        else:
+            # Re-simulate the same cycle with general delays for every chain:
+            # load the settled zero-delay network, run the event-driven cycle
+            # (counts glitches per lane), and advance the cheap state engine
+            # identically so both engines agree on the next present state.
+            self._event_engine.load_settled_state(self._settled_state())
+            switched = self._event_engine.cycle_lanes(pattern)
+            self._engine.step(pattern)
+        self.cycles_simulated += 1
+        return switched
+
+    def _settled_state(self):
+        """The zero-delay engine's settled network, in the cheapest shared form."""
+        if self._event_engine is not None and self._event_engine.backend == "numpy":
+            words = self._engine.words_view()
+            if words is not None:
+                return words
+        return self._engine.values
 
     # ------------------------------------------------------------------- API
     def advance(self, cycles: int) -> None:
@@ -201,20 +334,22 @@ class BatchPowerSampler:
         """Simulate one clock cycle; return each chain's switched capacitance.
 
         The result has shape ``(num_chains,)``: entry *k* is the
-        capacitance-weighted transition count of chain *k* in this cycle.
+        capacitance-weighted transition count of chain *k* in this cycle
+        (glitches included under the event-driven power engine).
         """
         self._require_prepared()
-        switched = self._engine.step_and_measure_lanes(self._next_pattern())
-        self.cycles_simulated += 1
-        return switched
+        return self._measure_lanes()
 
     def measure_cycle_total(self) -> float:
         """Simulate one clock cycle; return the switched capacitance summed over chains.
 
-        Cheaper than :meth:`measure_cycle` (no per-lane resolution) — this is
-        the long-run ensemble-reference workload.
+        Cheaper than :meth:`measure_cycle` on the zero-delay engine (no
+        per-lane resolution) — this is the long-run ensemble-reference
+        workload.
         """
         self._require_prepared()
+        if self._event_engine is not None:
+            return float(self._measure_lanes().sum())
         switched = self._engine.step_and_measure(self._next_pattern())
         self.cycles_simulated += 1
         return switched
@@ -250,9 +385,22 @@ class BatchPowerSampler:
             self._advance_one_cycle()
         return self.measure_cycle()
 
+    def sample_block(self, interval: int, min_count: int) -> np.ndarray:
+        """Return at least *min_count* samples spaced by *interval* cycles.
+
+        Runs ``ceil(min_count / num_chains)`` measured sweeps and interleaves
+        the per-chain lanes chain-major with one reshape — the vectorized
+        equivalent of extending a Python list one :meth:`next_samples` batch
+        at a time (identical RNG consumption and sample order).
+        """
+        if min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        sweeps = -(-min_count // self.num_chains)
+        block = np.empty((sweeps, self.num_chains), dtype=np.float64)
+        for index in range(sweeps):
+            block[index] = self.next_samples(interval)
+        return block.reshape(-1)
+
     def samples(self, interval: int, count: int) -> list[float]:
         """Return at least *count* samples spaced by *interval* cycles, interleaved chain-major."""
-        collected: list[float] = []
-        while len(collected) < count:
-            collected.extend(float(value) for value in self.next_samples(interval))
-        return collected
+        return self.sample_block(interval, count).tolist()

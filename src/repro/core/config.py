@@ -68,12 +68,25 @@ class EstimationConfig:
     num_chains:
         Number of independent Monte Carlo chains advanced in lock-step by the
         bit-parallel simulator.  1 reproduces the paper's single-chain flow;
-        larger values use the multi-chain batch sampler (zero-delay power
-        engine only), which amortises every gate sweep over all chains.
+        larger values use the multi-chain batch sampler, which amortises
+        every gate sweep over all chains.  Composes with both power engines:
+        the event-driven engine re-simulates the sampled cycle for all
+        chains at once through its vectorized time wheel.
+    adaptive_chains:
+        When ``True`` the batch sampler resizes the chain ensemble between
+        sample batches, consulting the stopping criterion's running accuracy
+        to predict how many more samples the run needs (grow while far from
+        the target, shrink as it closes in).  Resizes re-warm the new
+        ensemble, so the estimate stays unbiased; the sampled trajectory
+        necessarily differs from a fixed-chain run.
+    max_chains:
+        Upper bound on the ensemble width adaptive scaling may grow to
+        (ignored when ``adaptive_chains`` is off).
     simulation_backend:
         Lane-storage backend of the zero-delay simulator: ``"bigint"``
         (Python integers), ``"numpy"`` (word-sliced uint64 arrays) or
-        ``"auto"`` (pick by ensemble width).
+        ``"auto"`` (pick by ensemble width).  The event-driven power engine
+        picks its scalar or vectorized backend from the chain count.
     power_model / capacitance_model:
         Electrical models; defaults are the paper's 5 V / 20 MHz operating
         point and the default standard-cell capacitance values.
@@ -91,6 +104,8 @@ class EstimationConfig:
     warmup_cycles: int = 64
     power_simulator: str = "zero-delay"
     num_chains: int = 1
+    adaptive_chains: bool = False
+    max_chains: int = 1024
     simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
     capacitance_model: CapacitanceModel = field(default_factory=CapacitanceModel)
@@ -131,10 +146,12 @@ class EstimationConfig:
             )
         if self.num_chains < 1:
             raise ValueError("num_chains must be at least 1")
-        if self.num_chains > 1 and self.power_simulator == "event-driven":
+        if self.max_chains < 1:
+            raise ValueError("max_chains must be at least 1")
+        if self.adaptive_chains and self.max_chains < self.num_chains:
             raise ValueError(
-                "multi-chain sampling (num_chains > 1) requires the zero-delay "
-                "power engine; the event-driven simulator is single-chain"
+                "adaptive chain scaling needs max_chains >= num_chains "
+                f"(got max_chains={self.max_chains}, num_chains={self.num_chains})"
             )
         if self.simulation_backend not in SIMULATION_BACKENDS:
             raise ValueError(

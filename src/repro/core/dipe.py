@@ -33,6 +33,7 @@ from typing import Iterator
 
 from repro.api.checkpoint import RunCheckpoint
 from repro.api.events import (
+    ChainsResized,
     EstimateCompleted,
     IntervalSelected,
     ProgressEvent,
@@ -41,7 +42,7 @@ from repro.api.events import (
 )
 from repro.api.protocol import StreamingEstimator
 from repro.api.registry import register_estimator
-from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
+from repro.core.batch_sampler import BatchPowerSampler, draw_sample_block, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.interval import select_independence_interval
 from repro.core.results import PowerEstimate
@@ -143,15 +144,27 @@ class DipeEstimator(StreamingEstimator):
             selection=interval_result,
         )
 
+        adaptive = config.adaptive_chains and isinstance(self.sampler, BatchPowerSampler)
         decision = self.stopping_criterion.evaluate(samples)
         while not decision.should_stop and len(samples) < config.max_samples:
-            added = 0
-            while added < config.check_interval:
-                # One measured sweep yields one sample per chain; the chains'
-                # draws are interleaved into the growing sample.
-                new_samples = draw_samples(self.sampler, interval)
-                samples.extend(new_samples)
-                added += len(new_samples)
+            if adaptive:
+                desired = self.sampler.plan_chain_resize(decision)
+                if desired != self.sampler.num_chains:
+                    previous = self.sampler.num_chains
+                    self.sampler.resize(desired)
+                    yield ChainsResized(
+                        circuit=circuit_name,
+                        method=self.method,
+                        samples_drawn=len(samples),
+                        cycles_simulated=self.sampler.cycles_simulated,
+                        previous_chains=previous,
+                        num_chains=desired,
+                        relative_half_width=decision.relative_half_width,
+                    )
+            # One measured sweep yields one sample per chain; the chains'
+            # draws are interleaved chain-major into the growing sample by
+            # one vectorized block draw per stopping-criterion check.
+            samples.extend(draw_sample_block(self.sampler, interval, config.check_interval))
             decision = self.stopping_criterion.evaluate(samples)
             self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
             yield SampleProgress(

@@ -13,6 +13,12 @@ strategy of the paper (Section IV):
 * :class:`~repro.simulation.event_driven.EventDrivenSimulator` — a
   general-delay, event-driven simulator that counts every transition,
   including glitches, for the cycles in which power is actually sampled.
+
+Both simulators are backend-switching facades: a scalar/big-int engine for
+narrow ensembles and a word-sliced numpy engine
+(:class:`~repro.simulation.vectorized.VectorizedZeroDelaySimulator`,
+:class:`~repro.simulation.vectorized_timing.VectorizedEventDrivenSimulator`)
+that advances all chains and lanes together.
 """
 
 from repro.simulation.activity import ActivityRecord, collect_activity
@@ -23,9 +29,11 @@ from repro.simulation.delay_models import (
     TypeTableDelay,
     UnitDelay,
     ZeroDelay,
+    quantize_delays,
 )
-from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.event_driven import EventDrivenSimulator, resolve_event_backend
 from repro.simulation.vectorized import VectorizedZeroDelaySimulator
+from repro.simulation.vectorized_timing import VectorizedEventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator, resolve_backend
 
 __all__ = [
@@ -39,7 +47,10 @@ __all__ = [
     "EventDrivenSimulator",
     "ZeroDelaySimulator",
     "VectorizedZeroDelaySimulator",
+    "VectorizedEventDrivenSimulator",
     "resolve_backend",
+    "resolve_event_backend",
+    "quantize_delays",
     "ActivityRecord",
     "collect_activity",
 ]

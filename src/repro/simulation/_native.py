@@ -75,6 +75,53 @@ void zd_sweep(uint64_t *values, int64_t num_words, int64_t num_gates,
                 out[w] = ~out[w] & mask[w];
     }
 }
+
+/* Re-evaluate an arbitrary gate subset (the active frontier of the
+ * event-driven engine) without touching the net rows.
+ *
+ * gate_ids : indices (into the per-gate tables) of the gates to evaluate.
+ * out      : (num_active, num_words) buffer receiving each gate's computed
+ *            output words, in gate_ids order.  The caller decides what to do
+ *            with them (apply immediately for zero-delay gates, schedule on
+ *            the time wheel otherwise), so values stays read-only here.
+ */
+void ed_eval(const uint64_t *values, int64_t num_words,
+             const int64_t *gate_ids, int64_t num_active,
+             const uint8_t *ops, const int64_t *in_ptr, const int64_t *in_rows,
+             const uint64_t *mask, uint64_t *out)
+{
+    for (int64_t i = 0; i < num_active; i++) {
+        const int64_t g = gate_ids[i];
+        const uint8_t op = ops[g];
+        const int64_t lo = in_ptr[g];
+        const int64_t hi = in_ptr[g + 1];
+        uint64_t *dst = out + i * num_words;
+        if (lo == hi) { /* constant cell: never scheduled, but stay safe */
+            for (int64_t w = 0; w < num_words; w++) dst[w] = 0;
+            continue;
+        }
+        const uint64_t *first = values + in_rows[lo] * num_words;
+        for (int64_t w = 0; w < num_words; w++)
+            dst[w] = first[w];
+        for (int64_t k = lo + 1; k < hi; k++) {
+            const uint64_t *src = values + in_rows[k] * num_words;
+            switch (op & 3) {
+            case 0:
+                for (int64_t w = 0; w < num_words; w++) dst[w] &= src[w];
+                break;
+            case 1:
+                for (int64_t w = 0; w < num_words; w++) dst[w] |= src[w];
+                break;
+            default:
+                for (int64_t w = 0; w < num_words; w++) dst[w] ^= src[w];
+                break;
+            }
+        }
+        if (op & 4)
+            for (int64_t w = 0; w < num_words; w++)
+                dst[w] = ~dst[w] & mask[w];
+    }
+}
 """
 
 #: Opcodes understood by the kernel (and mirrored by the numpy sweep).
@@ -128,6 +175,18 @@ def _compile_kernel() -> ctypes.CDLL | None:
         int64_p,  # in_ptr
         int64_p,  # in_rows
         uint64_p,  # lane mask
+    ]
+    library.ed_eval.restype = None
+    library.ed_eval.argtypes = [
+        uint64_p,  # values
+        ctypes.c_int64,  # num_words
+        int64_p,  # gate_ids
+        ctypes.c_int64,  # num_active
+        uint8_p,  # ops
+        int64_p,  # in_ptr
+        int64_p,  # in_rows
+        uint64_p,  # lane mask
+        uint64_p,  # out
     ]
     return library
 

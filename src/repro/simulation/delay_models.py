@@ -10,9 +10,48 @@ settles.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from fractions import Fraction
+from math import gcd
+from typing import Sequence
 
 from repro.netlist.cell_library import GateType
 from repro.simulation.compiled import CompiledCircuit, CompiledGate
+
+
+def quantize_delays(
+    delays: Sequence[float], max_denominator: int = 4096
+) -> tuple[list[int], float]:
+    """Map float gate delays onto integer ticks of a common time quantum.
+
+    Returns ``(ticks, tick_seconds)`` with ``ticks[i] * tick_seconds ==
+    delays[i]`` (up to the rational approximation bounded by
+    *max_denominator*).  Both event-driven backends schedule on this shared
+    integer time base: summing float delays along reconvergent paths would
+    make "same instant" depend on rounding, and the scalar and vectorized
+    engines must group simultaneous events identically to count the same
+    glitches.
+    """
+    if any(delay < 0 for delay in delays):
+        raise ValueError("gate delays must be non-negative")
+    fractions = [Fraction(float(delay)).limit_denominator(max_denominator) for delay in delays]
+    denominator = 1
+    for fraction in fractions:
+        denominator = denominator * fraction.denominator // gcd(
+            denominator, fraction.denominator
+        )
+        if denominator > max_denominator:
+            break
+    if denominator > max_denominator:
+        # The joint LCM of many coprime denominators can explode past what
+        # int64 tick arithmetic tolerates (arbitrary measured delays).  Fall
+        # back to one shared denominator: every delay rounds to the nearest
+        # tick, equal delays still get equal ticks, and both backends keep
+        # grouping simultaneous events identically.
+        denominator = max_denominator
+        ticks = [round(float(delay) * denominator) for delay in delays]
+    else:
+        ticks = [int(fraction * denominator) for fraction in fractions]
+    return ticks, 1.0 / denominator
 
 
 class DelayModel(ABC):

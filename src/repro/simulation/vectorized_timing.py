@@ -1,0 +1,577 @@
+"""Word-sliced, time-wheel event-driven simulator (general delays, glitches).
+
+This is the numpy backend of
+:class:`~repro.simulation.event_driven.EventDrivenSimulator`.  Where the
+scalar backend walks a Python ``heapq`` of single-chain net updates, this
+engine advances ``width`` independent chains *and* all 64-lane words together
+through one discrete time wheel:
+
+* Gate delays are quantized onto a shared integer tick base
+  (:func:`~repro.simulation.delay_models.quantize_delays`), so every event
+  time is an exact integer and both backends group "simultaneous" events
+  identically — the property that makes their glitch counts bit-identical.
+* Net values live in the same ``(num_nets, num_words)`` uint64 lane matrix as
+  the zero-delay engine (lane *k* of net *i* in bit ``k % 64`` of
+  ``words[i, k // 64]``; see :mod:`repro.utils.bitpack`).
+* Per time point, the pending net updates are applied with one vectorized
+  XOR/popcount pass (capacitance-weighted transition accumulation via
+  ``np.bitwise_count``), and the *active gate frontier* — the union over
+  lanes of every gate fed by a changed net — is re-evaluated level by level
+  with grouped ufunc reductions, or with the optional runtime-compiled C
+  kernel from :mod:`repro.simulation._native`.  Zero-delay gates cascade
+  within the instant; positive-delay gates schedule their computed output
+  words ``ticks`` later on the wheel.
+
+Evaluating the frontier for *all* lanes whenever *any* lane is active is
+safe: a lane whose gate inputs did not change at this instant re-computes the
+same output it scheduled at its own last active instant, which necessarily
+lands on the wheel no later than the new event — re-applying an equal value
+changes nothing and counts nothing.  The union-activity engine therefore does
+(bounded) redundant evaluation work but counts exactly the per-lane
+transitions of the scalar engine, a property pinned by the equivalence tests
+in ``tests/property_based``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.netlist.cell_library import GateType
+from repro.simulation import _native
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.delay_models import DelayModel, FanoutDelay, quantize_delays
+from repro.utils.bitpack import (
+    bits_to_words,
+    lane_mask_words,
+    pack_int_to_words,
+    unpack_words_to_int,
+    words_per_width,
+)
+from repro.utils.rng import RandomSource, spawn_rng
+
+__all__ = ["VectorizedEventDrivenSimulator"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Reduction kind per gate type: (opcode, output inverted) — mirrors the
+#: zero-delay vectorized engine so both speak the same kernel opcode set.
+_GATE_OPS: dict[GateType, tuple[int, bool]] = {
+    GateType.AND: (_native.OP_AND, False),
+    GateType.NAND: (_native.OP_AND, True),
+    GateType.OR: (_native.OP_OR, False),
+    GateType.NOR: (_native.OP_OR, True),
+    GateType.XOR: (_native.OP_XOR, False),
+    GateType.XNOR: (_native.OP_XOR, True),
+    GateType.BUFF: (_native.OP_AND, False),
+    GateType.NOT: (_native.OP_AND, True),
+}
+
+_REDUCERS = {
+    _native.OP_AND: np.bitwise_and,
+    _native.OP_OR: np.bitwise_or,
+    _native.OP_XOR: np.bitwise_xor,
+}
+
+
+class VectorizedEventDrivenSimulator:
+    """Event-driven general-delay simulator over word-sliced uint64 lane arrays.
+
+    Mirrors the cycle semantics of the scalar backend (same clock-edge
+    ordering, same instant grouping, same glitch counting) so the two are
+    interchangeable behind :class:`~repro.simulation.event_driven.EventDrivenSimulator`.
+    """
+
+    backend = "numpy"
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        delay_model: DelayModel | None = None,
+        node_capacitance: Sequence[float] | np.ndarray | None = None,
+        width: int = 1,
+        gate_delays: Sequence[float] | None = None,
+    ):
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self.circuit = circuit
+        self.width = width
+        self.num_words = words_per_width(width)
+        self.mask = (1 << width) - 1
+        self.delay_model = delay_model or FanoutDelay()
+        # The facade passes its already-computed delay list so the model is
+        # evaluated exactly once per simulator (and the facade's public
+        # gate_delays/ticks always describe the delays actually simulated).
+        if gate_delays is None:
+            gate_delays = self.delay_model.delays(circuit)
+        self.gate_delays = list(gate_delays)
+        ticks, self.tick = quantize_delays(self.gate_delays)
+        if node_capacitance is None:
+            self.node_capacitance = np.ones(circuit.num_nets, dtype=np.float64)
+        else:
+            if len(node_capacitance) != circuit.num_nets:
+                raise ValueError(
+                    "node_capacitance must have one entry per net "
+                    f"({circuit.num_nets}), got {len(node_capacitance)}"
+                )
+            self.node_capacitance = np.asarray(node_capacitance, dtype=np.float64)
+        self._caps = self.node_capacitance
+        self._mask_words = lane_mask_words(width)
+        self._partial_last_word = bool(width % 64)
+
+        num_nets = circuit.num_nets
+        num_words = self.num_words
+        # Two virtual rows behind the real nets: an all-ones row (AND-group
+        # fan-in padding) and an all-zeros row (OR/XOR-group padding).
+        self._row_one = num_nets
+        self._row_zero = num_nets + 1
+        self._flat = np.zeros((num_nets + 2) * num_words, dtype=np.uint64)
+        self.words = self._flat[: num_nets * num_words].reshape(num_nets, num_words)
+        self._flat[self._row_one * num_words : (self._row_one + 1) * num_words] = self._mask_words
+
+        self._latch_q_rows = np.asarray(circuit.latch_q, dtype=np.intp)
+        self._latch_d_rows = np.asarray(circuit.latch_d, dtype=np.intp)
+        self._input_rows = np.asarray(circuit.primary_inputs, dtype=np.intp)
+
+        self._build_gate_tables(ticks)
+        self._build_fanout_csr()
+        self._native_eval = self._build_native_eval()
+
+        self._counts = np.zeros(num_nets, dtype=np.int64)
+        self._lane_energy = np.zeros(width, dtype=np.float64)
+        self._wheel: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._times: list[int] = []
+
+        self._settled = False
+        self.cycles_simulated = 0
+        self.reset()
+
+    # --------------------------------------------------------------- schedules
+    def _gate_levels(self) -> list[int]:
+        level = [0] * self.circuit.num_nets
+        gate_levels = []
+        for gate in self.circuit.gates:
+            gate_level = max((level[src] for src in gate.inputs), default=0) + 1
+            level[gate.output] = gate_level
+            gate_levels.append(gate_level)
+        return gate_levels
+
+    def _build_gate_tables(self, ticks: list[int]) -> None:
+        gates = self.circuit.gates
+        num_gates = len(gates)
+        num_words = self.num_words
+        word_span = np.arange(num_words, dtype=np.intp)
+        levels = self._gate_levels()
+
+        self._gate_op = np.zeros(num_gates, dtype=np.uint8)
+        self._gate_invert = np.zeros(num_gates, dtype=np.uint64)
+        self._gate_out = np.zeros(num_gates, dtype=np.intp)
+        self._gate_tick = np.asarray(ticks, dtype=np.int64)
+        self._gate_level = np.asarray(levels, dtype=np.int64)
+
+        self._const_rows = []
+        real_arities = [
+            len(gate.inputs)
+            for gate in gates
+            if gate.gate_type not in (GateType.CONST0, GateType.CONST1)
+        ]
+        max_arity = max(real_arities, default=1)
+        self._max_arity = max_arity
+        padded_rows = np.full((num_gates, max_arity), self._row_zero, dtype=np.intp)
+
+        # CSR fan-in tables (real arities) shared with the optional C kernel.
+        in_ptr = np.zeros(num_gates + 1, dtype=np.int64)
+        in_rows: list[int] = []
+        levels_non_const: dict[int, list[int]] = {}
+        for index, gate in enumerate(gates):
+            self._gate_out[index] = gate.output
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+                self._const_rows.append((gate.output, gate.gate_type is GateType.CONST1))
+                in_ptr[index + 1] = len(in_rows)
+                continue
+            opcode, inverted = _GATE_OPS[gate.gate_type]
+            self._gate_op[index] = opcode
+            if inverted:
+                self._gate_invert[index] = _ALL_ONES
+            pad_row = self._row_one if opcode == _native.OP_AND else self._row_zero
+            padded_rows[index, :] = pad_row
+            padded_rows[index, : len(gate.inputs)] = gate.inputs
+            in_rows.extend(gate.inputs)
+            in_ptr[index + 1] = len(in_rows)
+            levels_non_const.setdefault(levels[index], []).append(index)
+
+        self._in_ptr = in_ptr
+        self._in_rows = np.asarray(in_rows, dtype=np.int64)
+        non_const = self._gate_op_valid = np.ones(num_gates, dtype=bool)
+        for index, gate in enumerate(gates):
+            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
+                non_const[index] = False
+        #: With no zero-delay gate anywhere there can be no intra-instant
+        #: cascade, so each instant's frontier is evaluated in one batch
+        #: instead of level by level (the hot path for realistic delay models).
+        self._any_zero_ticks = bool((self._gate_tick[non_const] == 0).any()) if num_gates else False
+        self._gate_gather = (padded_rows[:, :, None] * num_words + word_span).reshape(
+            num_gates, -1
+        )
+        #: Non-const gate ids grouped by level, ascending — the full-sweep
+        #: schedule used by :meth:`settle`.
+        self._levels_all = [
+            np.asarray(levels_non_const[level], dtype=np.int64)
+            for level in sorted(levels_non_const)
+        ]
+
+    def _build_fanout_csr(self) -> None:
+        fanout = self.circuit.fanout_gates
+        ptr = np.zeros(self.circuit.num_nets + 1, dtype=np.int64)
+        idx: list[int] = []
+        for net, gate_ids in enumerate(fanout):
+            idx.extend(gate_ids)
+            ptr[net + 1] = len(idx)
+        self._fanout_ptr = ptr
+        self._fanout_idx = np.asarray(idx, dtype=np.int64)
+
+    def _build_native_eval(self):
+        kernel = _native.load_kernel()
+        if kernel is None or not hasattr(kernel, "ed_eval"):
+            return None
+        flat = self._flat
+        num_words = int(self.num_words)
+        invert_flag = np.where(self._gate_invert != 0, _native.OP_INVERT, 0)
+        ops_invert = (self._gate_op | invert_flag).astype(np.uint8)
+        in_ptr = self._in_ptr
+        in_rows = self._in_rows
+        mask = self._mask_words
+        # Keep every table alive on the instance; the closure passes the
+        # varying frontier/output arrays per call.
+        self._native_tables = (ops_invert, in_ptr, in_rows, mask)
+
+        def evaluate(gate_ids: np.ndarray, out: np.ndarray) -> None:
+            kernel.ed_eval(
+                flat, num_words, gate_ids, gate_ids.size, ops_invert, in_ptr, in_rows, mask, out
+            )
+
+        return evaluate
+
+    # ------------------------------------------------------------------- state
+    def reset(self, latch_state: int | Sequence[int] | None = None) -> None:
+        """Reset all nets to 0, load *latch_state* into the flip-flops, clear counters."""
+        self.words[:] = 0
+        for row, is_one in self._const_rows:
+            self.words[row] = self._mask_words if is_one else 0
+        if latch_state is None:
+            packed = [
+                self._mask_words if init else np.zeros(self.num_words, dtype=np.uint64)
+                for init in self.circuit.latch_init
+            ]
+        elif isinstance(latch_state, int):
+            packed = [
+                self._mask_words
+                if (latch_state >> i) & 1
+                else np.zeros(self.num_words, dtype=np.uint64)
+                for i in range(self.circuit.num_latches)
+            ]
+        else:
+            if len(latch_state) != self.circuit.num_latches:
+                raise ValueError(f"latch_state must have {self.circuit.num_latches} entries")
+            packed = [
+                pack_int_to_words(int(value) & self.mask, self.num_words)
+                for value in latch_state
+            ]
+        for row, value in zip(self._latch_q_rows, packed):
+            self.words[row] = value
+        self._counts[:] = 0
+        self.cycles_simulated = 0
+        self._settled = False
+
+    def randomize_state(self, rng: RandomSource = None) -> None:
+        """Load an independent uniform-random state into every latch of every lane.
+
+        Draws the same RNG stream as the vectorized zero-delay engine (one
+        ``integers(0, 2, size=width)`` call per latch).
+        """
+        generator = spawn_rng(rng)
+        for row in self._latch_q_rows:
+            bits = generator.integers(0, 2, size=self.width, dtype="uint8")
+            self.words[row] = bits_to_words(bits, self.num_words)
+        self._settled = False
+
+    def load_settled_state(self, values) -> None:
+        """Adopt an externally settled network (zero-delay words or packed ints)."""
+        if isinstance(values, np.ndarray) and values.dtype == np.uint64:
+            if values.shape != self.words.shape:
+                raise ValueError(
+                    f"expected settled words of shape {self.words.shape}, got {values.shape}"
+                )
+            np.copyto(self.words, values)
+            if self._partial_last_word:
+                self.words &= self._mask_words
+        else:
+            if len(values) != self.circuit.num_nets:
+                raise ValueError(
+                    f"expected {self.circuit.num_nets} net values, got {len(values)}"
+                )
+            for row, value in enumerate(values):
+                self.words[row] = pack_int_to_words(int(value) & self.mask, self.num_words)
+        self._settled = True
+
+    def get_state(self) -> dict:
+        """Snapshot the word matrix and counters (checkpoint support; owns its storage)."""
+        return {
+            "backend": "numpy",
+            "words": self.words.copy(),
+            "transition_counts": self._counts.copy(),
+            "settled": self._settled,
+            "cycles": self.cycles_simulated,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state` (same backend only)."""
+        if state.get("backend") != "numpy":
+            raise ValueError(
+                f"cannot restore a {state.get('backend')!r} snapshot into a numpy simulator"
+            )
+        if state["words"].shape != self.words.shape:
+            raise ValueError("snapshot does not match this circuit/width")
+        self.words[:] = state["words"]
+        self._counts[:] = state["transition_counts"]
+        self._settled = state["settled"]
+        self.cycles_simulated = state["cycles"]
+
+    @property
+    def values(self) -> list[int]:
+        """Current net values as lane-packed integers (scalar-compatible view)."""
+        return [unpack_words_to_int(self.words[row]) for row in range(self.circuit.num_nets)]
+
+    @property
+    def transition_counts(self) -> np.ndarray:
+        """Per-net transition count since the last reset, summed over lanes."""
+        return self._counts
+
+    def latch_state_scalar(self, lane: int = 0) -> int:
+        """Return the state of one lane as an integer (bit *i* = latch *i*)."""
+        word, bit = divmod(lane, 64)
+        state = 0
+        for i, row in enumerate(self._latch_q_rows):
+            state |= ((int(self.words[row, word]) >> bit) & 1) << i
+        return state
+
+    def net_value(self, name: str, lane: int = 0) -> int:
+        """Return the current settled value (0/1) of net *name* in *lane*."""
+        word, bit = divmod(lane, 64)
+        return (int(self.words[self.circuit.net_id(name), word]) >> bit) & 1
+
+    # ------------------------------------------------------------- evaluation
+    def _pattern_words(self, pattern) -> np.ndarray:
+        """Coerce a pattern (packed ints or a word array) to (num_inputs, W)."""
+        if isinstance(pattern, np.ndarray) and pattern.dtype == np.uint64:
+            if pattern.shape != (self.circuit.num_inputs, self.num_words):
+                raise ValueError(
+                    f"pattern words must have shape "
+                    f"({self.circuit.num_inputs}, {self.num_words}), got {pattern.shape}"
+                )
+            if not self._partial_last_word:
+                return pattern
+            return pattern & self._mask_words
+        if len(pattern) != self.circuit.num_inputs:
+            raise ValueError(
+                f"pattern must have {self.circuit.num_inputs} entries, got {len(pattern)}"
+            )
+        words = np.empty((self.circuit.num_inputs, self.num_words), dtype=np.uint64)
+        for index, value in enumerate(pattern):
+            words[index] = pack_int_to_words(int(value) & self.mask, self.num_words)
+        return words
+
+    def _evaluate_gates(self, gates: np.ndarray) -> np.ndarray:
+        """Re-evaluate *gates* (sorted non-const ids); return (len, num_words) outputs."""
+        out = np.empty((gates.size, self.num_words), dtype=np.uint64)
+        if self._native_eval is not None:
+            self._native_eval(gates, out)
+            return out
+        flat = self._flat
+        ops = self._gate_op[gates]
+        for opcode, reducer in _REDUCERS.items():
+            member = ops == opcode
+            if not member.any():
+                continue
+            selected = gates[member]
+            gathered = flat[self._gate_gather[selected]].reshape(
+                selected.size, self._max_arity, self.num_words
+            )
+            acc = reducer.reduce(gathered, axis=1)
+            invert = self._gate_invert[selected]
+            if invert.any():
+                np.bitwise_xor(acc, invert[:, None], out=acc)
+                if self._partial_last_word:
+                    np.bitwise_and(acc, self._mask_words, out=acc)
+            out[member] = acc
+        return out
+
+    def settle(self, pattern) -> None:
+        """Drive *pattern*, settle the logic with one full sweep, count nothing."""
+        self._apply_inputs(pattern)
+        self._full_sweep()
+        self._settled = True
+
+    def _apply_inputs(self, pattern) -> None:
+        words = self._pattern_words(pattern)
+        self.words[self._input_rows] = words
+
+    def _full_sweep(self) -> None:
+        for level_gates in self._levels_all:
+            outs = self._evaluate_gates(level_gates)
+            self.words[self._gate_out[level_gates]] = outs
+
+    # ----------------------------------------------------------------- cycle
+    def _schedule(self, time: int, rows: np.ndarray, vals: np.ndarray) -> None:
+        bucket = self._wheel.get(time)
+        if bucket is None:
+            self._wheel[time] = bucket = []
+            heapq.heappush(self._times, time)
+        bucket.append((rows, vals))
+
+    def _fanout_of(self, rows: np.ndarray) -> np.ndarray:
+        """Gate ids reading any of *rows* (duplicates possible, unique'd later)."""
+        ptr = self._fanout_ptr
+        counts = ptr[rows + 1] - ptr[rows]
+        total = int(counts.sum())
+        if total == 0:
+            return self._fanout_idx[:0]
+        base = np.repeat(ptr[rows] - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        return self._fanout_idx[base + np.arange(total, dtype=np.int64)]
+
+    def _apply_rows(self, rows: np.ndarray, vals: np.ndarray) -> np.ndarray | None:
+        """Apply scheduled values; count per-lane transitions; return changed rows."""
+        current = self.words[rows]
+        diff = current ^ vals
+        changed = diff.any(axis=1)
+        if not changed.any():
+            return None
+        rows_changed = rows[changed]
+        diff_changed = diff[changed]
+        self.words[rows_changed] = vals[changed]
+        self._counts[rows_changed] += np.bitwise_count(diff_changed).sum(axis=1, dtype=np.int64)
+        bits = np.unpackbits(
+            np.ascontiguousarray(diff_changed).view(np.uint8).reshape(rows_changed.size, -1),
+            axis=1,
+            bitorder="little",
+        )[:, : self.width]
+        self._lane_energy += self._caps[rows_changed] @ bits
+        return rows_changed
+
+    def _push_levels(self, buckets: dict[int, list], gates: np.ndarray) -> None:
+        levels = self._gate_level[gates]
+        for level in np.unique(levels):
+            buckets.setdefault(int(level), []).append(gates[levels == level])
+
+    def _run_instant(self, time: int) -> None:
+        batches = self._wheel.pop(time)
+        if len(batches) == 1:
+            rows, vals = batches[0]
+        else:
+            rows = np.concatenate([batch[0] for batch in batches])
+            vals = np.concatenate([batch[1] for batch in batches])
+        changed_rows = self._apply_rows(rows, vals)
+        if changed_rows is None:
+            return
+        frontier = self._fanout_of(changed_rows)
+        if frontier.size == 0:
+            return
+        if not self._any_zero_ticks:
+            # Purely positive delays: no same-instant cascade is possible, so
+            # the whole frontier evaluates as one batch and every output is
+            # scheduled — the per-level worklist below exists only for
+            # zero-delay gates.
+            gates = np.unique(frontier)
+            outs = self._evaluate_gates(gates)
+            ticks = self._gate_tick[gates]
+            for tick_delay in np.unique(ticks):
+                member = ticks == tick_delay
+                # Boolean indexing copies, so the scheduled batch owns its rows.
+                self._schedule(
+                    time + int(tick_delay),
+                    self._gate_out[gates[member]],
+                    outs if member.all() else outs[member],
+                )
+            return
+        buckets: dict[int, list] = {}
+        self._push_levels(buckets, frontier)
+        while buckets:
+            level = min(buckets)
+            arrays = buckets.pop(level)
+            gates = np.unique(arrays[0] if len(arrays) == 1 else np.concatenate(arrays))
+            outs = self._evaluate_gates(gates)
+            ticks = self._gate_tick[gates]
+            zero = ticks == 0
+            if zero.any():
+                applied = self._apply_rows(self._gate_out[gates[zero]], outs[zero])
+                if applied is not None:
+                    cascade = self._fanout_of(applied)
+                    if cascade.size:
+                        self._push_levels(buckets, cascade)
+            delayed = ~zero
+            if delayed.any():
+                delayed_gates = gates[delayed]
+                delayed_outs = outs[delayed]
+                delayed_ticks = ticks[delayed]
+                for tick_delay in np.unique(delayed_ticks):
+                    member = delayed_ticks == tick_delay
+                    self._schedule(
+                        time + int(tick_delay),
+                        self._gate_out[delayed_gates[member]],
+                        delayed_outs[member],
+                    )
+
+    def cycle_lanes(self, pattern) -> np.ndarray:
+        """Simulate one clock cycle; return each lane's switched capacitance.
+
+        Mirrors the scalar backend cycle: clock edge (latches capture the
+        settled D values), new input pattern, event-driven propagation over
+        the integer time wheel until quiescence.  Entry *k* of the result is
+        the capacitance-weighted transition count of chain *k*, glitches
+        included.
+        """
+        pattern_words = self._pattern_words(pattern)
+        if not self._settled:
+            self._full_sweep()
+            self._settled = True
+
+        captured = self.words[self._latch_d_rows].copy()
+        self._lane_energy[:] = 0.0
+
+        seed_rows = [self._latch_q_rows.astype(np.int64), self._input_rows.astype(np.int64)]
+        seed_vals = [captured, pattern_words]
+        rows = np.concatenate(seed_rows)
+        vals = (
+            np.concatenate(seed_vals)
+            if rows.size
+            else np.empty((0, self.num_words), dtype=np.uint64)
+        )
+        if rows.size:
+            self._schedule(0, rows, vals)
+
+        while self._times:
+            self._run_instant(heapq.heappop(self._times))
+
+        self.cycles_simulated += 1
+        return self._lane_energy.copy()
+
+    def cycle(self, pattern) -> float:
+        """Simulate one clock cycle; return the switched capacitance summed over lanes."""
+        return float(self.cycle_lanes(pattern).sum())
+
+    def run(self, patterns: Sequence) -> list[float]:
+        """Simulate one cycle per pattern; return per-cycle lane-summed energies."""
+        return [self.cycle(pattern) for pattern in patterns]
+
+    # ------------------------------------------------------------- statistics
+    def total_transitions(self) -> int:
+        """Total transitions counted since the last reset, over all lanes."""
+        return int(self._counts.sum())
+
+    def transition_density(self) -> np.ndarray:
+        """Average transitions per cycle *per lane* for every net (float64)."""
+        if self.cycles_simulated == 0:
+            return np.zeros(self.circuit.num_nets, dtype=np.float64)
+        return self._counts / float(self.cycles_simulated * self.width)

@@ -137,6 +137,18 @@ class ZeroDelaySimulator:
             raise AttributeError("values is read-only with the numpy backend")
         self._values = new_values
 
+    def words_view(self) -> np.ndarray | None:
+        """The numpy backend's ``(num_nets, num_words)`` lane-word matrix.
+
+        Returns ``None`` on the big-int backend.  The view aliases live
+        simulator storage — callers must treat it as read-only; it exists so
+        the vectorized event-driven engine can adopt the settled network
+        without a lane-unpacking round-trip.
+        """
+        if self._vec is None:
+            return None
+        return self._vec.words
+
     @property
     def cycles_simulated(self) -> int:
         """Number of clock cycles advanced since the last reset."""

@@ -124,8 +124,12 @@ class TestInterface:
             simulator.load_settled_state([0, 1])
 
     def test_transition_density_zero_before_simulation(self, s27_circuit):
-        simulator = EventDrivenSimulator(s27_circuit)
-        assert simulator.transition_density() == [0.0] * s27_circuit.num_nets
+        for backend in ("scalar", "numpy"):
+            simulator = EventDrivenSimulator(s27_circuit, backend=backend)
+            density = simulator.transition_density()
+            assert isinstance(density, np.ndarray)
+            assert density.dtype == np.float64
+            assert np.array_equal(density, np.zeros(s27_circuit.num_nets))
 
     def test_transition_density_after_run(self, s27_circuit):
         rng = np.random.default_rng(2)
@@ -133,8 +137,19 @@ class TestInterface:
         simulator.settle([0, 0, 0, 0])
         simulator.run(rng.integers(0, 2, size=(20, 4)).tolist())
         density = simulator.transition_density()
+        assert density.dtype == np.float64
         assert simulator.cycles_simulated == 20
-        assert simulator.total_transitions() == pytest.approx(sum(density) * 20)
+        assert simulator.total_transitions() == pytest.approx(density.sum() * 20)
+
+    def test_node_capacitance_accepts_numpy_array_without_copy(self, s27_circuit):
+        caps = np.full(s27_circuit.num_nets, 2.5e-14)
+        simulator = EventDrivenSimulator(s27_circuit, node_capacitance=caps)
+        assert isinstance(simulator.node_capacitance, np.ndarray)
+        assert simulator.node_capacitance is caps  # float64 input is adopted as-is
+        from_list = EventDrivenSimulator(
+            s27_circuit, node_capacitance=caps.tolist()
+        ).node_capacitance
+        assert np.array_equal(from_list, caps)
 
     def test_randomize_state_reproducible(self, s27_circuit):
         first = EventDrivenSimulator(s27_circuit)
