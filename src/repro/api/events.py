@@ -111,11 +111,47 @@ class ChainsResized(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class ShardProgress:
+    """Per-worker share of a sharded sampling step (not itself a stream event).
+
+    Attached to :class:`SampleProgress` when the estimation run shards its
+    chain ensemble across worker processes
+    (``EstimationConfig(num_workers > 1)``).
+
+    Attributes
+    ----------
+    worker:
+        Worker index within the shard pool.
+    num_chains:
+        Chains currently simulated by this worker (0 for idle workers when
+        the ensemble is narrower than the pool).
+    lane_offset:
+        First full-ensemble chain index owned by this worker; the worker's
+        samples occupy positions ``lane_offset .. lane_offset + num_chains``
+        of every merged per-sweep batch.
+    """
+
+    worker: int
+    num_chains: int
+    lane_offset: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "worker": self.worker,
+            "num_chains": self.num_chains,
+            "lane_offset": self.lane_offset,
+        }
+
+
+@dataclass(frozen=True)
 class SampleProgress(ProgressEvent):
     """Stopping-criterion verdict after a batch of new samples.
 
     ``running_mean_w`` and the bounds are in watts (converted through the
-    configuration's power model, like the final estimate).
+    configuration's power model, like the final estimate).  ``num_workers``
+    and ``shards`` describe how the ensemble is sharded across worker
+    processes (``num_workers == 1`` and an empty ``shards`` for in-process
+    sampling).
     """
 
     kind: ClassVar[str] = "sample-progress"
@@ -125,6 +161,8 @@ class SampleProgress(ProgressEvent):
     upper_bound_w: float = 0.0
     relative_half_width: float = float("inf")
     accuracy_met: bool = False
+    num_workers: int = 1
+    shards: tuple[ShardProgress, ...] = field(default=(), repr=False)
 
 
 @dataclass(frozen=True)

@@ -145,6 +145,13 @@ STOPPING_CRITERION_REGISTRY = Registry(
     builtin_modules=("repro.stats.stopping",),
 )
 
+#: Delay models accepted by :class:`~repro.core.config.EstimationConfig`
+#: (used by the event-driven power simulator).
+DELAY_MODEL_REGISTRY = Registry(
+    "delay model",
+    builtin_modules=("repro.simulation.delay_models",),
+)
+
 
 def register_estimator(name: str, factory: Callable | None = None, *, aliases: Iterable[str] = ()):
     """Register an estimator factory (see module docstring for the contract)."""
@@ -163,6 +170,19 @@ def register_stopping_criterion(
     return STOPPING_CRITERION_REGISTRY.register(name, factory, aliases=aliases)
 
 
+def register_delay_model(
+    name: str, factory: Callable | None = None, *, aliases: Iterable[str] = ()
+):
+    """Register a delay-model factory ``(**params) -> DelayModel``.
+
+    The registered name becomes valid in
+    ``EstimationConfig(delay_model="name")`` and therefore in serialized
+    :class:`~repro.api.jobs.JobSpec`s and on the command line
+    (``--delay-model``).
+    """
+    return DELAY_MODEL_REGISTRY.register(name, factory, aliases=aliases)
+
+
 def get_estimator(name: str) -> Callable:
     """Look up an estimator factory by registered name."""
     return ESTIMATOR_REGISTRY.get(name)
@@ -178,6 +198,11 @@ def get_stopping_criterion(name: str) -> Callable:
     return STOPPING_CRITERION_REGISTRY.get(name)
 
 
+def get_delay_model(name: str) -> Callable:
+    """Look up a delay-model factory by registered name."""
+    return DELAY_MODEL_REGISTRY.get(name)
+
+
 def external_provider_modules() -> tuple[str, ...]:
     """Modules (outside this package) that registered components, sorted.
 
@@ -187,7 +212,12 @@ def external_provider_modules() -> tuple[str, ...]:
     cannot be re-imported and are excluded.
     """
     modules = set()
-    for registry in (ESTIMATOR_REGISTRY, STIMULUS_REGISTRY, STOPPING_CRITERION_REGISTRY):
+    for registry in (
+        ESTIMATOR_REGISTRY,
+        STIMULUS_REGISTRY,
+        STOPPING_CRITERION_REGISTRY,
+        DELAY_MODEL_REGISTRY,
+    ):
         for factory in registry._entries.values():
             module = getattr(factory, "__module__", None)
             if module and module != "__main__" and not module.startswith("repro."):
@@ -208,3 +238,8 @@ def stimulus_names() -> tuple[str, ...]:
 def stopping_criterion_names() -> tuple[str, ...]:
     """All registered stopping-criterion names."""
     return STOPPING_CRITERION_REGISTRY.names()
+
+
+def delay_model_names() -> tuple[str, ...]:
+    """All registered delay-model names."""
+    return DELAY_MODEL_REGISTRY.names()

@@ -27,7 +27,7 @@ from typing import Sequence
 
 from repro.api.batch import BatchRunner, load_jobs
 from repro.api.jobs import JobSpec, StimulusSpec, run_job
-from repro.api.registry import estimator_names, stopping_criterion_names
+from repro.api.registry import delay_model_names, estimator_names, stopping_criterion_names
 from repro.circuits.iscas89 import (
     SMALL_CIRCUIT_NAMES,
     TABLE_CIRCUIT_NAMES,
@@ -42,16 +42,18 @@ from repro.power.reference import estimate_reference_power
 from repro.utils.tables import TextTable
 
 
-def _estimation_config(args: argparse.Namespace) -> EstimationConfig:
+def _estimation_config(args: argparse.Namespace, num_workers: int = 1) -> EstimationConfig:
     return EstimationConfig(
         significance_level=args.alpha,
         max_relative_error=args.max_error,
         confidence=args.confidence,
         stopping_criterion=args.stopping,
         power_simulator=args.power_simulator,
+        delay_model=args.delay_model,
         num_chains=args.chains,
         adaptive_chains=args.adaptive_chains,
         max_chains=args.max_chains,
+        num_workers=num_workers,
         simulation_backend=args.backend,
     )
 
@@ -71,6 +73,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         default="order-statistic", help="stopping criterion")
     parser.add_argument("--power-simulator", choices=("zero-delay", "event-driven"),
                         default="zero-delay", help="power engine for the sampled cycles")
+    parser.add_argument("--delay-model", choices=sorted(delay_model_names()),
+                        default="fanout",
+                        help="gate delay model of the event-driven power engine "
+                             "(ignored by zero-delay)")
     parser.add_argument("--chains", type=int, default=1,
                         help="independent Monte Carlo chains advanced per gate sweep "
                              "(>1 uses the vectorized multi-chain sampler; composes "
@@ -123,7 +129,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         circuit=args.circuit,
         estimator=args.estimator,
         stimulus=_stimulus_spec(args),
-        config=_estimation_config(args),
+        config=_estimation_config(args, num_workers=args.workers),
         seed=args.seed,
         params=args.params,
     )
@@ -168,6 +174,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     print(f"circuit               : {estimate.circuit_name}")
     print(f"estimator             : {spec.estimator}")
     print(f"chains / backend      : {config.num_chains} / {config.simulation_backend}")
+    if config.num_workers > 1:
+        print(f"shard workers         : {config.num_workers}")
     print(f"average power         : {estimate.average_power_mw:.4f} mW")
     print(f"confidence interval   : [{estimate.lower_bound_w * 1e3:.4f}, "
           f"{estimate.upper_bound_w * 1e3:.4f}] mW")
@@ -302,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also run a reference simulation of this many cycles (0 = skip)")
     estimate.add_argument("--progress", action="store_true",
                           help="stream JSON progress events to stderr while running")
+    estimate.add_argument("--workers", type=int, default=1,
+                          help="worker processes the chain ensemble is sharded across "
+                               "(results are identical for any count; composes with "
+                               "'repro batch --workers', which parallelises whole jobs)")
     _add_config_arguments(estimate)
     _add_json_argument(estimate)
     estimate.set_defaults(handler=_cmd_estimate)

@@ -18,6 +18,7 @@ from repro.core.dipe import DipeEstimator, estimate_average_power
 from repro.core.interval import select_independence_interval
 from repro.core.results import IntervalSelectionResult, IntervalTrial, PowerEstimate
 from repro.core.sampler import PowerSampler
+from repro.core.sharded_sampler import ShardedPowerSampler
 
 __all__ = [
     "EstimationConfig",
@@ -26,6 +27,7 @@ __all__ = [
     "PowerEstimate",
     "PowerSampler",
     "BatchPowerSampler",
+    "ShardedPowerSampler",
     "select_independence_interval",
     "DipeEstimator",
     "estimate_average_power",

@@ -65,12 +65,18 @@ def make_sampler(
 ) -> "PowerSampler | BatchPowerSampler":
     """Build the sampler the configuration asks for.
 
-    ``num_chains > 1`` (or adaptive chain scaling, which needs a resizable
-    ensemble) selects the multi-chain batch sampler; otherwise the
-    single-chain two-phase sampler is used.  Every estimator dispatches
-    through this single point so the selection rule cannot drift between
-    them.
+    ``num_workers > 1`` selects the process-sharded sampler (which produces
+    results draw-for-draw identical to the in-process one); ``num_chains > 1``
+    (or adaptive chain scaling, which needs a resizable ensemble) selects the
+    multi-chain batch sampler; otherwise the single-chain two-phase sampler
+    is used.  Every estimator dispatches through this single point so the
+    selection rule cannot drift between them.
     """
+    if config.num_workers > 1:
+        # Imported lazily: the sharded sampler builds on this module.
+        from repro.core.sharded_sampler import ShardedPowerSampler
+
+        return ShardedPowerSampler(circuit, stimulus, config, rng=rng)
     if config.num_chains > 1 or config.adaptive_chains:
         return BatchPowerSampler(circuit, stimulus, config, rng=rng)
     return PowerSampler(circuit, stimulus, config, rng=rng)
@@ -153,6 +159,10 @@ class BatchPowerSampler:
         self.cycles_simulated = 0
         self._prepared = False
 
+    #: Event-engine backend request used by :meth:`_build_engines`; shard
+    #: samplers override it with the backend resolved at full ensemble width.
+    _event_backend_request = "auto"
+
     def _build_engines(self) -> None:
         """(Re)build both engines at the current ``num_chains`` width."""
         self._engine = ZeroDelaySimulator(
@@ -164,11 +174,14 @@ class BatchPowerSampler:
         self._use_words = self._engine.backend == "numpy"
         self._event_engine: EventDrivenSimulator | None = None
         if self.config.power_simulator == "event-driven":
+            from repro.simulation.delay_models import make_delay_model
+
             self._event_engine = EventDrivenSimulator(
                 self.circuit,
+                delay_model=make_delay_model(self.config.delay_model),
                 node_capacitance=self._node_caps,
                 width=self.num_chains,
-                backend="auto",
+                backend=self._event_backend_request,
             )
 
     @property

@@ -65,6 +65,11 @@ class EstimationConfig:
         ``"zero-delay"`` measures functional transitions only;
         ``"event-driven"`` uses the general-delay simulator and therefore
         includes glitch power (slower).
+    delay_model:
+        Gate delay model of the event-driven power simulator, as a string
+        key from the delay-model registry (``"fanout"``, ``"unit"``,
+        ``"type-table"``, ``"zero"``, or any registered plugin name).
+        Ignored by the zero-delay power simulator.
     num_chains:
         Number of independent Monte Carlo chains advanced in lock-step by the
         bit-parallel simulator.  1 reproduces the paper's single-chain flow;
@@ -82,6 +87,15 @@ class EstimationConfig:
     max_chains:
         Upper bound on the ensemble width adaptive scaling may grow to
         (ignored when ``adaptive_chains`` is off).
+    num_workers:
+        Number of worker processes the chain ensemble is sharded across.
+        1 (the default) keeps all chains in-process; larger values use
+        :class:`~repro.core.sharded_sampler.ShardedPowerSampler`, which
+        partitions the chains over a persistent pool of processes while
+        producing stopping decisions, checkpoints and estimates
+        draw-for-draw identical to the in-process sampler with the same
+        ``num_chains`` — worker count changes wall-clock time, never
+        results.
     simulation_backend:
         Lane-storage backend of the zero-delay simulator: ``"bigint"``
         (Python integers), ``"numpy"`` (word-sliced uint64 arrays) or
@@ -103,9 +117,11 @@ class EstimationConfig:
     max_samples: int = 200_000
     warmup_cycles: int = 64
     power_simulator: str = "zero-delay"
+    delay_model: str = "fanout"
     num_chains: int = 1
     adaptive_chains: bool = False
     max_chains: int = 1024
+    num_workers: int = 1
     simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
     capacitance_model: CapacitanceModel = field(default_factory=CapacitanceModel)
@@ -144,6 +160,15 @@ class EstimationConfig:
                 f"power_simulator must be one of {POWER_SIMULATORS}, "
                 f"got {self.power_simulator!r}"
             )
+        from repro.api.registry import DELAY_MODEL_REGISTRY
+
+        if self.delay_model not in DELAY_MODEL_REGISTRY:
+            raise ValueError(
+                f"delay_model must be one of {DELAY_MODEL_REGISTRY.names()}, "
+                f"got {self.delay_model!r}"
+            )
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
         if self.num_chains < 1:
             raise ValueError("num_chains must be at least 1")
         if self.max_chains < 1:

@@ -177,6 +177,12 @@ class DipeEstimator(StreamingEstimator):
                 upper_bound_w=power_model.cycle_power(max(decision.upper, 0.0)),
                 relative_half_width=decision.relative_half_width,
                 accuracy_met=decision.should_stop,
+                num_workers=getattr(self.sampler, "num_workers", 1),
+                shards=(
+                    self.sampler.shard_progress()
+                    if hasattr(self.sampler, "shard_progress")
+                    else ()
+                ),
             )
 
         elapsed = elapsed_before + (time.perf_counter() - start_time)

@@ -71,7 +71,13 @@ class PowerSampler:
         )
         self._event_engine: EventDrivenSimulator | None = None
         if self.config.power_simulator == "event-driven":
-            self._event_engine = EventDrivenSimulator(circuit, node_capacitance=node_caps)
+            from repro.simulation.delay_models import make_delay_model
+
+            self._event_engine = EventDrivenSimulator(
+                circuit,
+                delay_model=make_delay_model(self.config.delay_model),
+                node_capacitance=node_caps,
+            )
 
         self.cycles_simulated = 0
         self._prepared = False

@@ -1,0 +1,749 @@
+"""Process-sharded multi-chain power sampling with a deterministic sample merge.
+
+:class:`ShardedPowerSampler` is the multi-process counterpart of
+:class:`~repro.core.batch_sampler.BatchPowerSampler`: the ``num_chains``
+lock-step chains are partitioned into word-aligned lane shards and each shard
+is simulated by a persistent worker process owning a real
+:class:`BatchPowerSampler` (with its own zero-delay and event-driven engine
+instances) over just its lanes.  The DIPE flow is embarrassingly parallel at
+the chain level, so the only hard part is determinism — and the design here
+makes the merged sample stream **draw-for-draw identical** to the
+single-process engine by construction:
+
+* The *parent* owns the run's single RNG and the stimulus.  It draws latch
+  randomisations and input patterns in exactly the order the in-process
+  sampler would (one :meth:`~repro.stimulus.base.Stimulus.next_bits` call per
+  clock cycle, one ``integers(0, 2, size=num_chains)`` call per latch), then
+  scatters each worker its word-aligned lane slice.  Workers never draw
+  randomness; they consume parent-fed pattern words through a FIFO feed.
+  Chain *k* therefore sees the identical bit stream no matter how many
+  workers exist — including ``num_workers=1`` and the in-process engine.
+* Workers produce their shard's ``sample_block`` concurrently; the parent
+  merges the per-shard ``(sweeps, shard_width)`` blocks with a deterministic
+  lane-order interleave (``concatenate`` along the lane axis, then the same
+  chain-major reshape the in-process sampler uses), so stopping decisions,
+  adaptive-chain resizes and final estimates are pinned equal to
+  :class:`BatchPowerSampler` with the same ``num_chains``.
+* :meth:`get_state` gathers the per-shard simulator words and merges them —
+  together with the parent's RNG bit-generator state and stimulus state —
+  into the *same checkpoint schema* :class:`BatchPowerSampler` produces, so
+  resumed sharded runs are bit-identical and checkpoints are interchangeable
+  between the sharded and the in-process engine (pinned by tests).
+* :meth:`resize` re-partitions the shards (workers rebuild their engines at
+  the new widths and the parent re-feeds the re-warm randomness), so
+  adaptive chain scaling crosses shard boundaries freely — growing past
+  ``max_chains // num_workers`` or shrinking below the worker count simply
+  changes the partition, idling surplus workers.
+
+Shards are word-aligned (64 lanes per ``uint64`` word), so scattering a
+pattern block and merging simulator state are pure word-slice operations; an
+ensemble narrower than ``64 * num_workers`` lanes leaves the surplus workers
+idle.
+
+Worker processes are spawn-safe (the worker entry point is a module-level
+function fed picklable state), default to the platform's fastest start
+method, and fall back to an in-process serial shard pool on platforms
+without multiprocessing support — results are identical either way, only
+wall-clock time changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import traceback
+import weakref
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch_sampler import BatchPowerSampler
+from repro.core.config import EstimationConfig
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.zero_delay import resolve_backend
+from repro.stimulus.base import Stimulus
+from repro.utils.bitpack import (
+    bits_to_words,
+    pack_int_to_words,
+    unpack_words_to_int,
+    words_per_width,
+    words_to_bits,
+)
+from repro.utils.rng import RandomSource
+
+__all__ = ["ShardedPowerSampler", "partition_chains"]
+
+#: Clock cycles of pattern words shipped per feed message; bounds the size of
+#: one pipe write while keeping the per-command message count small.
+_FEED_CHUNK = 2048
+
+
+def partition_chains(num_chains: int, num_workers: int) -> list[tuple[int, int]]:
+    """Partition *num_chains* lanes into word-aligned shards, one per worker.
+
+    Returns ``(lane_offset, width)`` per worker.  The underlying uint64 lane
+    words are distributed as evenly as possible (so shard widths are
+    multiples of 64 except possibly the last non-empty shard); workers beyond
+    the available words receive ``width == 0`` and idle.  Worker 0 always
+    holds chain 0 of a non-empty ensemble.
+    """
+    if num_chains < 1:
+        raise ValueError("num_chains must be at least 1")
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    total_words = words_per_width(num_chains)
+    base, extra = divmod(total_words, num_workers)
+    shards: list[tuple[int, int]] = []
+    word_offset = 0
+    for worker in range(num_workers):
+        words = base + (1 if worker < extra else 0)
+        lane_offset = word_offset * 64
+        width = max(0, min(num_chains - lane_offset, words * 64))
+        shards.append((lane_offset, width))
+        word_offset += words
+    return shards
+
+
+# --------------------------------------------------------------------- worker
+class _PatternFeed:
+    """FIFO of parent-generated pattern/latch word blocks for one shard."""
+
+    def __init__(self) -> None:
+        self._patterns: deque[np.ndarray] = deque()
+        self._latches: deque[np.ndarray] = deque()
+
+    def push_patterns(self, block: np.ndarray) -> None:
+        """Queue a ``(cycles, num_inputs, num_words)`` block, one entry per cycle."""
+        for index in range(block.shape[0]):
+            self._patterns.append(block[index])
+
+    def push_latches(self, words: np.ndarray) -> None:
+        self._latches.append(words)
+
+    def pop_pattern(self) -> np.ndarray:
+        if not self._patterns:
+            raise RuntimeError("shard pattern feed exhausted (parent under-fed a command)")
+        return self._patterns.popleft()
+
+    def pop_latches(self) -> np.ndarray:
+        if not self._latches:
+            raise RuntimeError("shard latch feed exhausted (parent under-fed a command)")
+        return self._latches.popleft()
+
+
+class _FeedStimulus(Stimulus):
+    """Stimulus facade over a :class:`_PatternFeed` (consumes no RNG)."""
+
+    def __init__(self, num_inputs: int, feed: _PatternFeed):
+        super().__init__(num_inputs)
+        self._feed = feed
+
+    def next_bits(self, rng, width: int = 1) -> np.ndarray:
+        return words_to_bits(self._feed.pop_pattern(), width)
+
+
+class _ShardSampler(BatchPowerSampler):
+    """A :class:`BatchPowerSampler` over one lane shard, driven by fed patterns.
+
+    Identical to its base in every engine-facing respect; only the sources of
+    randomness are replaced: input patterns pop from the parent-fed FIFO and
+    the latch randomisation loads parent-drawn bits instead of consuming a
+    local RNG stream.
+
+    The parent resolves both simulator backends at the *full* ensemble width
+    and forces them on every shard (``backend`` and ``event_backend`` arrive
+    pre-resolved): a narrow shard must not drop to the big-int or scalar
+    engine, whose floating-point accumulation order differs from the
+    vectorized engines' — per-lane energies must come out of the same
+    arithmetic the in-process full-width sampler uses, bit for bit.
+    """
+
+    def __init__(
+        self,
+        circuit,
+        config,
+        width: int,
+        backend: str,
+        event_backend: str,
+        feed: _PatternFeed,
+    ):
+        self._feed = feed
+        self._event_backend_request = event_backend
+        super().__init__(
+            circuit,
+            _FeedStimulus(circuit.num_inputs, feed),
+            config,
+            rng=0,  # never drawn from — all randomness arrives through the feed
+            num_chains=width,
+            backend=backend,
+        )
+
+    def _next_pattern(self):
+        words = self._feed.pop_pattern()
+        if self._use_words:
+            return words
+        return [unpack_words_to_int(row) for row in words]
+
+    def _warm_up(self, warmup_cycles: int | None = None) -> None:
+        warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
+        self._engine.load_latch_lanes(self._feed.pop_latches())
+        self._engine.settle(self._next_pattern())
+        self._prepared = True
+        for _ in range(warmup):
+            self._advance_one_cycle()
+
+    def restart_from_random_state(self) -> None:
+        self._engine.load_latch_lanes(self._feed.pop_latches())
+        self._engine.settle(self._next_pattern())
+        self._prepared = True
+
+
+class _ShardServer:
+    """Executes shard commands against a worker-local :class:`_ShardSampler`.
+
+    The same server runs inside a worker process (via
+    :func:`_shard_worker_main`) and in-process (via :class:`_LocalShard`), so
+    the process pool and the serial fallback share one code path.
+    """
+
+    def __init__(self, circuit: CompiledCircuit, config: EstimationConfig, backend: str):
+        self.circuit = circuit
+        self.config = config
+        self.backend_request = backend
+        self.feed = _PatternFeed()
+        self.sampler: _ShardSampler | None = None
+
+    def _require_sampler(self) -> _ShardSampler:
+        if self.sampler is None:
+            raise RuntimeError("shard has no chains (width 0); command not expected")
+        return self.sampler
+
+    def handle(self, message: tuple):
+        op = message[0]
+        if op == "feed":
+            self.feed.push_patterns(message[1])
+            return None
+        if op == "feed_latch":
+            self.feed.push_latches(message[1])
+            return None
+        if op == "build":
+            # Fresh engines at the new width — the shard-level equivalent of
+            # BatchPowerSampler._build_engines during construction or resize.
+            # Both backends arrive pre-resolved at the full ensemble width.
+            width, zd_backend, event_backend = message[1], message[2], message[3]
+            self.sampler = (
+                _ShardSampler(
+                    self.circuit, self.config, width, zd_backend, event_backend, self.feed
+                )
+                if width > 0
+                else None
+            )
+            return self.sampler.backend if self.sampler is not None else None
+        if op == "prepare":
+            self._require_sampler().prepare(message[1])
+            return None
+        if op == "warm_up":
+            self._require_sampler()._warm_up(message[1])
+            return None
+        if op == "restart":
+            self._require_sampler().restart_from_random_state()
+            return None
+        if op == "advance":
+            self._require_sampler().advance(message[1])
+            return None
+        if op == "sample_block":
+            interval, sweeps = message[1], message[2]
+            sampler = self._require_sampler()
+            block = sampler.sample_block(interval, sweeps * sampler.num_chains)
+            return block.reshape(sweeps, sampler.num_chains)
+        if op == "collect_sequence":
+            interval, length, want = message[1], message[2], message[3]
+            sampler = self._require_sampler()
+            if want:
+                return sampler.collect_sequence(interval, length)
+            # Measuring is state- and feed-neutral, so shards that do not own
+            # chain 0 advance through the same cycles without resolving lanes.
+            sampler.advance((interval + 1) * length)
+            return None
+        if op == "get_state":
+            sampler = self._require_sampler()
+            return {
+                "engine": sampler._engine.get_state(),
+                "prepared": sampler._prepared,
+                "num_chains": sampler.num_chains,
+            }
+        if op == "set_state":
+            payload = message[1]
+            sampler = self._require_sampler()
+            sampler._engine.set_state(payload["engine"])
+            sampler._prepared = payload["prepared"]
+            return None
+        raise ValueError(f"unknown shard command {op!r}")
+
+
+def _shard_worker_main(conn, circuit, config, backend_request) -> None:
+    """Worker process entry point: serve shard commands until "stop" or EOF."""
+    server = _ShardServer(circuit, config, backend_request)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                reply = server.handle(message)
+            except BaseException:  # noqa: BLE001 — errors travel back to the parent
+                conn.send(("error", traceback.format_exc()))
+            else:
+                conn.send(("ok", reply))
+    finally:
+        conn.close()
+
+
+class _ProcessShard:
+    """Parent-side handle of one worker process (request/reply over a pipe)."""
+
+    def __init__(self, ctx, circuit, config, backend_request):
+        self.connection, child_conn = mp.Pipe()
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, circuit, config, backend_request),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.pending = 0
+
+    def send(self, *message) -> None:
+        self.connection.send(message)
+        self.pending += 1
+
+    def collect(self) -> list:
+        """Receive one reply per outstanding request; raise on worker errors."""
+        replies = []
+        while self.pending:
+            self.pending -= 1
+            try:
+                status, payload = self.connection.recv()
+            except (EOFError, OSError) as error:
+                raise RuntimeError("shard worker process died unexpectedly") from error
+            if status == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            replies.append(payload)
+        return replies
+
+    def stop(self) -> None:
+        try:
+            self.connection.send(("stop",))
+            self.connection.recv()
+        except (OSError, EOFError, BrokenPipeError):
+            pass
+        finally:
+            self.connection.close()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=2.0)
+
+
+class _LocalShard:
+    """In-process stand-in for a worker (serial fallback; same command path)."""
+
+    def __init__(self, circuit, config, backend_request):
+        self._server = _ShardServer(circuit, config, backend_request)
+        self._replies: deque = deque()
+
+    def send(self, *message) -> None:
+        try:
+            self._replies.append(("ok", self._server.handle(message)))
+        except Exception:  # noqa: BLE001 — mirror the process transport
+            self._replies.append(("error", traceback.format_exc()))
+
+    def collect(self) -> list:
+        replies = []
+        while self._replies:
+            status, payload = self._replies.popleft()
+            if status == "error":
+                raise RuntimeError(f"shard worker failed:\n{payload}")
+            replies.append(payload)
+        return replies
+
+    def stop(self) -> None:
+        self._replies.clear()
+        self._server.sampler = None
+
+
+def _shutdown_pool(handles: list) -> None:
+    for handle in handles:
+        handle.stop()
+
+
+# --------------------------------------------------------------------- parent
+class ShardedPowerSampler(BatchPowerSampler):
+    """Multi-chain power sampler sharded across a pool of worker processes.
+
+    Drop-in replacement for :class:`BatchPowerSampler` (same constructor
+    signature plus the worker knobs, same public API): with the same seed and
+    ``num_chains`` it produces identical samples, stopping decisions,
+    checkpoints and estimates for *any* worker count.  Selected by
+    :func:`~repro.core.batch_sampler.make_sampler` when
+    ``EstimationConfig(num_workers > 1)``.
+
+    Parameters
+    ----------
+    circuit, stimulus, config, rng, num_chains, backend:
+        As for :class:`BatchPowerSampler`.
+    num_workers:
+        Size of the worker pool; defaults to ``config.num_workers``.
+    start_method:
+        Multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``) or ``"serial"`` for the in-process fallback pool;
+        defaults to the ``REPRO_SHARD_START_METHOD`` environment variable or
+        the platform's fastest available method.  Platforms where worker
+        processes cannot be created fall back to ``"serial"`` transparently.
+    """
+
+    def __init__(
+        self,
+        circuit: CompiledCircuit,
+        stimulus: Stimulus,
+        config: EstimationConfig | None = None,
+        rng: RandomSource = None,
+        num_chains: int | None = None,
+        backend: str | None = None,
+        num_workers: int | None = None,
+        start_method: str | None = None,
+    ):
+        config = config or EstimationConfig()
+        self.num_workers = config.num_workers if num_workers is None else num_workers
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self._start_method = (
+            start_method
+            if start_method is not None
+            else os.environ.get("REPRO_SHARD_START_METHOD") or None
+        )
+        self._handles: list | None = None
+        self._finalizer = None
+        super().__init__(
+            circuit, stimulus, config, rng=rng, num_chains=num_chains, backend=backend
+        )
+
+    # ------------------------------------------------------------------- pool
+    def _spawn_pool(self) -> list:
+        if self._start_method == "serial":
+            return [
+                _LocalShard(self.circuit, self.config, self._backend_request)
+                for _ in range(self.num_workers)
+            ]
+        if self._start_method is not None:
+            ctx = mp.get_context(self._start_method)
+        elif sys.platform == "linux" and "fork" in mp.get_all_start_methods():
+            # Fork is the cheap path (no re-import per worker) and safe on
+            # Linux; macOS forks crash in Accelerate/ObjC runtimes, which is
+            # why CPython made spawn the default there — honour that default
+            # everywhere else.
+            ctx = mp.get_context("fork")
+        else:
+            ctx = mp.get_context()
+        handles: list = []
+        try:
+            for _ in range(self.num_workers):
+                handles.append(
+                    _ProcessShard(ctx, self.circuit, self.config, self._backend_request)
+                )
+        except (OSError, PermissionError, RuntimeError, AssertionError):
+            # Sandboxes (or daemonic parents) that cannot create processes:
+            # identical results from the in-process pool, one process.
+            _shutdown_pool(handles)
+            return [
+                _LocalShard(self.circuit, self.config, self._backend_request)
+                for _ in range(self.num_workers)
+            ]
+        return handles
+
+    def _build_engines(self) -> None:
+        """(Re)partition the ensemble and rebuild every shard's engines."""
+        if self._handles is None:
+            self._handles = self._spawn_pool()
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._handles)
+        self._shards = partition_chains(self.num_chains, self.num_workers)
+        self._num_words = words_per_width(self.num_chains)
+        # No in-process engines: every engine-facing base-class method is
+        # overridden to delegate to the shard pool.
+        self._engine = None
+        self._event_engine = None
+        self._use_words = True
+        # Backends are resolved at the FULL ensemble width and forced on all
+        # shards: a narrow shard falling back to the big-int or scalar engine
+        # would change the floating-point accumulation order of its lane
+        # energies and break the bit-identical merge.
+        zd_backend = resolve_backend(self._backend_request, self.num_chains)
+        event_backend = "scalar" if self.num_chains == 1 else "numpy"
+        for handle, (_, width) in zip(self._handles, self._shards):
+            handle.send("build", width, zd_backend, event_backend)
+        self._shard_backends = [replies[0] for replies in self._collect_all()]
+
+    def close(self) -> None:
+        """Shut the worker pool down (also runs on garbage collection)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._handles = None
+
+    def __enter__(self) -> "ShardedPowerSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- messaging
+    def _active(self) -> list[tuple[object, int, int, int, int, int]]:
+        """(handle, worker, lane_offset, width, word_offset, word_count) per live shard."""
+        active = []
+        for worker, (handle, (offset, width)) in enumerate(zip(self._handles, self._shards)):
+            if width > 0:
+                active.append(
+                    (handle, worker, offset, width, offset // 64, words_per_width(width))
+                )
+        return active
+
+    def _collect_all(self) -> list[list]:
+        return [handle.collect() for handle in self._handles]
+
+    def _collect_active(self) -> list[list]:
+        return [entry[0].collect() for entry in self._active()]
+
+    def _scatter_patterns(self, cycles: int) -> None:
+        """Draw *cycles* input patterns from the run RNG and feed shard slices.
+
+        Consumes the RNG stream exactly like *cycles* successive
+        ``stimulus.next_bits(rng, num_chains)`` calls (the in-process
+        sampler's draw order), then word-slices the packed block per shard.
+        """
+        active = self._active()
+        for start in range(0, cycles, _FEED_CHUNK):
+            chunk = min(_FEED_CHUNK, cycles - start)
+            bits = self.stimulus.next_bits_block(self.rng, self.num_chains, chunk)
+            words = bits_to_words(bits, self._num_words)
+            for handle, _, _, _, word_offset, word_count in active:
+                shard_words = words[:, :, word_offset : word_offset + word_count]
+                handle.send("feed", np.ascontiguousarray(shard_words))
+
+    def _scatter_latches(self) -> None:
+        """Draw the latch randomisation and feed shard slices.
+
+        One ``integers(0, 2, size=num_chains)`` call per latch, in latch
+        order — the exact stream ``randomize_state`` consumes in-process.
+        """
+        num_latches = self.circuit.num_latches
+        bits = np.empty((num_latches, self.num_chains), dtype=np.uint8)
+        for index in range(num_latches):
+            bits[index] = self.rng.integers(0, 2, size=self.num_chains, dtype="uint8")
+        words = bits_to_words(bits, self._num_words)
+        for handle, _, _, _, word_offset, word_count in self._active():
+            handle.send(
+                "feed_latch",
+                np.ascontiguousarray(words[:, word_offset : word_offset + word_count]),
+            )
+
+    # ------------------------------------------------------------- properties
+    @property
+    def backend(self) -> str:
+        """Backend the equivalent in-process sampler would resolve (state format)."""
+        return resolve_backend(self._backend_request, self.num_chains)
+
+    def shard_progress(self):
+        """Current :class:`~repro.api.events.ShardProgress` tuple (for events)."""
+        from repro.api.events import ShardProgress
+
+        return tuple(
+            ShardProgress(
+                worker=index, num_chains=width, lane_offset=min(offset, self.num_chains)
+            )
+            for index, (offset, width) in enumerate(self._shards)
+        )
+
+    # ----------------------------------------------------------------- set-up
+    def _warm_up(self, warmup_cycles: int | None = None) -> None:
+        warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
+        self._scatter_latches()
+        self._scatter_patterns(1 + warmup)
+        for entry in self._active():
+            entry[0].send("prepare", warmup)
+        self._collect_active()
+        self._prepared = True
+        self.cycles_simulated += warmup
+
+    def restart_from_random_state(self) -> None:
+        self._scatter_latches()
+        self._scatter_patterns(1)
+        for entry in self._active():
+            entry[0].send("restart")
+        self._collect_active()
+        self._prepared = True
+
+    # ------------------------------------------------------------------ steps
+    def advance(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self._require_prepared()
+        if cycles == 0:
+            return
+        self._scatter_patterns(cycles)
+        for entry in self._active():
+            entry[0].send("advance", cycles)
+        self._collect_active()
+        self.cycles_simulated += cycles
+
+    def _sample_sweeps(self, interval: int, sweeps: int) -> np.ndarray:
+        """Run *sweeps* measured sweeps; return the merged (sweeps, num_chains) block."""
+        self._require_prepared()
+        self._scatter_patterns(sweeps * (interval + 1))
+        for entry in self._active():
+            entry[0].send("sample_block", interval, sweeps)
+        parts = [replies[-1] for replies in self._collect_active()]
+        self.cycles_simulated += sweeps * (interval + 1)
+        return np.concatenate(parts, axis=1)
+
+    def measure_cycle(self) -> np.ndarray:
+        self._require_prepared()
+        return self._sample_sweeps(0, 1).reshape(-1)
+
+    def measure_cycle_total(self) -> float:
+        """Lane-resolved measurement summed over the merged ensemble."""
+        return float(self.measure_cycle().sum())
+
+    def next_samples(self, interval: int) -> np.ndarray:
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        self._require_prepared()
+        return self._sample_sweeps(interval, 1).reshape(-1)
+
+    def sample_block(self, interval: int, min_count: int) -> np.ndarray:
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        sweeps = -(-min_count // self.num_chains)
+        return self._sample_sweeps(interval, sweeps).reshape(-1)
+
+    def collect_sequence(self, interval: int, length: int) -> list[float]:
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if length < 1:
+            raise ValueError("length must be at least 1")
+        self._require_prepared()
+        self._scatter_patterns((interval + 1) * length)
+        active = self._active()
+        for position, entry in enumerate(active):
+            # Chain 0 lives in the first non-empty shard; only it resolves lanes.
+            entry[0].send("collect_sequence", interval, length, position == 0)
+        sequence = self._collect_active()[0][-1]
+        self.cycles_simulated += (interval + 1) * length
+        return sequence
+
+    # ------------------------------------------------------------------ state
+    def get_state(self) -> dict:
+        """Gather per-shard states into the :class:`BatchPowerSampler` schema.
+
+        The returned snapshot is interchangeable with an in-process
+        sampler's: it restores into either engine and the continued runs are
+        bit-identical (the parent's RNG consumed the same stream the
+        in-process sampler would have).
+        """
+        for entry in self._active():
+            entry[0].send("get_state")
+        states = [replies[-1] for replies in self._collect_active()]
+        return {
+            "rng": self.rng.bit_generator.state,
+            "num_chains": self.num_chains,
+            "cycles_simulated": self.cycles_simulated,
+            "prepared": self._prepared,
+            "engine": self._merge_engine_states([state["engine"] for state in states]),
+            "stimulus": self.stimulus.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot from either the sharded or the in-process sampler."""
+        chains = state.get("num_chains", self.num_chains)
+        if chains != self.num_chains:
+            self.num_chains = chains
+            self._build_engines()
+        self.rng.bit_generator.state = state["rng"]
+        self.cycles_simulated = state["cycles_simulated"]
+        self._prepared = state["prepared"]
+        shard_states = self._split_engine_state(state["engine"])
+        for entry, shard_state in zip(self._active(), shard_states):
+            entry[0].send("set_state", {"engine": shard_state, "prepared": self._prepared})
+        self._collect_active()
+        self.stimulus.set_state(state["stimulus"])
+
+    def _merge_engine_states(self, states: Sequence[dict]) -> dict:
+        """Merge per-shard engine snapshots into one full-width snapshot."""
+        columns = []
+        for state, (_, _, _, width, _, word_count) in zip(states, self._active()):
+            if state["backend"] == "numpy":
+                columns.append(np.asarray(state["words"], dtype=np.uint64))
+            else:
+                columns.append(
+                    np.stack(
+                        [pack_int_to_words(value, word_count) for value in state["values"]]
+                    )
+                )
+        words = np.concatenate(columns, axis=1)
+        settled = states[0]["settled"]
+        cycles = states[0]["cycles"]
+        if self.backend == "numpy":
+            return {"backend": "numpy", "words": words, "settled": settled, "cycles": cycles}
+        return {
+            "backend": "bigint",
+            "values": [unpack_words_to_int(row) for row in words],
+            "settled": settled,
+            "cycles": cycles,
+        }
+
+    def _split_engine_state(self, engine_state: dict) -> list[dict]:
+        """Slice a full-width engine snapshot into per-shard snapshots."""
+        if engine_state["backend"] == "numpy":
+            words = np.asarray(engine_state["words"], dtype=np.uint64)
+        else:
+            words = np.stack(
+                [
+                    pack_int_to_words(value, self._num_words)
+                    for value in engine_state["values"]
+                ]
+            )
+        settled = engine_state["settled"]
+        cycles = engine_state["cycles"]
+        shard_states = []
+        for _, worker, _, width, word_offset, word_count in self._active():
+            shard_words = np.ascontiguousarray(words[:, word_offset : word_offset + word_count])
+            if self._shard_backends[worker] == "numpy":
+                shard_states.append(
+                    {"backend": "numpy", "words": shard_words, "settled": settled, "cycles": cycles}
+                )
+            else:
+                mask = (1 << width) - 1
+                shard_states.append(
+                    {
+                        "backend": "bigint",
+                        "values": [unpack_words_to_int(row) & mask for row in shard_words],
+                        "settled": settled,
+                        "cycles": cycles,
+                    }
+                )
+        return shard_states
+
+    # ---------------------------------------------------- inherited semantics
+    # prepare(), resize(), plan_chain_resize(), samples(), chain_cycles and
+    # the make_sampler/draw_sample_block integration are inherited verbatim
+    # from BatchPowerSampler: resize() calls the overridden _build_engines()
+    # (re-partitioning the pool) and _warm_up() (re-feeding the re-warm
+    # randomness), so adaptive chain scaling crosses shard boundaries with
+    # the exact RNG consumption of the in-process sampler.

@@ -122,6 +122,49 @@ void ed_eval(const uint64_t *values, int64_t num_words,
                 dst[w] = ~dst[w] & mask[w];
     }
 }
+
+/* ed_eval restricted to a subset of value-word columns (wavefront
+ * compaction): cols lists the still-active word indices; out is
+ * (num_active, num_cols) and holds each gate's output for those words only.
+ */
+void ed_eval_cols(const uint64_t *values, int64_t num_words,
+                  const int64_t *gate_ids, int64_t num_active,
+                  const uint8_t *ops, const int64_t *in_ptr, const int64_t *in_rows,
+                  const uint64_t *mask, const int64_t *cols, int64_t num_cols,
+                  uint64_t *out)
+{
+    for (int64_t i = 0; i < num_active; i++) {
+        const int64_t g = gate_ids[i];
+        const uint8_t op = ops[g];
+        const int64_t lo = in_ptr[g];
+        const int64_t hi = in_ptr[g + 1];
+        uint64_t *dst = out + i * num_cols;
+        if (lo == hi) {
+            for (int64_t k = 0; k < num_cols; k++) dst[k] = 0;
+            continue;
+        }
+        const uint64_t *first = values + in_rows[lo] * num_words;
+        for (int64_t k = 0; k < num_cols; k++)
+            dst[k] = first[cols[k]];
+        for (int64_t j = lo + 1; j < hi; j++) {
+            const uint64_t *src = values + in_rows[j] * num_words;
+            switch (op & 3) {
+            case 0:
+                for (int64_t k = 0; k < num_cols; k++) dst[k] &= src[cols[k]];
+                break;
+            case 1:
+                for (int64_t k = 0; k < num_cols; k++) dst[k] |= src[cols[k]];
+                break;
+            default:
+                for (int64_t k = 0; k < num_cols; k++) dst[k] ^= src[cols[k]];
+                break;
+            }
+        }
+        if (op & 4)
+            for (int64_t k = 0; k < num_cols; k++)
+                dst[k] = ~dst[k] & mask[cols[k]];
+    }
+}
 """
 
 #: Opcodes understood by the kernel (and mirrored by the numpy sweep).
@@ -186,6 +229,20 @@ def _compile_kernel() -> ctypes.CDLL | None:
         int64_p,  # in_ptr
         int64_p,  # in_rows
         uint64_p,  # lane mask
+        uint64_p,  # out
+    ]
+    library.ed_eval_cols.restype = None
+    library.ed_eval_cols.argtypes = [
+        uint64_p,  # values
+        ctypes.c_int64,  # num_words
+        int64_p,  # gate_ids
+        ctypes.c_int64,  # num_active
+        uint8_p,  # ops
+        int64_p,  # in_ptr
+        int64_p,  # in_rows
+        uint64_p,  # lane mask
+        int64_p,  # cols
+        ctypes.c_int64,  # num_cols
         uint64_p,  # out
     ]
     return library

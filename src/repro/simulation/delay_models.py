@@ -5,6 +5,14 @@ that glitch power is captured.  The delay model maps each compiled gate to a
 propagation delay in arbitrary time units; only the *relative* delays matter
 for transition counting, since every cycle is simulated until the network
 settles.
+
+The built-in models register themselves with the delay-model registry
+(:func:`repro.api.registry.register_delay_model`), so
+:class:`~repro.core.config.EstimationConfig` and serialized
+:class:`~repro.api.jobs.JobSpec`s can select them by string key
+(``delay_model="fanout"`` and so on); :func:`make_delay_model` resolves a key
+to a model instance.  Third-party models registered under new names become
+selectable the same way.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from fractions import Fraction
 from math import gcd
 from typing import Sequence
 
+from repro.api.registry import get_delay_model, register_delay_model
 from repro.netlist.cell_library import GateType
 from repro.simulation.compiled import CompiledCircuit, CompiledGate
 
@@ -66,6 +75,12 @@ class DelayModel(ABC):
         return [self.gate_delay(circuit, gate) for gate in circuit.gates]
 
 
+def make_delay_model(name: str, **params) -> DelayModel:
+    """Instantiate the delay model registered under *name* (e.g. ``"fanout"``)."""
+    return get_delay_model(name)(**params)
+
+
+@register_delay_model("zero", aliases=("zero-delay",))
 class ZeroDelay(DelayModel):
     """All gates switch instantaneously — no glitches are produced."""
 
@@ -73,6 +88,7 @@ class ZeroDelay(DelayModel):
         return 0.0
 
 
+@register_delay_model("unit")
 class UnitDelay(DelayModel):
     """Every gate has the same delay (default 1.0 time unit)."""
 
@@ -85,6 +101,7 @@ class UnitDelay(DelayModel):
         return self.delay
 
 
+@register_delay_model("fanout")
 class FanoutDelay(DelayModel):
     """Delay grows with the fanout of the gate's output net.
 
@@ -104,6 +121,7 @@ class FanoutDelay(DelayModel):
         return self.intrinsic + self.load_factor * fanout
 
 
+@register_delay_model("type-table")
 class TypeTableDelay(DelayModel):
     """Per-gate-type delay table (e.g. inverters faster than XOR cells)."""
 

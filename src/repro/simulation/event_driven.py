@@ -97,6 +97,7 @@ class EventDrivenSimulator:
         node_capacitance: Sequence[float] | np.ndarray | None = None,
         width: int = 1,
         backend: str = "auto",
+        wavefront_compaction: bool = True,
     ):
         if width < 1:
             raise ValueError("width must be at least 1")
@@ -126,6 +127,7 @@ class EventDrivenSimulator:
                 node_capacitance=self.node_capacitance,
                 width=width,
                 gate_delays=self.gate_delays,
+                wavefront_compaction=wavefront_compaction,
             )
             return
 

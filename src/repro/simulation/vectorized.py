@@ -291,6 +291,17 @@ class VectorizedZeroDelaySimulator:
             self.words[row] = bits_to_words(bits, self.num_words)
         self._settled = False
 
+    def load_latch_lanes(self, latch_words: np.ndarray) -> None:
+        """Load externally drawn latch bits (see the facade's docstring)."""
+        latch_words = np.asarray(latch_words, dtype=np.uint64)
+        if latch_words.shape != (self.circuit.num_latches, self.num_words):
+            raise ValueError(
+                f"expected latch words of shape "
+                f"({self.circuit.num_latches}, {self.num_words}), got {latch_words.shape}"
+            )
+        self.words[self._latch_q_rows] = latch_words & self._mask_words
+        self._settled = False
+
     def get_state(self) -> dict:
         """Snapshot the word matrix (checkpoint support; owns its storage)."""
         return {

@@ -14,8 +14,7 @@ through one discrete time wheel:
   the zero-delay engine (lane *k* of net *i* in bit ``k % 64`` of
   ``words[i, k // 64]``; see :mod:`repro.utils.bitpack`).
 * Per time point, the pending net updates are applied with one vectorized
-  XOR/popcount pass (capacitance-weighted transition accumulation via
-  ``np.bitwise_count``), and the *active gate frontier* — the union over
+  XOR/popcount pass, and the *active gate frontier* — the union over
   lanes of every gate fed by a changed net — is re-evaluated level by level
   with grouped ufunc reductions, or with the optional runtime-compiled C
   kernel from :mod:`repro.simulation._native`.  Zero-delay gates cascade
@@ -30,6 +29,25 @@ changes nothing and counts nothing.  The union-activity engine therefore does
 (bounded) redundant evaluation work but counts exactly the per-lane
 transitions of the scalar engine, a property pinned by the equivalence tests
 in ``tests/property_based``.
+
+Two refinements ride on that invariant:
+
+* **Wavefront compaction**: before re-evaluating the frontier, the pending
+  XOR is inspected per value *word* (64 lanes); word columns whose pending
+  XOR is all-zero carry no new event anywhere in their 64 lanes, so the
+  evaluation, scheduling and apply passes of the instant are restricted to
+  the still-active columns.  Glitch tails typically collapse onto a few
+  lanes, so wide ensembles skip most of the value words of late instants.
+  Disable with ``wavefront_compaction=False`` (the engine then always
+  processes every word, as before) — results are bit-identical either way.
+* **Order-independent lane energies**: per-lane switched capacitance is
+  accumulated as *integer* transition counts per ``(net, lane)`` during the
+  cycle and converted to energy with a single ``capacitance @ counts``
+  matmul when the cycle ends.  Integer accumulation is exact in any order,
+  and the final reduction always runs over the full net axis, so a lane's
+  energy does not depend on which other lanes share the engine — the
+  property that lets the process-sharded sampler split an ensemble across
+  engine instances and merge per-lane samples bit-identically.
 """
 
 from __future__ import annotations
@@ -93,9 +111,11 @@ class VectorizedEventDrivenSimulator:
         node_capacitance: Sequence[float] | np.ndarray | None = None,
         width: int = 1,
         gate_delays: Sequence[float] | None = None,
+        wavefront_compaction: bool = True,
     ):
         if width < 1:
             raise ValueError("width must be at least 1")
+        self.wavefront_compaction = bool(wavefront_compaction)
         self.circuit = circuit
         self.width = width
         self.num_words = words_per_width(width)
@@ -140,8 +160,14 @@ class VectorizedEventDrivenSimulator:
         self._native_eval = self._build_native_eval()
 
         self._counts = np.zeros(num_nets, dtype=np.int64)
-        self._lane_energy = np.zeros(width, dtype=np.float64)
-        self._wheel: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        # Per-(net, lane) transition counts of the cycle in flight.  uint16
+        # keeps the per-event scatter-add memory traffic low (a net toggling
+        # 65k times within one cycle is far beyond any acyclic cascade); only
+        # rows touched by events are written and re-zeroed, tracked in
+        # `_touched_rows`.
+        self._lane_counts = np.zeros((num_nets, width), dtype=np.uint16)
+        self._touched_rows: list[np.ndarray] = []
+        self._wheel: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray | None]]] = {}
         self._times: list[int] = []
 
         self._settled = False
@@ -212,6 +238,7 @@ class VectorizedEventDrivenSimulator:
         #: cascade, so each instant's frontier is evaluated in one batch
         #: instead of level by level (the hot path for realistic delay models).
         self._any_zero_ticks = bool((self._gate_tick[non_const] == 0).any()) if num_gates else False
+        self._padded_rows = padded_rows
         self._gate_gather = (padded_rows[:, :, None] * num_words + word_span).reshape(
             num_gates, -1
         )
@@ -246,11 +273,22 @@ class VectorizedEventDrivenSimulator:
         # Keep every table alive on the instance; the closure passes the
         # varying frontier/output arrays per call.
         self._native_tables = (ops_invert, in_ptr, in_rows, mask)
+        has_cols = hasattr(kernel, "ed_eval_cols")
 
-        def evaluate(gate_ids: np.ndarray, out: np.ndarray) -> None:
-            kernel.ed_eval(
-                flat, num_words, gate_ids, gate_ids.size, ops_invert, in_ptr, in_rows, mask, out
+        def evaluate(gate_ids: np.ndarray, out: np.ndarray, cols: np.ndarray | None) -> bool:
+            if cols is None:
+                kernel.ed_eval(
+                    flat, num_words, gate_ids, gate_ids.size, ops_invert, in_ptr, in_rows,
+                    mask, out,
+                )
+                return True
+            if not has_cols:
+                return False
+            kernel.ed_eval_cols(
+                flat, num_words, gate_ids, gate_ids.size, ops_invert, in_ptr, in_rows,
+                mask, cols, cols.size, out,
             )
+            return True
 
         return evaluate
 
@@ -282,6 +320,8 @@ class VectorizedEventDrivenSimulator:
         for row, value in zip(self._latch_q_rows, packed):
             self.words[row] = value
         self._counts[:] = 0
+        self._lane_counts[:] = 0
+        self._touched_rows.clear()
         self.cycles_simulated = 0
         self._settled = False
 
@@ -383,28 +423,41 @@ class VectorizedEventDrivenSimulator:
             words[index] = pack_int_to_words(int(value) & self.mask, self.num_words)
         return words
 
-    def _evaluate_gates(self, gates: np.ndarray) -> np.ndarray:
-        """Re-evaluate *gates* (sorted non-const ids); return (len, num_words) outputs."""
-        out = np.empty((gates.size, self.num_words), dtype=np.uint64)
-        if self._native_eval is not None:
-            self._native_eval(gates, out)
+    def _evaluate_gates(self, gates: np.ndarray, cols: np.ndarray | None = None) -> np.ndarray:
+        """Re-evaluate *gates* (sorted non-const ids); return their output words.
+
+        With ``cols=None`` all ``num_words`` value words are evaluated
+        (shape ``(len(gates), num_words)``); otherwise only the given word
+        columns (shape ``(len(gates), len(cols))``) — the wavefront-compacted
+        path, where quiescent 64-lane words are skipped.
+        """
+        num_cols = self.num_words if cols is None else cols.size
+        out = np.empty((gates.size, num_cols), dtype=np.uint64)
+        if self._native_eval is not None and self._native_eval(gates, out, cols):
             return out
         flat = self._flat
         ops = self._gate_op[gates]
+        mask = self._mask_words if cols is None else self._mask_words[cols]
         for opcode, reducer in _REDUCERS.items():
             member = ops == opcode
             if not member.any():
                 continue
             selected = gates[member]
-            gathered = flat[self._gate_gather[selected]].reshape(
-                selected.size, self._max_arity, self.num_words
-            )
+            if cols is None:
+                gathered = flat[self._gate_gather[selected]].reshape(
+                    selected.size, self._max_arity, self.num_words
+                )
+            else:
+                gather = self._padded_rows[selected][:, :, None] * self.num_words + cols
+                gathered = flat[gather.reshape(-1)].reshape(
+                    selected.size, self._max_arity, num_cols
+                )
             acc = reducer.reduce(gathered, axis=1)
             invert = self._gate_invert[selected]
             if invert.any():
                 np.bitwise_xor(acc, invert[:, None], out=acc)
                 if self._partial_last_word:
-                    np.bitwise_and(acc, self._mask_words, out=acc)
+                    np.bitwise_and(acc, mask, out=acc)
             out[member] = acc
         return out
 
@@ -424,12 +477,14 @@ class VectorizedEventDrivenSimulator:
             self.words[self._gate_out[level_gates]] = outs
 
     # ----------------------------------------------------------------- cycle
-    def _schedule(self, time: int, rows: np.ndarray, vals: np.ndarray) -> None:
+    def _schedule(
+        self, time: int, rows: np.ndarray, vals: np.ndarray, cols: np.ndarray | None
+    ) -> None:
         bucket = self._wheel.get(time)
         if bucket is None:
             self._wheel[time] = bucket = []
             heapq.heappush(self._times, time)
-        bucket.append((rows, vals))
+        bucket.append((rows, vals, cols))
 
     def _fanout_of(self, rows: np.ndarray) -> np.ndarray:
         """Gate ids reading any of *rows* (duplicates possible, unique'd later)."""
@@ -441,24 +496,62 @@ class VectorizedEventDrivenSimulator:
         base = np.repeat(ptr[rows] - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
         return self._fanout_idx[base + np.arange(total, dtype=np.int64)]
 
-    def _apply_rows(self, rows: np.ndarray, vals: np.ndarray) -> np.ndarray | None:
-        """Apply scheduled values; count per-lane transitions; return changed rows."""
-        current = self.words[rows]
+    def _apply_rows(
+        self, rows: np.ndarray, vals: np.ndarray, cols: np.ndarray | None
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Apply scheduled values restricted to word columns *cols* (``None`` = all).
+
+        Counts per-net and per-``(net, lane)`` transitions and returns
+        ``(changed_rows, active_cols)``: the rows whose value changed and the
+        word columns in which any lane actually changed (``None`` when every
+        column is still active).  Both are ``None`` when nothing changed.
+        """
+        if cols is None:
+            current = self.words[rows]
+        else:
+            current = self.words[np.ix_(rows, cols)]
         diff = current ^ vals
         changed = diff.any(axis=1)
         if not changed.any():
-            return None
+            return None, None
         rows_changed = rows[changed]
         diff_changed = diff[changed]
-        self.words[rows_changed] = vals[changed]
+        if cols is None:
+            self.words[rows_changed] = vals[changed]
+        else:
+            self.words[np.ix_(rows_changed, cols)] = vals[changed]
         self._counts[rows_changed] += np.bitwise_count(diff_changed).sum(axis=1, dtype=np.int64)
         bits = np.unpackbits(
             np.ascontiguousarray(diff_changed).view(np.uint8).reshape(rows_changed.size, -1),
             axis=1,
             bitorder="little",
-        )[:, : self.width]
-        self._lane_energy += self._caps[rows_changed] @ bits
-        return rows_changed
+        )
+        if cols is None:
+            self._lane_counts[rows_changed] += bits[:, : self.width]
+        else:
+            for index, col in enumerate(cols):
+                low = int(col) * 64
+                high = min(self.width, low + 64)
+                self._lane_counts[rows_changed, low:high] += bits[
+                    :, index * 64 : index * 64 + (high - low)
+                ]
+        self._touched_rows.append(rows_changed)
+
+        active: np.ndarray | None = None
+        if self.wavefront_compaction and self.num_words >= 8:
+            live = diff_changed.any(axis=0)
+            # Restricting to a column subset trades slab indexing for fancy
+            # indexing on every downstream pass, so the word count must be
+            # substantial (>= 8 words, i.e. 512+ lanes) and at most an eighth
+            # of the (remaining) words may still carry events before the
+            # narrow path pays for itself.
+            if 8 * int(live.sum()) <= live.size:
+                active = (
+                    np.flatnonzero(live) if cols is None else cols[live]
+                ).astype(np.int64, copy=False)
+        if active is None and cols is not None:
+            active = cols
+        return rows_changed, active
 
     def _push_levels(self, buckets: dict[int, list], gates: np.ndarray) -> None:
         levels = self._gate_level[gates]
@@ -467,14 +560,47 @@ class VectorizedEventDrivenSimulator:
 
     def _run_instant(self, time: int) -> None:
         batches = self._wheel.pop(time)
+        # Each output row is scheduled at most once per instant, but batches
+        # may carry different column subsets; batches sharing a column set
+        # (the overwhelmingly common case — one instant usually schedules one
+        # subset) merge into a single apply pass.
+        changed: list[np.ndarray] = []
+        col_sets: list[np.ndarray | None] = []
         if len(batches) == 1:
-            rows, vals = batches[0]
+            groups = [(batches[0][2], [batches[0]])]
         else:
-            rows = np.concatenate([batch[0] for batch in batches])
-            vals = np.concatenate([batch[1] for batch in batches])
-        changed_rows = self._apply_rows(rows, vals)
-        if changed_rows is None:
+            grouped: dict = {}
+            for batch in batches:
+                cols = batch[2]
+                key = None if cols is None else cols.tobytes()
+                grouped.setdefault(key, (cols, []))[1].append(batch)
+            groups = list(grouped.values())
+        for cols, members in groups:
+            if len(members) == 1:
+                rows, vals = members[0][0], members[0][1]
+            else:
+                rows = np.concatenate([batch[0] for batch in members])
+                vals = np.concatenate([batch[1] for batch in members])
+            rows_changed, active = self._apply_rows(rows, vals, cols)
+            if rows_changed is not None:
+                changed.append(rows_changed)
+                col_sets.append(active)
+        if not changed:
             return
+        changed_rows = changed[0] if len(changed) == 1 else np.concatenate(changed)
+        # Word columns the instant's evaluation has to cover: the union of the
+        # columns that actually changed.  None means every column is active
+        # (the uncompacted fast path).
+        if any(cols is None for cols in col_sets):
+            eval_cols: np.ndarray | None = None
+        else:
+            eval_cols = (
+                col_sets[0]
+                if len(col_sets) == 1
+                else np.unique(np.concatenate(col_sets))
+            )
+            if eval_cols.size == self.num_words:
+                eval_cols = None
         frontier = self._fanout_of(changed_rows)
         if frontier.size == 0:
             return
@@ -484,7 +610,7 @@ class VectorizedEventDrivenSimulator:
             # scheduled — the per-level worklist below exists only for
             # zero-delay gates.
             gates = np.unique(frontier)
-            outs = self._evaluate_gates(gates)
+            outs = self._evaluate_gates(gates, eval_cols)
             ticks = self._gate_tick[gates]
             for tick_delay in np.unique(ticks):
                 member = ticks == tick_delay
@@ -493,6 +619,7 @@ class VectorizedEventDrivenSimulator:
                     time + int(tick_delay),
                     self._gate_out[gates[member]],
                     outs if member.all() else outs[member],
+                    eval_cols,
                 )
             return
         buckets: dict[int, list] = {}
@@ -501,11 +628,11 @@ class VectorizedEventDrivenSimulator:
             level = min(buckets)
             arrays = buckets.pop(level)
             gates = np.unique(arrays[0] if len(arrays) == 1 else np.concatenate(arrays))
-            outs = self._evaluate_gates(gates)
+            outs = self._evaluate_gates(gates, eval_cols)
             ticks = self._gate_tick[gates]
             zero = ticks == 0
             if zero.any():
-                applied = self._apply_rows(self._gate_out[gates[zero]], outs[zero])
+                applied, _ = self._apply_rows(self._gate_out[gates[zero]], outs[zero], eval_cols)
                 if applied is not None:
                     cascade = self._fanout_of(applied)
                     if cascade.size:
@@ -521,6 +648,7 @@ class VectorizedEventDrivenSimulator:
                         time + int(tick_delay),
                         self._gate_out[delayed_gates[member]],
                         delayed_outs[member],
+                        eval_cols,
                     )
 
     def cycle_lanes(self, pattern) -> np.ndarray:
@@ -538,7 +666,6 @@ class VectorizedEventDrivenSimulator:
             self._settled = True
 
         captured = self.words[self._latch_d_rows].copy()
-        self._lane_energy[:] = 0.0
 
         seed_rows = [self._latch_q_rows.astype(np.int64), self._input_rows.astype(np.int64)]
         seed_vals = [captured, pattern_words]
@@ -549,13 +676,20 @@ class VectorizedEventDrivenSimulator:
             else np.empty((0, self.num_words), dtype=np.uint64)
         )
         if rows.size:
-            self._schedule(0, rows, vals)
+            self._schedule(0, rows, vals, None)
 
         while self._times:
             self._run_instant(heapq.heappop(self._times))
 
         self.cycles_simulated += 1
-        return self._lane_energy.copy()
+        # One fixed-shape reduction over the full net axis converts the exact
+        # integer transition counts to energies: a lane's value is independent
+        # of event order and of which other lanes share this engine.
+        energy = self._caps @ self._lane_counts
+        for touched in self._touched_rows:
+            self._lane_counts[touched] = 0
+        self._touched_rows.clear()
+        return energy
 
     def cycle(self, pattern) -> float:
         """Simulate one clock cycle; return the switched capacitance summed over lanes."""

@@ -238,6 +238,28 @@ class ZeroDelaySimulator:
             word = (word << 1) | int(bit)
         return word
 
+    def load_latch_lanes(self, latch_words: np.ndarray) -> None:
+        """Load externally drawn latch bits, one ``(num_words,)`` word row per latch.
+
+        The counterpart of :meth:`randomize_state` for callers that draw the
+        random latch bits themselves (the sharded sampler's parent process
+        draws them from the run's single RNG stream and scatters lane slices
+        to the workers).  Unlike :meth:`reset` this touches only the latch
+        outputs — other net values and the cycle counter are left alone, so
+        the engine behaves exactly as if :meth:`randomize_state` had produced
+        these bits.
+        """
+        if self._vec is not None:
+            self._vec.load_latch_lanes(latch_words)
+            return
+        if len(latch_words) != self.circuit.num_latches:
+            raise ValueError(f"expected {self.circuit.num_latches} latch rows")
+        from repro.utils.bitpack import unpack_words_to_int
+
+        for q_id, row in zip(self.circuit.latch_q, latch_words):
+            self._values[q_id] = unpack_words_to_int(np.asarray(row, dtype=np.uint64)) & self.mask
+        self._settled = False
+
     def latch_state(self) -> list[int]:
         """Return the current lane-packed value of every latch output."""
         if self._vec is not None:

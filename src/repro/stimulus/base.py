@@ -72,6 +72,22 @@ class Stimulus(ABC):
     def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
         """Return the next pattern as a ``(num_inputs, width)`` uint8 bit matrix."""
 
+    def next_bits_block(
+        self, rng: np.random.Generator, width: int = 1, cycles: int = 1
+    ) -> np.ndarray:
+        """Return the next *cycles* patterns as a ``(cycles, num_inputs, width)`` matrix.
+
+        Must consume the RNG stream exactly like *cycles* successive
+        :meth:`next_bits` calls (the property the sharded sampler and the
+        equivalence tests rely on).  The default implementation simply loops;
+        stateless generators override it with one vectorized draw.
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if cycles == 0:
+            return np.zeros((0, self.num_inputs, width), dtype=np.uint8)
+        return np.stack([self.next_bits(rng, width) for _ in range(cycles)])
+
     def next_pattern(self, rng: np.random.Generator, width: int = 1) -> list[int]:
         """Return the next pattern: one lane-packed integer per primary input."""
         if self.num_inputs == 0:

@@ -44,6 +44,23 @@ class BernoulliStimulus(Stimulus):
         draws = rng.random((self.num_inputs, width))
         return (draws < self.probabilities[:, None]).astype(np.uint8)
 
+    def next_bits_block(
+        self, rng: np.random.Generator, width: int = 1, cycles: int = 1
+    ) -> np.ndarray:
+        """One vectorized draw for a whole block of cycles.
+
+        ``Generator.random`` fills its output buffer from the bit stream in C
+        order, so one ``(cycles, num_inputs, width)`` draw consumes exactly
+        the variates of *cycles* successive :meth:`next_bits` calls — the
+        block is bit-identical to the looped default (pinned by tests).
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        if self.num_inputs == 0 or cycles == 0:
+            return np.zeros((cycles, self.num_inputs, width), dtype=np.uint8)
+        draws = rng.random((cycles, self.num_inputs, width))
+        return (draws < self.probabilities[None, :, None]).astype(np.uint8)
+
     def describe(self) -> str:
         unique = np.unique(self.probabilities)
         if unique.size == 1:

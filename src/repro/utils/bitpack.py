@@ -40,6 +40,18 @@ def unpack_words_to_int(words: np.ndarray) -> int:
     return int.from_bytes(words.astype("<u8", copy=False).tobytes(), "little")
 
 
+def words_to_bits(words: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`bits_to_words`: expand a trailing word axis to lanes.
+
+    ``words`` has shape ``(..., num_words)``; the result has shape
+    ``(..., width)`` with lane *k* taken from bit ``k % 64`` of word
+    ``k // 64``.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    raw = words.view(np.uint8).reshape(words.shape[:-1] + (words.shape[-1] * 8,))
+    return np.unpackbits(raw, axis=-1, bitorder="little")[..., :width]
+
+
 def bits_to_words(bits: np.ndarray, num_words: int) -> np.ndarray:
     """Pack a trailing lane axis of 0/1 values into uint64 words.
 

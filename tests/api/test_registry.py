@@ -5,7 +5,9 @@ import pytest
 from repro.api.registry import (
     ESTIMATOR_REGISTRY,
     Registry,
+    delay_model_names,
     estimator_names,
+    get_delay_model,
     get_estimator,
     get_stimulus,
     get_stopping_criterion,
@@ -42,6 +44,21 @@ class TestBuiltinRegistrations:
         assert get_stopping_criterion("order-statistic") is OrderStatisticStoppingCriterion
         assert get_stopping_criterion("clt") is CltStoppingCriterion
         assert get_stopping_criterion("ks") is KolmogorovSmirnovStoppingCriterion
+
+    def test_builtin_delay_models_registered(self):
+        from repro.simulation.delay_models import (
+            FanoutDelay,
+            TypeTableDelay,
+            UnitDelay,
+            ZeroDelay,
+        )
+
+        assert get_delay_model("fanout") is FanoutDelay
+        assert get_delay_model("unit") is UnitDelay
+        assert get_delay_model("zero") is ZeroDelay
+        assert get_delay_model("zero-delay") is ZeroDelay
+        assert get_delay_model("type-table") is TypeTableDelay
+        assert set(delay_model_names()) >= {"fanout", "unit", "zero", "type-table"}
 
     def test_aliases_resolve(self):
         assert get_stopping_criterion("order_stat") is OrderStatisticStoppingCriterion

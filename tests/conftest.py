@@ -29,6 +29,14 @@ def s27_circuit(s27_netlist):
 
 
 @pytest.fixture(scope="session")
+def s298_circuit():
+    """Compiled ISCAS89 s298 (large enough for multi-word shard partitions)."""
+    from repro.circuits.iscas89 import build_circuit
+
+    return build_circuit("s298")
+
+
+@pytest.fixture(scope="session")
 def toggle_circuit():
     """Compiled single T flip-flop circuit."""
     return CompiledCircuit.from_netlist(toggle_cell())

@@ -201,3 +201,35 @@ class TestBatchCommand:
         )
         assert exit_code == 0
         assert "independence interval : 7 cycles" in capsys.readouterr().out
+
+
+class TestShardedEstimate:
+    def test_workers_and_delay_model_parse(self):
+        args = build_parser().parse_args(
+            ["estimate", "s27", "--workers", "2", "--delay-model", "unit"]
+        )
+        assert args.workers == 2
+        assert args.delay_model == "unit"
+
+    def test_unknown_delay_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "s27", "--delay-model", "magic"])
+
+    def test_estimate_with_workers_matches_serial(self, capsys):
+        common = ["estimate", "s27", "--seed", "6", "--chains", "64", "--json"]
+        assert main(common) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main([*common, "--workers", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert sharded["result"]["data"]["average_power_w"] == (
+            serial["result"]["data"]["average_power_w"]
+        )
+        assert sharded["result"]["data"]["sample_size"] == (
+            serial["result"]["data"]["sample_size"]
+        )
+        assert sharded["spec"]["config"]["num_workers"] == 2
+
+    def test_estimate_text_output_reports_workers(self, capsys):
+        assert main(["estimate", "s27", "--seed", "6", "--chains", "64",
+                     "--workers", "2"]) == 0
+        assert "shard workers" in capsys.readouterr().out

@@ -66,3 +66,69 @@ class TestTypeTableDelay:
     def test_negative_entries_rejected(self):
         with pytest.raises(ValueError):
             TypeTableDelay({GateType.AND: -1.0})
+
+
+class TestDelayModelSelection:
+    """String-keyed delay-model selection through the registry and config."""
+
+    def test_make_delay_model(self):
+        from repro.simulation.delay_models import (
+            FanoutDelay,
+            UnitDelay,
+            make_delay_model,
+        )
+
+        assert isinstance(make_delay_model("fanout"), FanoutDelay)
+        unit = make_delay_model("unit", delay=2.5)
+        assert isinstance(unit, UnitDelay)
+        assert unit.delay == pytest.approx(2.5)
+        with pytest.raises(KeyError):
+            make_delay_model("no-such-model")
+
+    def test_config_validates_delay_model(self):
+        from repro.core.config import EstimationConfig
+
+        assert EstimationConfig(delay_model="unit").delay_model == "unit"
+        with pytest.raises(ValueError, match="delay_model"):
+            EstimationConfig(delay_model="no-such-model")
+
+    def test_config_key_reaches_the_event_engine(self, s27_circuit):
+        from repro.core.config import EstimationConfig
+        from repro.core.sampler import PowerSampler
+        from repro.simulation.delay_models import UnitDelay, ZeroDelay
+        from repro.stimulus.random_inputs import BernoulliStimulus
+
+        def sampler_for(key):
+            config = EstimationConfig(
+                warmup_cycles=4, power_simulator="event-driven", delay_model=key
+            )
+            return PowerSampler(
+                s27_circuit, BernoulliStimulus(s27_circuit.num_inputs, 0.5), config, rng=1
+            )
+
+        assert isinstance(sampler_for("unit")._event_engine.delay_model, UnitDelay)
+        assert isinstance(sampler_for("zero")._event_engine.delay_model, ZeroDelay)
+
+    def test_jobspec_selects_delay_model_by_key(self):
+        from repro.api.jobs import JobSpec
+        from repro.core.config import EstimationConfig
+
+        spec = JobSpec(
+            circuit="s27",
+            seed=5,
+            config=EstimationConfig(
+                randomness_sequence_length=64,
+                min_samples=64,
+                check_interval=32,
+                max_samples=500,
+                warmup_cycles=8,
+                max_independence_interval=4,
+                power_simulator="event-driven",
+                delay_model="unit",
+            ),
+        )
+        rebuilt = JobSpec.from_dict(spec.to_dict())
+        assert rebuilt.config.delay_model == "unit"
+        result = rebuilt.run()
+        assert result.ok
+        assert result.estimate.average_power_w > 0

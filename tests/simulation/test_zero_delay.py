@@ -170,3 +170,41 @@ class TestInterface:
         assert len(counts) == counter_circuit.num_nets
         assert sum(counts) > 0
         assert all(count in (0, 1) for count in counts)
+
+
+class TestLoadLatchLanes:
+    """Externally drawn latch bits must behave exactly like randomize_state."""
+
+    @pytest.mark.parametrize("backend", ["bigint", "numpy"])
+    def test_load_matches_randomize(self, s27_circuit, backend):
+        import numpy as np
+
+        from repro.utils.bitpack import bits_to_words, words_per_width
+
+        width = 70
+        randomized = ZeroDelaySimulator(s27_circuit, width=width, backend=backend)
+        loaded = ZeroDelaySimulator(s27_circuit, width=width, backend=backend)
+        rng = np.random.default_rng(5)
+        randomized.randomize_state(rng)
+
+        replay = np.random.default_rng(5)
+        bits = np.stack(
+            [
+                replay.integers(0, 2, size=width, dtype="uint8")
+                for _ in range(s27_circuit.num_latches)
+            ]
+        )
+        loaded.load_latch_lanes(bits_to_words(bits, words_per_width(width)))
+        assert loaded.latch_state() == randomized.latch_state()
+
+        pattern = [0] * s27_circuit.num_inputs
+        randomized.settle(pattern)
+        loaded.settle(pattern)
+        assert loaded.values == randomized.values
+
+    def test_shape_validation(self, s27_circuit):
+        import numpy as np
+
+        simulator = ZeroDelaySimulator(s27_circuit, width=8, backend="numpy")
+        with pytest.raises(ValueError):
+            simulator.load_latch_lanes(np.zeros((1, 1), dtype=np.uint64))

@@ -66,3 +66,44 @@ class TestBernoulliStimulus:
 
     def test_describe_mentions_probability(self):
         assert "0.5" in BernoulliStimulus(4, 0.5).describe()
+
+
+class TestNextBitsBlock:
+    """Blocked draws must consume the RNG stream exactly like per-cycle draws."""
+
+    def test_block_matches_looped_draws(self):
+        import numpy as np
+
+        stimulus = BernoulliStimulus(7, 0.3)
+        looped_rng = np.random.default_rng(11)
+        blocked_rng = np.random.default_rng(11)
+        looped = np.stack([stimulus.next_bits(looped_rng, 96) for _ in range(5)])
+        blocked = stimulus.next_bits_block(blocked_rng, 96, 5)
+        assert np.array_equal(looped, blocked)
+        # The streams stay aligned afterwards too.
+        assert np.array_equal(
+            stimulus.next_bits(looped_rng, 96), stimulus.next_bits(blocked_rng, 96)
+        )
+
+    def test_default_block_implementation_for_stateful_stimuli(self):
+        import numpy as np
+
+        from repro.stimulus.correlated_inputs import LagOneMarkovStimulus
+
+        looped = LagOneMarkovStimulus(5, 0.5, 0.8)
+        blocked = LagOneMarkovStimulus(5, 0.5, 0.8)
+        looped_rng = np.random.default_rng(3)
+        blocked_rng = np.random.default_rng(3)
+        expected = np.stack([looped.next_bits(looped_rng, 32) for _ in range(6)])
+        assert np.array_equal(expected, blocked.next_bits_block(blocked_rng, 32, 6))
+
+    def test_block_edge_cases(self):
+        import numpy as np
+
+        stimulus = BernoulliStimulus(3, 0.5)
+        rng = np.random.default_rng(0)
+        assert stimulus.next_bits_block(rng, 8, 0).shape == (0, 3, 8)
+        empty = BernoulliStimulus(0, 0.5)
+        assert empty.next_bits_block(rng, 8, 4).shape == (4, 0, 8)
+        with pytest.raises(ValueError):
+            stimulus.next_bits_block(rng, 8, -1)
