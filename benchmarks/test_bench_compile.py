@@ -1,0 +1,187 @@
+"""Startup benchmark: cold circuit lowering vs. cached program construction.
+
+Before the unified :class:`~repro.circuits.program.CircuitProgram` lowering,
+every simulator instance rebuilt its own level groups, gather tables and
+delay quantizations from the compiled circuit — a cost paid once per worker
+in the sharded pool and once per job in the batch runner.  This benchmark
+pins the tentpole claims of the refactor on s5378:
+
+* **cache-hit construction is >= 5x faster than a cold compile** — building
+  the zero-delay + event-driven engine pair on a circuit whose program is
+  already memoized (or on disk) must beat the cold path that performs the
+  full lowering, by at least :data:`_SPEEDUP_FLOOR` (hard assertion);
+* **sharded-pool startup compiles exactly once** — constructing a
+  :class:`~repro.core.sharded_sampler.ShardedPowerSampler` over several
+  workers raises the global compile counter by exactly one from cold and by
+  zero when the program is prebuilt, i.e. startup compile cost no longer
+  scales with the worker count.
+
+Metrics land in ``benchmarks/results/BENCH_compile.json`` (and the formatted
+report in ``compile.txt``) so CI tracks the startup trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_bench_json, write_report
+from repro.circuits.iscas89 import build_netlist
+from repro.circuits.program import CircuitProgram, clear_program_memo, compile_count
+from repro.core.config import EstimationConfig
+from repro.core.sharded_sampler import ShardedPowerSampler
+from repro.power.capacitance import CapacitanceModel
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.event_driven import EventDrivenSimulator
+from repro.simulation.zero_delay import ZeroDelaySimulator
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.utils.tables import TextTable
+
+#: The acceptance point of the claim: s5378 at a representative ensemble width.
+_CIRCUIT = "s5378"
+_WIDTH = 256
+
+#: Required cold-compile / cache-hit construction ratio.
+_SPEEDUP_FLOOR = 5.0
+
+#: Timing repeats (the minimum is reported, as everywhere in this harness).
+_REPEATS = 3
+
+#: Worker count of the sharded-startup compile-count check (serial pool, so
+#: the compile counter is observable in-process and the check is
+#: deterministic on single-CPU machines).
+_WORKERS = 4
+
+
+def _fresh_circuit() -> CompiledCircuit:
+    """A new circuit object with no attached program (bypasses every cache)."""
+    return CompiledCircuit.from_netlist(build_netlist(_CIRCUIT))
+
+
+def _construct_engines(circuit) -> None:
+    """The per-simulator startup work a sampler performs: both engines."""
+    program = CircuitProgram.of(circuit)
+    caps = program.capacitances(CapacitanceModel())
+    ZeroDelaySimulator(program, width=_WIDTH, node_capacitance=caps, backend="numpy")
+    EventDrivenSimulator(
+        program, node_capacitance=caps, width=_WIDTH, backend="numpy"
+    )
+
+
+def _time_construction(make_source) -> float:
+    """Minimum seconds over ``_REPEATS`` of engine construction on *make_source*."""
+    best = float("inf")
+    for _ in range(_REPEATS):
+        circuit = make_source()
+        start = time.perf_counter()
+        _construct_engines(circuit)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_compile_cache(results_dir, monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_PROGRAM_CACHE", raising=False)
+
+    # Cold: fresh circuit object, empty memo, no disk cache — every repeat
+    # performs the full lowering plus engine construction.
+    def cold_source():
+        clear_program_memo()
+        return _fresh_circuit()
+
+    cold_seconds = _time_construction(cold_source)
+
+    # Memo hit: the program stays attached to one circuit object, so
+    # construction is pure engine setup.
+    warm_circuit = _fresh_circuit()
+    _construct_engines(warm_circuit)
+    memo_seconds = _time_construction(lambda: warm_circuit)
+
+    # Disk hit: populate the on-disk cache once, then construct over a fresh
+    # circuit object with a cleared memo — the program deserializes instead
+    # of recompiling (the sharded-worker / batch-job startup path).
+    monkeypatch.setenv("REPRO_PROGRAM_CACHE", str(tmp_path))
+    clear_program_memo()
+    _construct_engines(_fresh_circuit())  # writes the cache file
+
+    def disk_source():
+        clear_program_memo()
+        return _fresh_circuit()
+
+    disk_before = compile_count()
+    disk_seconds = _time_construction(disk_source)
+    disk_compiles = compile_count() - disk_before
+    monkeypatch.delenv("REPRO_PROGRAM_CACHE", raising=False)
+
+    memo_speedup = cold_seconds / memo_seconds
+    disk_speedup = cold_seconds / disk_seconds
+
+    # Sharded-pool startup: compile cost must not scale with worker count.
+    clear_program_memo()
+    cold_sharded_circuit = _fresh_circuit()
+    config = EstimationConfig(num_chains=_WIDTH, num_workers=_WORKERS)
+    before = compile_count()
+    sampler = ShardedPowerSampler(
+        cold_sharded_circuit,
+        BernoulliStimulus(cold_sharded_circuit.num_inputs, 0.5),
+        config,
+        rng=1,
+        start_method="serial",
+    )
+    cold_sharded_compiles = compile_count() - before
+    sampler.close()
+
+    before = compile_count()
+    sampler = ShardedPowerSampler(
+        cold_sharded_circuit,
+        BernoulliStimulus(cold_sharded_circuit.num_inputs, 0.5),
+        config,
+        rng=1,
+        start_method="serial",
+    )
+    prebuilt_sharded_compiles = compile_count() - before
+    sampler.close()
+
+    table = TextTable(
+        headers=["Construction path", "Seconds (min)", "Speed-up vs cold"], precision=4
+    )
+    table.add_row(["cold compile", cold_seconds, 1.0])
+    table.add_row(["program memo hit", memo_seconds, memo_speedup])
+    table.add_row(["disk cache hit", disk_seconds, disk_speedup])
+    report = (
+        f"Startup benchmark on {_CIRCUIT} (width {_WIDTH}, both engines)\n\n"
+        + table.render()
+        + f"\n\nsharded startup ({_WORKERS} workers): "
+        f"{cold_sharded_compiles} compile(s) from cold, "
+        f"{prebuilt_sharded_compiles} with a prebuilt program\n"
+    )
+    write_report(results_dir, "compile", report)
+    write_bench_json(
+        results_dir,
+        "compile",
+        {
+            "circuit": _CIRCUIT,
+            "width": _WIDTH,
+            "cold_seconds": cold_seconds,
+            "memo_hit_seconds": memo_seconds,
+            "disk_hit_seconds": disk_seconds,
+            "memo_speedup": memo_speedup,
+            "disk_speedup": disk_speedup,
+            "disk_hit_compiles": disk_compiles,
+            "sharded_workers": _WORKERS,
+            "sharded_compiles_cold": cold_sharded_compiles,
+            "sharded_compiles_prebuilt": prebuilt_sharded_compiles,
+            "speedup_floor": _SPEEDUP_FLOOR,
+        },
+    )
+
+    # Hard gates (acceptance criteria of the refactor).
+    assert disk_compiles == 0, "disk cache hits must not recompile"
+    assert cold_sharded_compiles == 1, (
+        f"sharded startup compiled {cold_sharded_compiles} times for {_WORKERS} workers; "
+        "the program must be lowered exactly once"
+    )
+    assert prebuilt_sharded_compiles == 0, "prebuilt programs must reach workers whole"
+    assert memo_speedup >= _SPEEDUP_FLOOR, (
+        f"cache-hit construction only {memo_speedup:.1f}x faster than cold compile "
+        f"(need >= {_SPEEDUP_FLOOR}x) — cold {cold_seconds * 1e3:.1f} ms, "
+        f"warm {memo_seconds * 1e3:.1f} ms"
+    )

@@ -4,8 +4,10 @@
 Users with access to the original ISCAS89 benchmark files (or any gate-level
 design exported in the ``.bench`` format) can run the identical flow on them.
 This example builds a small traffic-light-style controller inline, writes it
-out, parses it back, validates it, and runs both baseline estimators and DIPE
-on it.
+out, parses it back, validates it, lowers it **once** to a shared
+:class:`~repro.circuits.program.CircuitProgram`, and runs both baseline
+estimators and DIPE on the same program — every simulator any estimator
+constructs reuses the cached lowering instead of rebuilding its tables.
 
 Run with::
 
@@ -22,6 +24,7 @@ from repro import (
     parse_bench,
     BernoulliStimulus,
 )
+from repro.circuits.program import CircuitProgram
 from repro.netlist.validate import validate_netlist
 from repro.simulation.compiled import CompiledCircuit
 from repro.utils.tables import TextTable
@@ -60,19 +63,29 @@ def main() -> None:
         print(f"  validation: {issue}")
 
     circuit = CompiledCircuit.from_netlist(netlist)
+
+    # Lower once: the program carries every table the engines need (level
+    # groups, gather/fan-out tables, delay schedules, capacitance vectors).
+    # All estimators below — and any simulator they construct, at any width —
+    # share this one lowering; set REPRO_PROGRAM_CACHE=<dir> and a later
+    # process deserializes it instead of recompiling.
+    program = CircuitProgram.of(circuit)
+    print(f"Program {program.key}: {program.stats()['levels']} logic levels, "
+          f"gates/level {program.gates_per_level()}")
+
     stimulus = BernoulliStimulus(circuit.num_inputs, [0.7, 0.05])  # busy sensor, rare reset
     config = EstimationConfig()
 
     reference = estimate_reference_power(
-        circuit, BernoulliStimulus(circuit.num_inputs, [0.7, 0.05]), total_cycles=100_000, rng=1
+        program, BernoulliStimulus(circuit.num_inputs, [0.7, 0.05]), total_cycles=100_000, rng=1
     )
 
     table = TextTable(
         headers=["Estimator", "Power (mW)", "Err vs ref (%)", "Samples", "Cycles"], precision=4
     )
-    dipe = DipeEstimator(circuit, stimulus=stimulus, config=config, rng=2).estimate()
+    dipe = DipeEstimator(program, stimulus=stimulus, config=config, rng=2).estimate()
     consecutive = ConsecutiveCycleEstimator(
-        circuit,
+        program,
         stimulus=BernoulliStimulus(circuit.num_inputs, [0.7, 0.05]),
         config=config,
         rng=3,

@@ -34,7 +34,7 @@ from repro.api.registry import (
     register_stimulus,
     register_stopping_criterion,
 )
-from repro.circuits import build_circuit, list_circuits
+from repro.circuits import CircuitProgram, build_circuit, list_circuits
 from repro.core import (
     ConsecutiveCycleEstimator,
     DipeEstimator,
@@ -75,6 +75,7 @@ __all__ = [
     "register_stopping_criterion",
     # circuits
     "build_circuit",
+    "CircuitProgram",
     "list_circuits",
     # core estimators
     "DipeEstimator",

@@ -42,18 +42,22 @@ _EXPORTS = {
     "STIMULUS_REGISTRY": "repro.api.registry",
     "STOPPING_CRITERION_REGISTRY": "repro.api.registry",
     "DELAY_MODEL_REGISTRY": "repro.api.registry",
+    "SIMULATOR_REGISTRY": "repro.api.registry",
     "register_estimator": "repro.api.registry",
     "register_stimulus": "repro.api.registry",
     "register_stopping_criterion": "repro.api.registry",
     "register_delay_model": "repro.api.registry",
+    "register_simulator": "repro.api.registry",
     "get_estimator": "repro.api.registry",
     "get_stimulus": "repro.api.registry",
     "get_stopping_criterion": "repro.api.registry",
     "get_delay_model": "repro.api.registry",
+    "get_simulator": "repro.api.registry",
     "estimator_names": "repro.api.registry",
     "stimulus_names": "repro.api.registry",
     "stopping_criterion_names": "repro.api.registry",
     "delay_model_names": "repro.api.registry",
+    "simulator_names": "repro.api.registry",
     # events + checkpoint
     "ProgressEvent": "repro.api.events",
     "RunStarted": "repro.api.events",

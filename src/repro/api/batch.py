@@ -109,6 +109,7 @@ class BatchRunner:
     def run(self, specs: Sequence[JobSpec]) -> BatchResult:
         """Execute *specs* and return their results in submission order."""
         plugins = sorted({*external_provider_modules(), *self.plugin_modules})
+        self._warm_programs(specs)
         payloads = [{"plugins": plugins, "spec": spec.to_dict()} for spec in specs]
         if self.workers == 1 or len(payloads) < 2:
             raw = [_execute_payload(payload) for payload in payloads]
@@ -124,6 +125,25 @@ class BatchRunner:
             results=tuple(JobResult.from_dict(item) for item in raw),
             workers=self.workers,
         )
+
+    @staticmethod
+    def _warm_programs(specs: Sequence[JobSpec]) -> None:
+        """Lower each distinct circuit once before fanning the jobs out.
+
+        Fork-started workers inherit the in-process program memo; spawned
+        workers (and later batches) hit the on-disk cache when
+        ``REPRO_PROGRAM_CACHE`` is set.  Either way, jobs sharing a circuit
+        no longer pay one lowering per job.  Unresolvable circuit references
+        are left for the per-job error capture.
+        """
+        from repro.api.jobs import resolve_circuit
+        from repro.circuits.program import CircuitProgram
+
+        for ref in sorted({spec.circuit for spec in specs}):
+            try:
+                CircuitProgram.of(resolve_circuit(ref))
+            except Exception:  # noqa: BLE001 — surfaces as a job error, with context
+                pass
 
 
 def run_batch(specs: Sequence[JobSpec], workers: int = 1) -> BatchResult:

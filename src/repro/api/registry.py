@@ -152,6 +152,13 @@ DELAY_MODEL_REGISTRY = Registry(
     builtin_modules=("repro.simulation.delay_models",),
 )
 
+#: Power-measurement simulators accepted by
+#: :class:`~repro.core.config.EstimationConfig` (``power_simulator=...``).
+SIMULATOR_REGISTRY = Registry(
+    "simulator",
+    builtin_modules=("repro.simulation.power_engines",),
+)
+
 
 def register_estimator(name: str, factory: Callable | None = None, *, aliases: Iterable[str] = ()):
     """Register an estimator factory (see module docstring for the contract)."""
@@ -198,9 +205,37 @@ def get_stopping_criterion(name: str) -> Callable:
     return STOPPING_CRITERION_REGISTRY.get(name)
 
 
+def register_simulator(
+    name: str, factory: Callable | None = None, *, aliases: Iterable[str] = ()
+):
+    """Register a power-measurement simulator factory.
+
+    The factory contract mirrors the built-in engines in
+    :mod:`repro.simulation.power_engines`::
+
+        factory(program, width=1, node_capacitance=None,
+                delay_model=None, backend="auto") -> engine
+
+    where *program* is a :class:`~repro.circuits.program.CircuitProgram`
+    (or a compiled circuit — normalise with ``CircuitProgram.of``) and the
+    returned engine measures power over the sampler's zero-delay state
+    engine through ``measure_lanes(state_engine, pattern)`` /
+    ``measure_total(state_engine, pattern)``.  The registered name becomes
+    valid in ``EstimationConfig(power_simulator="name")`` and therefore in
+    serialized :class:`~repro.api.jobs.JobSpec`s and on the command line
+    (``--power-simulator``).
+    """
+    return SIMULATOR_REGISTRY.register(name, factory, aliases=aliases)
+
+
 def get_delay_model(name: str) -> Callable:
     """Look up a delay-model factory by registered name."""
     return DELAY_MODEL_REGISTRY.get(name)
+
+
+def get_simulator(name: str) -> Callable:
+    """Look up a power-simulator factory by registered name."""
+    return SIMULATOR_REGISTRY.get(name)
 
 
 def external_provider_modules() -> tuple[str, ...]:
@@ -217,6 +252,7 @@ def external_provider_modules() -> tuple[str, ...]:
         STIMULUS_REGISTRY,
         STOPPING_CRITERION_REGISTRY,
         DELAY_MODEL_REGISTRY,
+        SIMULATOR_REGISTRY,
     ):
         for factory in registry._entries.values():
             module = getattr(factory, "__module__", None)
@@ -243,3 +279,8 @@ def stopping_criterion_names() -> tuple[str, ...]:
 def delay_model_names() -> tuple[str, ...]:
     """All registered delay-model names."""
     return DELAY_MODEL_REGISTRY.names()
+
+
+def simulator_names() -> tuple[str, ...]:
+    """All registered power-simulator names."""
+    return SIMULATOR_REGISTRY.names()

@@ -13,6 +13,11 @@ Three sources of circuits are provided:
   to a synthetic circuit with the same primary-input, primary-output,
   flip-flop and gate counts, generated deterministically from the circuit
   name (see DESIGN.md, "Substitutions").
+
+:mod:`repro.circuits.program` holds the unified lowering shared by every
+simulation engine: :class:`~repro.circuits.program.CircuitProgram`, the
+content-hash-keyed, memoized (and optionally disk-cached) table set built
+once per circuit.
 """
 
 from repro.circuits.generators import SyntheticCircuitSpec, generate_sequential_circuit
@@ -32,8 +37,11 @@ from repro.circuits.library import (
     shift_register,
     toggle_cell,
 )
+from repro.circuits.program import CircuitProgram, program_cache_dir
 
 __all__ = [
+    "CircuitProgram",
+    "program_cache_dir",
     "s27",
     "binary_counter",
     "johnson_counter",

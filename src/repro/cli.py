@@ -5,6 +5,9 @@ every estimation verb builds a serializable :class:`~repro.api.JobSpec` and
 executes it through :func:`~repro.api.run_job`:
 
 * ``repro circuits`` — list the registered benchmark circuits and sizes.
+* ``repro compile s5378`` — lower one circuit to its cached
+  :class:`~repro.circuits.program.CircuitProgram` and print the program
+  statistics (gates per level, cache key, delay-model tick schedules).
 * ``repro estimate s298`` — run a registered estimator (DIPE by default) on
   one circuit, either a registered benchmark or a ``.bench`` file, with
   optional streaming progress (``--progress``).
@@ -25,9 +28,16 @@ import json
 import sys
 from typing import Sequence
 
+import numpy as np
+
 from repro.api.batch import BatchRunner, load_jobs
 from repro.api.jobs import JobSpec, StimulusSpec, run_job
-from repro.api.registry import delay_model_names, estimator_names, stopping_criterion_names
+from repro.api.registry import (
+    delay_model_names,
+    estimator_names,
+    simulator_names,
+    stopping_criterion_names,
+)
 from repro.circuits.iscas89 import (
     SMALL_CIRCUIT_NAMES,
     TABLE_CIRCUIT_NAMES,
@@ -71,8 +81,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="confidence of the estimate (paper: 0.99)")
     parser.add_argument("--stopping", choices=sorted(stopping_criterion_names()),
                         default="order-statistic", help="stopping criterion")
-    parser.add_argument("--power-simulator", choices=("zero-delay", "event-driven"),
-                        default="zero-delay", help="power engine for the sampled cycles")
+    parser.add_argument("--power-simulator", choices=sorted(simulator_names()),
+                        default="zero-delay",
+                        help="power engine for the sampled cycles "
+                             "(any registered simulator name)")
     parser.add_argument("--delay-model", choices=sorted(delay_model_names()),
                         default="fanout",
                         help="gate delay model of the event-driven power engine "
@@ -107,6 +119,78 @@ def _print_progress_event(event) -> None:
 
 
 # --------------------------------------------------------------------- verbs
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.api.jobs import resolve_circuit
+    from repro.circuits.program import CircuitProgram, program_cache_dir
+
+    try:
+        circuit = resolve_circuit(args.circuit)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    program = CircuitProgram.of(circuit)
+    if args.optimize:
+        original_gates = program.circuit.num_gates
+        original_nets = program.circuit.num_nets
+        program = program.optimize()
+
+    stats = program.stats()
+    schedules = {}
+    for name in args.delay_models:
+        schedule = program.delay_schedule(name)
+        ticks = schedule.ticks
+        schedules[name] = {
+            "tick": schedule.tick,
+            "min_ticks": int(ticks.min()) if ticks.size else 0,
+            "max_ticks": int(ticks.max()) if ticks.size else 0,
+            "zero_tick_gates": int((ticks == 0).sum()),
+            "distinct_ticks": int(np.unique(ticks).size) if ticks.size else 0,
+        }
+    cache_dir = program_cache_dir()
+    payload = {
+        **stats,
+        "delay_models": schedules,
+        "cache_dir": str(cache_dir) if cache_dir is not None else None,
+    }
+    if args.optimize:
+        payload["optimized"] = {
+            "gates_removed": original_gates - program.circuit.num_gates,
+            "nets_removed": original_nets - program.circuit.num_nets,
+        }
+    if args.json:
+        _print_json(payload)
+        return 0
+
+    print(f"circuit      : {stats['circuit']}")
+    print(f"cache key    : {stats['key']}")
+    print(f"cache dir    : {payload['cache_dir'] or '(disabled; set REPRO_PROGRAM_CACHE)'}")
+    print(f"nets / gates : {stats['nets']} / {stats['gates']} "
+          f"({stats['const_gates']} const)")
+    print(f"inputs/outputs/latches : {stats['inputs']} / {stats['outputs']} "
+          f"/ {stats['latches']}")
+    print(f"max fan-in   : {stats['max_arity']}")
+    if args.optimize:
+        print(f"optimized    : -{payload['optimized']['gates_removed']} gates, "
+              f"-{payload['optimized']['nets_removed']} nets")
+    per_level = stats["gates_per_level"]
+    print(f"logic levels : {stats['levels']}")
+    width = max(per_level) if per_level else 1
+    for level, count in enumerate(per_level, start=1):
+        bar = "#" * max(1, round(40 * count / width)) if count else ""
+        print(f"  level {level:>3} : {count:>5} {bar}")
+    table = TextTable(
+        headers=["Delay model", "Tick (t.u.)", "Ticks min..max", "Zero-tick", "Distinct"],
+        precision=6,
+    )
+    for name, info in schedules.items():
+        table.add_row(
+            [name, info["tick"], f"{info['min_ticks']}..{info['max_ticks']}",
+             info["zero_tick_gates"], info["distinct_ticks"]]
+        )
+    print("\nQuantized delay schedules:")
+    print(table.render())
+    return 0
+
+
 def _cmd_circuits(args: argparse.Namespace) -> int:
     summaries = [dict(circuit_summary(name), circuit=name) for name in list_circuits()]
     if args.json:
@@ -298,6 +382,22 @@ def build_parser() -> argparse.ArgumentParser:
     circuits = subparsers.add_parser("circuits", help="list the registered benchmark circuits")
     _add_json_argument(circuits)
     circuits.set_defaults(handler=_cmd_circuits)
+
+    compile_verb = subparsers.add_parser(
+        "compile",
+        help="lower one circuit to its cached CircuitProgram and print program stats",
+    )
+    compile_verb.add_argument("circuit", help="benchmark name or path to a .bench file")
+    compile_verb.add_argument(
+        "--delay-models", nargs="*", choices=sorted(delay_model_names()),
+        default=["zero", "unit", "fanout", "type-table"],
+        help="delay models to quantize and report (default: the built-ins)")
+    compile_verb.add_argument(
+        "--optimize", action="store_true",
+        help="apply the optional program optimization passes "
+             "(dead-net sweep + buffer/inverter collapse) before reporting")
+    _add_json_argument(compile_verb)
+    compile_verb.set_defaults(handler=_cmd_compile)
 
     estimate = subparsers.add_parser("estimate", help="estimate one circuit's average power")
     estimate.add_argument("circuit", help="benchmark name or path to a .bench file")

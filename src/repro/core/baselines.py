@@ -35,6 +35,7 @@ from repro.api.events import (
 )
 from repro.api.protocol import StreamingEstimator
 from repro.api.registry import register_estimator
+from repro.circuits.program import as_compiled_circuit
 from repro.core.batch_sampler import BatchPowerSampler, draw_samples, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.results import PowerEstimate
@@ -59,8 +60,7 @@ class _BaselineEstimator(StreamingEstimator):
         config: EstimationConfig | None = None,
         rng: RandomSource = None,
     ):
-        if isinstance(circuit, Netlist):
-            circuit = CompiledCircuit.from_netlist(circuit)
+        circuit = as_compiled_circuit(circuit)
         self.circuit = circuit
         self.config = config or EstimationConfig()
         self.stimulus = stimulus or BernoulliStimulus(circuit.num_inputs, 0.5)

@@ -47,10 +47,10 @@ import math
 
 import numpy as np
 
+from repro.api.registry import get_simulator
+from repro.circuits.program import CircuitProgram
 from repro.core.config import EstimationConfig
 from repro.core.sampler import PowerSampler
-from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.event_driven import EventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator
 from repro.stats.stopping.base import StoppingDecision
 from repro.stimulus.base import Stimulus
@@ -58,7 +58,7 @@ from repro.utils.rng import RandomSource, spawn_rng
 
 
 def make_sampler(
-    circuit: CompiledCircuit,
+    circuit,
     stimulus: Stimulus,
     config: EstimationConfig,
     rng: RandomSource = None,
@@ -112,7 +112,10 @@ class BatchPowerSampler:
     Parameters
     ----------
     circuit:
-        Compiled circuit under estimation.
+        Compiled circuit (or prebuilt
+        :class:`~repro.circuits.program.CircuitProgram`) under estimation.
+        Either way the sampler and every engine it builds — across resizes —
+        share one cached program lowering.
     stimulus:
         Primary-input pattern generator; lane *k* of its draws drives chain *k*.
     config:
@@ -130,27 +133,28 @@ class BatchPowerSampler:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         stimulus: Stimulus,
         config: EstimationConfig | None = None,
         rng: RandomSource = None,
         num_chains: int | None = None,
         backend: str | None = None,
     ):
-        self.circuit = circuit
+        self.program = CircuitProgram.of(circuit)
+        self.circuit = self.program.circuit
         self.stimulus = stimulus
         self.config = config or EstimationConfig()
         self.rng: np.random.Generator = spawn_rng(rng)
         self.num_chains = self.config.num_chains if num_chains is None else num_chains
         if self.num_chains < 1:
             raise ValueError("num_chains must be at least 1")
-        if stimulus.num_inputs != circuit.num_inputs:
+        if stimulus.num_inputs != self.circuit.num_inputs:
             raise ValueError(
                 f"stimulus drives {stimulus.num_inputs} inputs but circuit "
-                f"{circuit.name!r} has {circuit.num_inputs}"
+                f"{self.circuit.name!r} has {self.circuit.num_inputs}"
             )
 
-        self._node_caps = self.config.capacitance_model.node_capacitances(circuit)
+        self._node_caps = self.program.capacitances(self.config.capacitance_model)
         self._backend_request = (
             self.config.simulation_backend if backend is None else backend
         )
@@ -164,25 +168,24 @@ class BatchPowerSampler:
     _event_backend_request = "auto"
 
     def _build_engines(self) -> None:
-        """(Re)build both engines at the current ``num_chains`` width."""
+        """(Re)build the state and power engines at the current ``num_chains`` width."""
         self._engine = ZeroDelaySimulator(
-            self.circuit,
+            self.program,
             width=self.num_chains,
             node_capacitance=self._node_caps,
             backend=self._backend_request,
         )
         self._use_words = self._engine.backend == "numpy"
-        self._event_engine: EventDrivenSimulator | None = None
-        if self.config.power_simulator == "event-driven":
-            from repro.simulation.delay_models import make_delay_model
-
-            self._event_engine = EventDrivenSimulator(
-                self.circuit,
-                delay_model=make_delay_model(self.config.delay_model),
-                node_capacitance=self._node_caps,
-                width=self.num_chains,
-                backend=self._event_backend_request,
-            )
+        # The power engine comes from the simulator registry, so any
+        # registered measurement engine composes with the chain ensemble.
+        self._power = get_simulator(self.config.power_simulator)(
+            self.program,
+            width=self.num_chains,
+            node_capacitance=self._node_caps,
+            delay_model=self.config.delay_model,
+            backend=self._event_backend_request,
+        )
+        self._event_engine = self._power.engine
 
     @property
     def backend(self) -> str:
@@ -312,27 +315,9 @@ class BatchPowerSampler:
         self.cycles_simulated += 1
 
     def _measure_lanes(self) -> np.ndarray:
-        pattern = self._next_pattern()
-        if self._event_engine is None:
-            switched = self._engine.step_and_measure_lanes(pattern)
-        else:
-            # Re-simulate the same cycle with general delays for every chain:
-            # load the settled zero-delay network, run the event-driven cycle
-            # (counts glitches per lane), and advance the cheap state engine
-            # identically so both engines agree on the next present state.
-            self._event_engine.load_settled_state(self._settled_state())
-            switched = self._event_engine.cycle_lanes(pattern)
-            self._engine.step(pattern)
+        switched = self._power.measure_lanes(self._engine, self._next_pattern())
         self.cycles_simulated += 1
         return switched
-
-    def _settled_state(self):
-        """The zero-delay engine's settled network, in the cheapest shared form."""
-        if self._event_engine is not None and self._event_engine.backend == "numpy":
-            words = self._engine.words_view()
-            if words is not None:
-                return words
-        return self._engine.values
 
     # ------------------------------------------------------------------- API
     def advance(self, cycles: int) -> None:
@@ -361,9 +346,7 @@ class BatchPowerSampler:
         workload.
         """
         self._require_prepared()
-        if self._event_engine is not None:
-            return float(self._measure_lanes().sum())
-        switched = self._engine.step_and_measure(self._next_pattern())
+        switched = self._power.measure_total(self._engine, self._next_pattern())
         self.cycles_simulated += 1
         return switched
 

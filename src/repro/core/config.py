@@ -14,7 +14,9 @@ from typing import Any
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
 
-#: Power-measurement engines accepted by :class:`EstimationConfig`.
+#: The built-in power-measurement engines.  Kept for backwards compatibility;
+#: validation goes through the extensible simulator registry in
+#: :mod:`repro.api.registry`, so names registered by plugins are accepted too.
 POWER_SIMULATORS = ("zero-delay", "event-driven")
 
 #: The paper's built-in stopping criteria.  Kept for backwards compatibility;
@@ -62,9 +64,11 @@ class EstimationConfig:
         Clock cycles simulated before any statistics are collected, so the
         state process is (approximately) stationary when sampling starts.
     power_simulator:
-        ``"zero-delay"`` measures functional transitions only;
+        Power-measurement engine, as a string key from the simulator
+        registry: ``"zero-delay"`` measures functional transitions only;
         ``"event-driven"`` uses the general-delay simulator and therefore
-        includes glitch power (slower).
+        includes glitch power (slower).  Names registered through
+        :func:`repro.api.registry.register_simulator` are accepted too.
     delay_model:
         Gate delay model of the event-driven power simulator, as a string
         key from the delay-model registry (``"fanout"``, ``"unit"``,
@@ -155,9 +159,11 @@ class EstimationConfig:
             raise ValueError("max_samples must be at least min_samples")
         if self.warmup_cycles < 0:
             raise ValueError("warmup_cycles must be non-negative")
-        if self.power_simulator not in POWER_SIMULATORS:
+        from repro.api.registry import SIMULATOR_REGISTRY
+
+        if self.power_simulator not in SIMULATOR_REGISTRY:
             raise ValueError(
-                f"power_simulator must be one of {POWER_SIMULATORS}, "
+                f"power_simulator must be one of {SIMULATOR_REGISTRY.names()}, "
                 f"got {self.power_simulator!r}"
             )
         from repro.api.registry import DELAY_MODEL_REGISTRY

@@ -42,6 +42,7 @@ from repro.api.events import (
 )
 from repro.api.protocol import StreamingEstimator
 from repro.api.registry import register_estimator
+from repro.circuits.program import as_compiled_circuit
 from repro.core.batch_sampler import BatchPowerSampler, draw_sample_block, make_sampler
 from repro.core.config import EstimationConfig
 from repro.core.interval import select_independence_interval
@@ -81,8 +82,7 @@ class DipeEstimator(StreamingEstimator):
         config: EstimationConfig | None = None,
         rng: RandomSource = None,
     ):
-        if isinstance(circuit, Netlist):
-            circuit = CompiledCircuit.from_netlist(circuit)
+        circuit = as_compiled_circuit(circuit)
         self.circuit = circuit
         self.config = config or EstimationConfig()
         self.stimulus = stimulus or BernoulliStimulus(circuit.num_inputs, 0.5)

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import get_simulator
+from repro.circuits.program import CircuitProgram
 from repro.core.config import EstimationConfig
-from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.event_driven import EventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator
 from repro.stimulus.base import Stimulus
 from repro.utils.rng import RandomSource, spawn_rng
@@ -34,7 +34,8 @@ class PowerSampler:
     Parameters
     ----------
     circuit:
-        Compiled circuit under estimation.
+        Compiled circuit (or prebuilt
+        :class:`~repro.circuits.program.CircuitProgram`) under estimation.
     stimulus:
         Primary-input pattern generator.
     config:
@@ -46,38 +47,37 @@ class PowerSampler:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         stimulus: Stimulus,
         config: EstimationConfig | None = None,
         rng: RandomSource = None,
     ):
-        self.circuit = circuit
+        self.program = CircuitProgram.of(circuit)
+        self.circuit = self.program.circuit
         self.stimulus = stimulus
         self.config = config or EstimationConfig()
         self.rng: np.random.Generator = spawn_rng(rng)
 
-        if stimulus.num_inputs != circuit.num_inputs:
+        if stimulus.num_inputs != self.circuit.num_inputs:
             raise ValueError(
                 f"stimulus drives {stimulus.num_inputs} inputs but circuit "
-                f"{circuit.name!r} has {circuit.num_inputs}"
+                f"{self.circuit.name!r} has {self.circuit.num_inputs}"
             )
 
-        node_caps = self.config.capacitance_model.node_capacitances(circuit)
+        node_caps = self.program.capacitances(self.config.capacitance_model)
         self._state_engine = ZeroDelaySimulator(
-            circuit,
+            self.program,
             width=1,
             node_capacitance=node_caps,
             backend=self.config.simulation_backend,
         )
-        self._event_engine: EventDrivenSimulator | None = None
-        if self.config.power_simulator == "event-driven":
-            from repro.simulation.delay_models import make_delay_model
-
-            self._event_engine = EventDrivenSimulator(
-                circuit,
-                delay_model=make_delay_model(self.config.delay_model),
-                node_capacitance=node_caps,
-            )
+        self._power = get_simulator(self.config.power_simulator)(
+            self.program,
+            width=1,
+            node_capacitance=node_caps,
+            delay_model=self.config.delay_model,
+        )
+        self._event_engine = self._power.engine
 
         self.cycles_simulated = 0
         self._prepared = False
@@ -106,16 +106,7 @@ class PowerSampler:
     def _measure_one_cycle(self) -> float:
         """Simulate one clock cycle with the power engine; return switched capacitance."""
         pattern = self.stimulus.next_pattern(self.rng, width=1)
-        if self._event_engine is None:
-            switched = self._state_engine.step_and_measure(pattern)
-        else:
-            # Re-simulate the same cycle with general delays: load the settled
-            # zero-delay network, run the event-driven cycle (counts glitches),
-            # and advance the cheap state engine identically so both engines
-            # agree on the next present state.
-            self._event_engine.load_settled_state(self._state_engine.values)
-            switched = self._event_engine.cycle(pattern)
-            self._state_engine.step(pattern)
+        switched = self._power.measure_total(self._state_engine, pattern)
         self.cycles_simulated += 1
         return switched
 

@@ -40,6 +40,13 @@ pattern block and merging simulator state are pure word-slice operations; an
 ensemble narrower than ``64 * num_workers`` lanes leaves the surplus workers
 idle.
 
+Workers receive the parent's prebuilt
+:class:`~repro.circuits.program.CircuitProgram` (pickled through the process
+boundary, or inherited on fork), so pool startup performs exactly one
+circuit lowering no matter how many workers exist — worker engines bind the
+shared tables instead of recompiling them (gated by
+``benchmarks/test_bench_compile.py``).
+
 Worker processes are spawn-safe (the worker entry point is a module-level
 function fed picklable state), default to the platform's fastest start
 method, and fall back to an in-process serial shard pool on platforms
@@ -59,9 +66,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.circuits.program import CircuitProgram
 from repro.core.batch_sampler import BatchPowerSampler
 from repro.core.config import EstimationConfig
-from repro.simulation.compiled import CompiledCircuit
 from repro.simulation.zero_delay import resolve_backend
 from repro.stimulus.base import Stimulus
 from repro.utils.bitpack import (
@@ -162,7 +169,7 @@ class _ShardSampler(BatchPowerSampler):
 
     def __init__(
         self,
-        circuit,
+        program: CircuitProgram,
         config,
         width: int,
         backend: str,
@@ -172,8 +179,8 @@ class _ShardSampler(BatchPowerSampler):
         self._feed = feed
         self._event_backend_request = event_backend
         super().__init__(
-            circuit,
-            _FeedStimulus(circuit.num_inputs, feed),
+            program,
+            _FeedStimulus(program.circuit.num_inputs, feed),
             config,
             rng=0,  # never drawn from — all randomness arrives through the feed
             num_chains=width,
@@ -208,8 +215,10 @@ class _ShardServer:
     the process pool and the serial fallback share one code path.
     """
 
-    def __init__(self, circuit: CompiledCircuit, config: EstimationConfig, backend: str):
-        self.circuit = circuit
+    def __init__(self, program: CircuitProgram, config: EstimationConfig, backend: str):
+        # The parent's prebuilt program crosses the process boundary whole
+        # (or is inherited on fork), so shard engines never recompile it.
+        self.program = program
         self.config = config
         self.backend_request = backend
         self.feed = _PatternFeed()
@@ -235,7 +244,7 @@ class _ShardServer:
             width, zd_backend, event_backend = message[1], message[2], message[3]
             self.sampler = (
                 _ShardSampler(
-                    self.circuit, self.config, width, zd_backend, event_backend, self.feed
+                    self.program, self.config, width, zd_backend, event_backend, self.feed
                 )
                 if width > 0
                 else None
@@ -283,9 +292,9 @@ class _ShardServer:
         raise ValueError(f"unknown shard command {op!r}")
 
 
-def _shard_worker_main(conn, circuit, config, backend_request) -> None:
+def _shard_worker_main(conn, program, config, backend_request) -> None:
     """Worker process entry point: serve shard commands until "stop" or EOF."""
-    server = _ShardServer(circuit, config, backend_request)
+    server = _ShardServer(program, config, backend_request)
     try:
         while True:
             try:
@@ -308,11 +317,11 @@ def _shard_worker_main(conn, circuit, config, backend_request) -> None:
 class _ProcessShard:
     """Parent-side handle of one worker process (request/reply over a pipe)."""
 
-    def __init__(self, ctx, circuit, config, backend_request):
+    def __init__(self, ctx, program, config, backend_request):
         self.connection, child_conn = mp.Pipe()
         self.process = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, circuit, config, backend_request),
+            args=(child_conn, program, config, backend_request),
             daemon=True,
         )
         self.process.start()
@@ -354,8 +363,8 @@ class _ProcessShard:
 class _LocalShard:
     """In-process stand-in for a worker (serial fallback; same command path)."""
 
-    def __init__(self, circuit, config, backend_request):
-        self._server = _ShardServer(circuit, config, backend_request)
+    def __init__(self, program, config, backend_request):
+        self._server = _ShardServer(program, config, backend_request)
         self._replies: deque = deque()
 
     def send(self, *message) -> None:
@@ -410,7 +419,7 @@ class ShardedPowerSampler(BatchPowerSampler):
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         stimulus: Stimulus,
         config: EstimationConfig | None = None,
         rng: RandomSource = None,
@@ -438,7 +447,7 @@ class ShardedPowerSampler(BatchPowerSampler):
     def _spawn_pool(self) -> list:
         if self._start_method == "serial":
             return [
-                _LocalShard(self.circuit, self.config, self._backend_request)
+                _LocalShard(self.program, self.config, self._backend_request)
                 for _ in range(self.num_workers)
             ]
         if self._start_method is not None:
@@ -455,14 +464,14 @@ class ShardedPowerSampler(BatchPowerSampler):
         try:
             for _ in range(self.num_workers):
                 handles.append(
-                    _ProcessShard(ctx, self.circuit, self.config, self._backend_request)
+                    _ProcessShard(ctx, self.program, self.config, self._backend_request)
                 )
         except (OSError, PermissionError, RuntimeError, AssertionError):
             # Sandboxes (or daemonic parents) that cannot create processes:
             # identical results from the in-process pool, one process.
             _shutdown_pool(handles)
             return [
-                _LocalShard(self.circuit, self.config, self._backend_request)
+                _LocalShard(self.program, self.config, self._backend_request)
                 for _ in range(self.num_workers)
             ]
         return handles
@@ -470,6 +479,11 @@ class ShardedPowerSampler(BatchPowerSampler):
     def _build_engines(self) -> None:
         """(Re)partition the ensemble and rebuild every shard's engines."""
         if self._handles is None:
+            if self.config.power_simulator == "event-driven":
+                # Warm the configured delay schedule before the program
+                # crosses the process boundary, so spawned workers
+                # deserialize the quantization instead of each repeating it.
+                self.program.delay_schedule(self.config.delay_model)
             self._handles = self._spawn_pool()
             self._finalizer = weakref.finalize(self, _shutdown_pool, self._handles)
         self._shards = partition_chains(self.num_chains, self.num_workers)
@@ -477,6 +491,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         # No in-process engines: every engine-facing base-class method is
         # overridden to delegate to the shard pool.
         self._engine = None
+        self._power = None
         self._event_engine = None
         self._use_words = True
         # Backends are resolved at the FULL ensemble width and forced on all

@@ -30,6 +30,7 @@ from repro.api.events import (
 from repro.api.jobs import JobSpec, StimulusSpec, register_result_type, run_job
 from repro.api.protocol import StreamingEstimator
 from repro.api.registry import register_estimator
+from repro.circuits.program import as_compiled_circuit
 from repro.core.config import EstimationConfig
 from repro.core.sampler import PowerSampler
 from repro.netlist.netlist import Netlist
@@ -148,8 +149,7 @@ class Figure3Estimator(StreamingEstimator):
             raise ValueError("max_interval must be non-negative")
         if sequence_length < 1:
             raise ValueError("sequence_length must be at least 1")
-        if isinstance(circuit, Netlist):
-            circuit = CompiledCircuit.from_netlist(circuit)
+        circuit = as_compiled_circuit(circuit)
         self.circuit = circuit
         self.config = config or EstimationConfig()
         self.stimulus = stimulus or BernoulliStimulus(circuit.num_inputs, 0.5)

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 
 from repro.power.capacitance import CapacitanceModel
 from repro.power.power_model import PowerModel
-from repro.simulation.compiled import CompiledCircuit
 from repro.stimulus.base import Stimulus
 from repro.utils.rng import RandomSource
 
@@ -68,7 +67,7 @@ class ReferenceResult:
 
 
 def estimate_reference_power(
-    circuit: CompiledCircuit,
+    circuit,
     stimulus: Stimulus,
     total_cycles: int = 100_000,
     lanes: int = 64,
@@ -83,7 +82,8 @@ def estimate_reference_power(
     Parameters
     ----------
     circuit:
-        Compiled circuit.
+        Compiled circuit (a structural netlist or prebuilt
+        :class:`~repro.circuits.program.CircuitProgram` is accepted too).
     stimulus:
         Primary-input pattern generator.
     total_cycles:
@@ -106,8 +106,11 @@ def estimate_reference_power(
     """
     # Imported lazily: repro.core.config itself imports the power package, so
     # a module-level import here would be circular.
+    from repro.circuits.program import as_compiled_circuit
     from repro.core.batch_sampler import BatchPowerSampler
     from repro.core.config import EstimationConfig
+
+    circuit = as_compiled_circuit(circuit)
 
     if total_cycles < 1:
         raise ValueError("total_cycles must be at least 1")

@@ -32,11 +32,14 @@ from repro.simulation.delay_models import (
     quantize_delays,
 )
 from repro.simulation.event_driven import EventDrivenSimulator, resolve_event_backend
+from repro.simulation.power_engines import EventDrivenPowerEngine, ZeroDelayPowerEngine
 from repro.simulation.vectorized import VectorizedZeroDelaySimulator
 from repro.simulation.vectorized_timing import VectorizedEventDrivenSimulator
 from repro.simulation.zero_delay import ZeroDelaySimulator, resolve_backend
 
 __all__ = [
+    "EventDrivenPowerEngine",
+    "ZeroDelayPowerEngine",
     "CompiledCircuit",
     "CompiledGate",
     "DelayModel",

@@ -1,0 +1,38 @@
+"""Shared backend-resolution helper for the simulator facades.
+
+Both facades (:class:`~repro.simulation.zero_delay.ZeroDelaySimulator` and
+:class:`~repro.simulation.event_driven.EventDrivenSimulator`) expose the same
+user-facing choice — a narrow scalar engine, a wide vectorized engine, or
+``"auto"`` picking by ensemble width — and used to duplicate the validation
+and width-threshold logic.  :func:`resolve_backend_choice` is the one shared
+rule; each facade supplies its option tuple, engine names and threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+
+def resolve_backend_choice(
+    backend: str,
+    width: int,
+    *,
+    options: Sequence[str],
+    narrow: str,
+    wide: str,
+    wide_threshold: int | Callable[[], int],
+) -> str:
+    """Resolve a user-facing backend choice to a concrete engine name.
+
+    ``backend`` must be one of *options*; anything but ``"auto"`` is returned
+    verbatim.  ``"auto"`` selects *wide* at widths of *wide_threshold* lanes
+    and above, *narrow* below it.  A callable threshold is only invoked on
+    the ``"auto"`` path, so probing work (e.g. native-kernel availability)
+    is skipped when the caller chose an engine explicitly.
+    """
+    if backend not in options:
+        raise ValueError(f"backend must be one of {tuple(options)}, got {backend!r}")
+    if backend != "auto":
+        return backend
+    threshold = wide_threshold() if callable(wide_threshold) else wide_threshold
+    return wide if width >= threshold else narrow

@@ -46,8 +46,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.netlist.cell_library import evaluate_gate_bitparallel
-from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.delay_models import DelayModel, FanoutDelay, quantize_delays
+from repro.simulation.backends import resolve_backend_choice
+from repro.simulation.delay_models import DelayModel, FanoutDelay
 from repro.utils.rng import RandomSource, spawn_rng
 
 #: Backends accepted by :class:`EventDrivenSimulator`.
@@ -60,13 +60,11 @@ def resolve_event_backend(backend: str, width: int) -> str:
     The scalar engine carries one chain; ``"auto"`` therefore selects it only
     for ``width == 1`` and the vectorized engine for every wider ensemble.
     """
-    if backend not in EVENT_BACKENDS:
-        raise ValueError(f"backend must be one of {EVENT_BACKENDS}, got {backend!r}")
     if backend == "scalar" and width > 1:
         raise ValueError("the scalar event-driven backend is single-chain (width must be 1)")
-    if backend != "auto":
-        return backend
-    return "scalar" if width == 1 else "numpy"
+    return resolve_backend_choice(
+        backend, width, options=EVENT_BACKENDS, narrow="scalar", wide="numpy", wide_threshold=2
+    )
 
 
 class EventDrivenSimulator:
@@ -92,41 +90,41 @@ class EventDrivenSimulator:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         delay_model: DelayModel | None = None,
         node_capacitance: Sequence[float] | np.ndarray | None = None,
         width: int = 1,
         backend: str = "auto",
         wavefront_compaction: bool = True,
     ):
+        # Imported lazily: the program module imports from repro.simulation.
+        from repro.circuits.program import CircuitProgram, node_capacitance_array
+
         if width < 1:
             raise ValueError("width must be at least 1")
-        self.circuit = circuit
+        self.program = CircuitProgram.of(circuit)
+        circuit = self.circuit = self.program.circuit
         self.width = width
         self.delay_model = delay_model or FanoutDelay()
         self.backend = resolve_event_backend(backend, width)
-        self.gate_delays = self.delay_model.delays(circuit)
-        self.gate_ticks, self.tick = quantize_delays(self.gate_delays)
-        if node_capacitance is None:
-            self.node_capacitance = np.ones(circuit.num_nets, dtype=np.float64)
-        else:
-            if len(node_capacitance) != circuit.num_nets:
-                raise ValueError(
-                    "node_capacitance must have one entry per net "
-                    f"({circuit.num_nets}), got {len(node_capacitance)}"
-                )
-            self.node_capacitance = np.asarray(node_capacitance, dtype=np.float64)
+        # One memoized quantization per (program, delay model): the public
+        # gate_delays/ticks always describe the delays actually simulated.
+        schedule = self.program.delay_schedule(self.delay_model)
+        self.gate_delays = list(schedule.delays)
+        self.gate_ticks = [int(tick) for tick in schedule.ticks]
+        self.tick = schedule.tick
+        self.node_capacitance = node_capacitance_array(self.program, node_capacitance)
 
         self._vec = None
         if self.backend == "numpy":
             from repro.simulation.vectorized_timing import VectorizedEventDrivenSimulator
 
             self._vec = VectorizedEventDrivenSimulator(
-                circuit,
+                self.program,
                 delay_model=self.delay_model,
                 node_capacitance=self.node_capacitance,
                 width=width,
-                gate_delays=self.gate_delays,
+                schedule=schedule,
                 wavefront_compaction=wavefront_compaction,
             )
             return

@@ -1,0 +1,124 @@
+"""Power-measurement engines, dispatched through the simulator registry.
+
+The samplers (:class:`~repro.core.sampler.PowerSampler`,
+:class:`~repro.core.batch_sampler.BatchPowerSampler`) always own a cheap
+zero-delay *state engine* that advances the chain ensemble through the
+independence interval.  What varies between power engines is how the sampled
+cycle itself is measured; that choice is a string key
+(``EstimationConfig(power_simulator=...)``) resolved through
+:data:`~repro.api.registry.SIMULATOR_REGISTRY`, so new measurement engines
+plug in by registration instead of new ``if``/``elif`` arms in every sampler.
+
+Factory contract (what :func:`~repro.api.registry.register_simulator`
+documents)::
+
+    factory(program, width=1, node_capacitance=None,
+            delay_model=None, backend="auto") -> engine
+
+The returned engine exposes:
+
+* ``measure_lanes(state_engine, pattern) -> np.ndarray`` — advance the state
+  engine through one clock cycle driven by *pattern* and return the
+  per-lane switched capacitance, shape ``(width,)``;
+* ``measure_total(state_engine, pattern) -> float`` — same cycle, lane-summed
+  (cheaper when per-chain resolution is not needed);
+* ``engine`` — the underlying simulator object, or ``None`` when measurement
+  happens on the state engine itself.
+
+Both built-ins keep the exact cycle semantics the samplers used to inline:
+the zero-delay engine measures the functional transitions of the state
+engine's own sweep; the event-driven engine re-simulates the sampled cycle
+with general delays (glitches included) from the state engine's settled
+network, then advances the state engine identically so both agree on the
+next present state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.registry import register_simulator
+from repro.simulation.delay_models import DelayModel, make_delay_model
+from repro.simulation.event_driven import EventDrivenSimulator
+
+__all__ = ["EventDrivenPowerEngine", "ZeroDelayPowerEngine"]
+
+
+@register_simulator("zero-delay")
+class ZeroDelayPowerEngine:
+    """Functional-transition measurement on the state engine's own sweep."""
+
+    #: No engine of its own — the state engine is the measurement engine.
+    engine = None
+
+    def __init__(
+        self,
+        program,
+        width: int = 1,
+        node_capacitance: Sequence[float] | np.ndarray | None = None,
+        delay_model: DelayModel | str | None = None,
+        backend: str = "auto",
+    ):
+        from repro.circuits.program import CircuitProgram
+
+        self.program = CircuitProgram.of(program)
+
+    def measure_lanes(self, state_engine, pattern) -> np.ndarray:
+        return state_engine.step_and_measure_lanes(pattern)
+
+    def measure_total(self, state_engine, pattern) -> float:
+        return state_engine.step_and_measure(pattern)
+
+
+@register_simulator("event-driven")
+class EventDrivenPowerEngine:
+    """General-delay re-simulation of the sampled cycle (glitches included)."""
+
+    def __init__(
+        self,
+        program,
+        width: int = 1,
+        node_capacitance: Sequence[float] | np.ndarray | None = None,
+        delay_model: DelayModel | str | None = None,
+        backend: str = "auto",
+    ):
+        from repro.circuits.program import CircuitProgram
+
+        self.program = CircuitProgram.of(program)
+        if delay_model is None:
+            delay_model = "fanout"
+        if isinstance(delay_model, str):
+            delay_model = make_delay_model(delay_model)
+        self.engine = EventDrivenSimulator(
+            self.program,
+            delay_model=delay_model,
+            node_capacitance=node_capacitance,
+            width=width,
+            backend=backend,
+        )
+
+    def _settled_state(self, state_engine):
+        """The state engine's settled network, in the cheapest shared form."""
+        if self.engine.backend == "numpy":
+            words = state_engine.words_view()
+            if words is not None:
+                return words
+        return state_engine.values
+
+    def measure_lanes(self, state_engine, pattern) -> np.ndarray:
+        # Re-simulate the same cycle with general delays for every chain:
+        # load the settled zero-delay network, run the event-driven cycle
+        # (counts glitches per lane), and advance the cheap state engine
+        # identically so both engines agree on the next present state.
+        self.engine.load_settled_state(self._settled_state(state_engine))
+        switched = self.engine.cycle_lanes(pattern)
+        state_engine.step(pattern)
+        return switched
+
+    def measure_total(self, state_engine, pattern) -> float:
+        self.engine.load_settled_state(self._settled_state(state_engine))
+        switched = self.engine.cycle(pattern)
+        state_engine.step(pattern)
+        return switched

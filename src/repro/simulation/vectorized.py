@@ -25,6 +25,11 @@ sampler, which needs one power sample per chain.
 Input patterns are accepted either in the lane-packed integer form used by
 the big-int backend, or as ``(num_inputs, num_words)`` uint64 word arrays
 (the fast path used by :class:`~repro.core.batch_sampler.BatchPowerSampler`).
+
+All width-independent tables (level groups, native sweep tables, constant
+rows) come from the shared :class:`~repro.circuits.program.CircuitProgram`
+lowering; this engine only derives the width-dependent gather/scatter index
+vectors and owns the lane-word storage.
 """
 
 from __future__ import annotations
@@ -33,9 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.netlist.cell_library import GateType
 from repro.simulation import _native
-from repro.simulation.compiled import CompiledCircuit
 from repro.utils.bitpack import (
     bits_to_words,
     lane_mask_words,
@@ -53,20 +56,6 @@ __all__ = [
     "unpack_words_to_int",
     "words_per_width",
 ]
-
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-#: Reduction kind per gate type: (opcode, output inverted).
-_GATE_OPS: dict[GateType, tuple[int, bool]] = {
-    GateType.AND: (_native.OP_AND, False),
-    GateType.NAND: (_native.OP_AND, True),
-    GateType.OR: (_native.OP_OR, False),
-    GateType.NOR: (_native.OP_OR, True),
-    GateType.XOR: (_native.OP_XOR, False),
-    GateType.XNOR: (_native.OP_XOR, True),
-    GateType.BUFF: (_native.OP_AND, False),
-    GateType.NOT: (_native.OP_AND, True),
-}
 
 _REDUCERS = {
     _native.OP_AND: np.bitwise_and,
@@ -103,13 +92,19 @@ class VectorizedZeroDelaySimulator:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         width: int = 1,
         node_capacitance: Sequence[float] | None = None,
     ):
+        # Imported lazily: the program module imports from repro.simulation,
+        # so a module-level import here would be circular.
+        from repro.circuits.program import CircuitProgram
+
         if width < 1:
             raise ValueError("width must be at least 1")
-        self.circuit = circuit
+        self.program = CircuitProgram.of(circuit)
+        self.circuit = self.program.circuit
+        circuit = self.circuit
         self.width = width
         self.num_words = words_per_width(width)
         self.mask = (1 << width) - 1
@@ -121,7 +116,7 @@ class VectorizedZeroDelaySimulator:
                     "node_capacitance must have one entry per net "
                     f"({circuit.num_nets}), got {len(node_capacitance)}"
                 )
-            self.node_capacitance = list(node_capacitance)
+            self.node_capacitance = [float(value) for value in node_capacitance]
         self._caps = np.asarray(self.node_capacitance, dtype=np.float64)
         self._mask_words = lane_mask_words(width)
         self._partial_last_word = bool(width % 64)
@@ -129,9 +124,10 @@ class VectorizedZeroDelaySimulator:
         num_nets = circuit.num_nets
         num_words = self.num_words
         # Two virtual rows behind the real nets: an all-ones row (AND-group
-        # fan-in padding) and an all-zeros row (OR/XOR-group padding).
-        self._row_one = num_nets
-        self._row_zero = num_nets + 1
+        # fan-in padding) and an all-zeros row (OR/XOR-group padding).  The
+        # program's group plans are padded with exactly these row ids.
+        self._row_one = self.program.row_one
+        self._row_zero = self.program.row_zero
         self._flat = np.zeros((num_nets + 2) * num_words, dtype=np.uint64)
         self.words = self._flat[: num_nets * num_words].reshape(num_nets, num_words)
         self._flat[self._row_one * num_words : (self._row_one + 1) * num_words] = self._mask_words
@@ -144,11 +140,7 @@ class VectorizedZeroDelaySimulator:
         self._latch_q_flat = (self._latch_q_rows[:, None] * num_words + word_span).reshape(-1)
         self._latch_d_flat = (self._latch_d_rows[:, None] * num_words + word_span).reshape(-1)
 
-        self._const_rows = [
-            (gate.output, gate.gate_type is GateType.CONST1)
-            for gate in circuit.gates
-            if gate.gate_type in (GateType.CONST0, GateType.CONST1)
-        ]
+        self._const_rows = self.program.const_rows
         # The compiled kernel and the grouped-numpy schedule are alternative
         # sweep strategies; only materialise the (index-table heavy) groups
         # when no kernel is available.
@@ -164,48 +156,20 @@ class VectorizedZeroDelaySimulator:
         self.reset()
 
     # ------------------------------------------------------------- schedules
-    def _gate_levels(self) -> list[int]:
-        level = [0] * self.circuit.num_nets
-        gate_levels = []
-        for gate in self.circuit.gates:
-            gate_level = max((level[src] for src in gate.inputs), default=0) + 1
-            level[gate.output] = gate_level
-            gate_levels.append(gate_level)
-        return gate_levels
-
     def _build_groups(self) -> list[_LevelGroup]:
+        """Derive the width-dependent gather/scatter units from the program plan."""
         num_words = self.num_words
         word_span = np.arange(num_words, dtype=np.intp)
-        gate_levels = self._gate_levels()
-        buckets: dict[tuple[int, int], list] = {}
-        for gate, gate_level in zip(self.circuit.gates, gate_levels):
-            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
-                continue
-            opcode, inverted = _GATE_OPS[gate.gate_type]
-            buckets.setdefault((gate_level, opcode), []).append((gate, inverted))
-
         groups = []
-        for (gate_level, opcode), members in sorted(buckets.items()):
-            arity = max(len(gate.inputs) for gate, _ in members)
-            pad_row = self._row_one if opcode == _native.OP_AND else self._row_zero
-            rows = np.full((len(members), arity), pad_row, dtype=np.intp)
-            outs = np.empty(len(members), dtype=np.intp)
-            out_invert = np.zeros((len(members), 1), dtype=np.uint64)
-            any_invert = False
-            for index, (gate, inverted) in enumerate(members):
-                rows[index, : len(gate.inputs)] = gate.inputs
-                outs[index] = gate.output
-                if inverted:
-                    out_invert[index, 0] = _ALL_ONES
-                    any_invert = True
-            gather = (rows[:, :, None] * num_words + word_span).reshape(-1)
-            scatter = (outs[:, None] * num_words + word_span).reshape(-1)
+        for plan in self.program.level_groups:
+            gather = (plan.rows[:, :, None] * num_words + word_span).reshape(-1)
+            scatter = (plan.outs[:, None] * num_words + word_span).reshape(-1)
             groups.append(
                 _LevelGroup(
-                    reducer=_REDUCERS[opcode],
+                    reducer=_REDUCERS[plan.opcode],
                     gather=gather,
-                    shape=(len(members), arity, num_words),
-                    out_invert=out_invert if any_invert else None,
+                    shape=(plan.rows.shape[0], plan.rows.shape[1], num_words),
+                    out_invert=plan.out_invert,
                     scatter=scatter,
                 )
             )
@@ -215,30 +179,21 @@ class VectorizedZeroDelaySimulator:
         kernel = _native.load_kernel()
         if kernel is None:
             return None
-        gates = [
-            gate
-            for gate in self.circuit.gates
-            if gate.gate_type not in (GateType.CONST0, GateType.CONST1)
-        ]
-        ops = np.empty(len(gates), dtype=np.uint8)
-        out_rows = np.empty(len(gates), dtype=np.int64)
-        in_ptr = np.zeros(len(gates) + 1, dtype=np.int64)
-        in_rows = []
-        for index, gate in enumerate(gates):
-            opcode, inverted = _GATE_OPS[gate.gate_type]
-            ops[index] = opcode | (_native.OP_INVERT if inverted else 0)
-            out_rows[index] = gate.output
-            in_rows.extend(gate.inputs)
-            in_ptr[index + 1] = len(in_rows)
-        # Keep the table arrays alive and bind their raw pointers once: all
-        # buffers are preallocated and never reallocated, so the per-sweep
-        # call avoids ctypes argument marshalling on the hot path.
-        self._native_arrays = (ops, out_rows, in_ptr, np.asarray(in_rows, dtype=np.int64))
+        program = self.program
+        # The table arrays live on the shared program; bind their raw
+        # pointers once so the per-sweep call avoids ctypes argument
+        # marshalling on the hot path.
+        self._native_arrays = (
+            program.sweep_ops,
+            program.sweep_out_rows,
+            program.sweep_in_ptr,
+            program.sweep_in_rows,
+        )
         return _native.bind_sweep(
             kernel,
             self._flat,
             int(self.num_words),
-            int(len(gates)),
+            int(program.num_sweep_gates),
             *self._native_arrays,
             self._mask_words,
         )

@@ -57,10 +57,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.netlist.cell_library import GateType
 from repro.simulation import _native
-from repro.simulation.compiled import CompiledCircuit
-from repro.simulation.delay_models import DelayModel, FanoutDelay, quantize_delays
+from repro.simulation.delay_models import DelayModel, FanoutDelay
 from repro.utils.bitpack import (
     bits_to_words,
     lane_mask_words,
@@ -71,21 +69,6 @@ from repro.utils.bitpack import (
 from repro.utils.rng import RandomSource, spawn_rng
 
 __all__ = ["VectorizedEventDrivenSimulator"]
-
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-#: Reduction kind per gate type: (opcode, output inverted) — mirrors the
-#: zero-delay vectorized engine so both speak the same kernel opcode set.
-_GATE_OPS: dict[GateType, tuple[int, bool]] = {
-    GateType.AND: (_native.OP_AND, False),
-    GateType.NAND: (_native.OP_AND, True),
-    GateType.OR: (_native.OP_OR, False),
-    GateType.NOR: (_native.OP_OR, True),
-    GateType.XOR: (_native.OP_XOR, False),
-    GateType.XNOR: (_native.OP_XOR, True),
-    GateType.BUFF: (_native.OP_AND, False),
-    GateType.NOT: (_native.OP_AND, True),
-}
 
 _REDUCERS = {
     _native.OP_AND: np.bitwise_and,
@@ -106,37 +89,33 @@ class VectorizedEventDrivenSimulator:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         delay_model: DelayModel | None = None,
         node_capacitance: Sequence[float] | np.ndarray | None = None,
         width: int = 1,
-        gate_delays: Sequence[float] | None = None,
+        schedule=None,
         wavefront_compaction: bool = True,
     ):
+        # Imported lazily: the program module imports from repro.simulation.
+        from repro.circuits.program import CircuitProgram, node_capacitance_array
+
         if width < 1:
             raise ValueError("width must be at least 1")
         self.wavefront_compaction = bool(wavefront_compaction)
-        self.circuit = circuit
+        self.program = CircuitProgram.of(circuit)
+        circuit = self.circuit = self.program.circuit
         self.width = width
         self.num_words = words_per_width(width)
         self.mask = (1 << width) - 1
         self.delay_model = delay_model or FanoutDelay()
-        # The facade passes its already-computed delay list so the model is
-        # evaluated exactly once per simulator (and the facade's public
-        # gate_delays/ticks always describe the delays actually simulated).
-        if gate_delays is None:
-            gate_delays = self.delay_model.delays(circuit)
-        self.gate_delays = list(gate_delays)
-        ticks, self.tick = quantize_delays(self.gate_delays)
-        if node_capacitance is None:
-            self.node_capacitance = np.ones(circuit.num_nets, dtype=np.float64)
-        else:
-            if len(node_capacitance) != circuit.num_nets:
-                raise ValueError(
-                    "node_capacitance must have one entry per net "
-                    f"({circuit.num_nets}), got {len(node_capacitance)}"
-                )
-            self.node_capacitance = np.asarray(node_capacitance, dtype=np.float64)
+        # The facade passes its already-computed (memoized) schedule so the
+        # model is quantized exactly once per program; standalone users get
+        # the same schedule through the program memo.
+        if schedule is None:
+            schedule = self.program.delay_schedule(self.delay_model)
+        self.gate_delays = list(schedule.delays)
+        self.tick = schedule.tick
+        self.node_capacitance = node_capacitance_array(self.program, node_capacitance)
         self._caps = self.node_capacitance
         self._mask_words = lane_mask_words(width)
         self._partial_last_word = bool(width % 64)
@@ -144,9 +123,10 @@ class VectorizedEventDrivenSimulator:
         num_nets = circuit.num_nets
         num_words = self.num_words
         # Two virtual rows behind the real nets: an all-ones row (AND-group
-        # fan-in padding) and an all-zeros row (OR/XOR-group padding).
-        self._row_one = num_nets
-        self._row_zero = num_nets + 1
+        # fan-in padding) and an all-zeros row (OR/XOR-group padding).  The
+        # program's padded fan-in tables reference exactly these row ids.
+        self._row_one = self.program.row_one
+        self._row_zero = self.program.row_zero
         self._flat = np.zeros((num_nets + 2) * num_words, dtype=np.uint64)
         self.words = self._flat[: num_nets * num_words].reshape(num_nets, num_words)
         self._flat[self._row_one * num_words : (self._row_one + 1) * num_words] = self._mask_words
@@ -155,8 +135,7 @@ class VectorizedEventDrivenSimulator:
         self._latch_d_rows = np.asarray(circuit.latch_d, dtype=np.intp)
         self._input_rows = np.asarray(circuit.primary_inputs, dtype=np.intp)
 
-        self._build_gate_tables(ticks)
-        self._build_fanout_csr()
+        self._adopt_program_tables(schedule)
         self._native_eval = self._build_native_eval()
 
         self._counts = np.zeros(num_nets, dtype=np.int64)
@@ -175,89 +154,39 @@ class VectorizedEventDrivenSimulator:
         self.reset()
 
     # --------------------------------------------------------------- schedules
-    def _gate_levels(self) -> list[int]:
-        level = [0] * self.circuit.num_nets
-        gate_levels = []
-        for gate in self.circuit.gates:
-            gate_level = max((level[src] for src in gate.inputs), default=0) + 1
-            level[gate.output] = gate_level
-            gate_levels.append(gate_level)
-        return gate_levels
+    def _adopt_program_tables(self, schedule) -> None:
+        """Bind the program's shared gate/fan-out tables and this model's ticks.
 
-    def _build_gate_tables(self, ticks: list[int]) -> None:
-        gates = self.circuit.gates
-        num_gates = len(gates)
+        Everything here is read-only shared state from the
+        :class:`~repro.circuits.program.CircuitProgram`; the only array built
+        locally is the width-dependent flat gather index.
+        """
+        program = self.program
         num_words = self.num_words
         word_span = np.arange(num_words, dtype=np.intp)
-        levels = self._gate_levels()
 
-        self._gate_op = np.zeros(num_gates, dtype=np.uint8)
-        self._gate_invert = np.zeros(num_gates, dtype=np.uint64)
-        self._gate_out = np.zeros(num_gates, dtype=np.intp)
-        self._gate_tick = np.asarray(ticks, dtype=np.int64)
-        self._gate_level = np.asarray(levels, dtype=np.int64)
-
-        self._const_rows = []
-        real_arities = [
-            len(gate.inputs)
-            for gate in gates
-            if gate.gate_type not in (GateType.CONST0, GateType.CONST1)
-        ]
-        max_arity = max(real_arities, default=1)
-        self._max_arity = max_arity
-        padded_rows = np.full((num_gates, max_arity), self._row_zero, dtype=np.intp)
-
-        # CSR fan-in tables (real arities) shared with the optional C kernel.
-        in_ptr = np.zeros(num_gates + 1, dtype=np.int64)
-        in_rows: list[int] = []
-        levels_non_const: dict[int, list[int]] = {}
-        for index, gate in enumerate(gates):
-            self._gate_out[index] = gate.output
-            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
-                self._const_rows.append((gate.output, gate.gate_type is GateType.CONST1))
-                in_ptr[index + 1] = len(in_rows)
-                continue
-            opcode, inverted = _GATE_OPS[gate.gate_type]
-            self._gate_op[index] = opcode
-            if inverted:
-                self._gate_invert[index] = _ALL_ONES
-            pad_row = self._row_one if opcode == _native.OP_AND else self._row_zero
-            padded_rows[index, :] = pad_row
-            padded_rows[index, : len(gate.inputs)] = gate.inputs
-            in_rows.extend(gate.inputs)
-            in_ptr[index + 1] = len(in_rows)
-            levels_non_const.setdefault(levels[index], []).append(index)
-
-        self._in_ptr = in_ptr
-        self._in_rows = np.asarray(in_rows, dtype=np.int64)
-        non_const = self._gate_op_valid = np.ones(num_gates, dtype=bool)
-        for index, gate in enumerate(gates):
-            if gate.gate_type in (GateType.CONST0, GateType.CONST1):
-                non_const[index] = False
+        self._gate_op = program.gate_op
+        self._gate_invert = program.gate_invert
+        self._gate_out = program.gate_out
+        self._gate_tick = schedule.ticks
+        self._gate_level = program.gate_level
+        self._const_rows = program.const_rows
+        self._max_arity = program.max_arity
+        self._padded_rows = program.padded_rows
+        self._in_ptr = program.in_ptr
+        self._in_rows = program.in_rows
         #: With no zero-delay gate anywhere there can be no intra-instant
         #: cascade, so each instant's frontier is evaluated in one batch
         #: instead of level by level (the hot path for realistic delay models).
-        self._any_zero_ticks = bool((self._gate_tick[non_const] == 0).any()) if num_gates else False
-        self._padded_rows = padded_rows
-        self._gate_gather = (padded_rows[:, :, None] * num_words + word_span).reshape(
-            num_gates, -1
+        self._any_zero_ticks = schedule.any_zero_ticks
+        self._gate_gather = (program.padded_rows[:, :, None] * num_words + word_span).reshape(
+            len(self.circuit.gates), -1
         )
         #: Non-const gate ids grouped by level, ascending — the full-sweep
         #: schedule used by :meth:`settle`.
-        self._levels_all = [
-            np.asarray(levels_non_const[level], dtype=np.int64)
-            for level in sorted(levels_non_const)
-        ]
-
-    def _build_fanout_csr(self) -> None:
-        fanout = self.circuit.fanout_gates
-        ptr = np.zeros(self.circuit.num_nets + 1, dtype=np.int64)
-        idx: list[int] = []
-        for net, gate_ids in enumerate(fanout):
-            idx.extend(gate_ids)
-            ptr[net + 1] = len(idx)
-        self._fanout_ptr = ptr
-        self._fanout_idx = np.asarray(idx, dtype=np.int64)
+        self._levels_all = program.levels_all
+        self._fanout_ptr = program.fanout_ptr
+        self._fanout_idx = program.fanout_idx
 
     def _build_native_eval(self):
         kernel = _native.load_kernel()

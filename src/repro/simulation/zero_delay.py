@@ -38,7 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.backends import resolve_backend_choice
 from repro.utils.rng import RandomSource, spawn_rng
 
 #: Backends accepted by :class:`ZeroDelaySimulator`.
@@ -53,16 +53,23 @@ AUTO_NUMPY_WIDTH_NATIVE = 64
 AUTO_NUMPY_WIDTH_PORTABLE = 256
 
 
-def resolve_backend(backend: str, width: int) -> str:
-    """Resolve a user-facing backend choice to ``"bigint"`` or ``"numpy"``."""
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    if backend != "auto":
-        return backend
+def _auto_numpy_threshold() -> int:
+    """Auto-switch width; probed lazily so explicit backends never touch _native."""
     from repro.simulation._native import native_kernel_available
 
-    threshold = AUTO_NUMPY_WIDTH_NATIVE if native_kernel_available() else AUTO_NUMPY_WIDTH_PORTABLE
-    return "numpy" if width >= threshold else "bigint"
+    return AUTO_NUMPY_WIDTH_NATIVE if native_kernel_available() else AUTO_NUMPY_WIDTH_PORTABLE
+
+
+def resolve_backend(backend: str, width: int) -> str:
+    """Resolve a user-facing backend choice to ``"bigint"`` or ``"numpy"``."""
+    return resolve_backend_choice(
+        backend,
+        width,
+        options=BACKENDS,
+        narrow="bigint",
+        wide="numpy",
+        wide_threshold=_auto_numpy_threshold,
+    )
 
 
 class ZeroDelaySimulator:
@@ -86,20 +93,25 @@ class ZeroDelaySimulator:
 
     def __init__(
         self,
-        circuit: CompiledCircuit,
+        circuit,
         width: int = 1,
         node_capacitance: Sequence[float] | None = None,
         backend: str = "auto",
     ):
+        # Imported lazily: the program module imports from repro.simulation.
+        from repro.circuits.program import CircuitProgram
+
         if width < 1:
             raise ValueError("width must be at least 1")
+        self.program = CircuitProgram.of(circuit)
+        circuit = self.program.circuit
         self.backend = resolve_backend(backend, width)
         self._vec = None
         if self.backend == "numpy":
             from repro.simulation.vectorized import VectorizedZeroDelaySimulator
 
             self._vec = VectorizedZeroDelaySimulator(
-                circuit, width=width, node_capacitance=node_capacitance
+                self.program, width=width, node_capacitance=node_capacitance
             )
             self.circuit = circuit
             self.width = width
@@ -117,7 +129,10 @@ class ZeroDelaySimulator:
                     "node_capacitance must have one entry per net "
                     f"({circuit.num_nets}), got {len(node_capacitance)}"
                 )
-            self.node_capacitance = list(node_capacitance)
+            # Plain Python floats: the big-int loop accumulates per-net
+            # products in scalar arithmetic, and the shared program
+            # capacitance vectors arrive as numpy float64.
+            self.node_capacitance = [float(value) for value in node_capacitance]
         self._values: list[int] = [0] * circuit.num_nets
         self._settled = False
         self._cycles = 0

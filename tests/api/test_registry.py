@@ -119,3 +119,58 @@ class TestConfigUsesRegistry:
 
         with pytest.raises(ValueError, match="stopping_criterion"):
             EstimationConfig(stopping_criterion="magic")
+
+
+class TestSimulatorRegistry:
+    def test_builtin_simulators_registered(self):
+        from repro.api.registry import simulator_names
+
+        names = simulator_names()
+        assert "zero-delay" in names
+        assert "event-driven" in names
+
+    def test_config_validates_power_simulator_through_registry(self):
+        from repro.core.config import EstimationConfig
+
+        with pytest.raises(ValueError, match="power_simulator"):
+            EstimationConfig(power_simulator="spice")
+
+    def test_custom_simulator_selectable_by_config_and_sampler(self):
+        from repro.api.registry import SIMULATOR_REGISTRY, register_simulator
+        from repro.circuits.library import s27
+        from repro.core.batch_sampler import BatchPowerSampler
+        from repro.core.config import EstimationConfig
+        from repro.simulation.compiled import CompiledCircuit
+        from repro.stimulus.random_inputs import BernoulliStimulus
+
+        class ConstantPower:
+            """Trivial plugin engine: advances the state engine, reports 1.0/lane."""
+
+            engine = None
+
+            def __init__(self, program, width=1, node_capacitance=None,
+                         delay_model=None, backend="auto"):
+                self.width = width
+
+            def measure_lanes(self, state_engine, pattern):
+                import numpy as np
+
+                state_engine.step(pattern)
+                return np.ones(self.width, dtype=np.float64)
+
+            def measure_total(self, state_engine, pattern):
+                return float(self.measure_lanes(state_engine, pattern).sum())
+
+        register_simulator("constant-test", ConstantPower)
+        try:
+            config = EstimationConfig(power_simulator="constant-test", num_chains=4)
+            circuit = CompiledCircuit.from_netlist(s27())
+            sampler = BatchPowerSampler(
+                circuit, BernoulliStimulus(circuit.num_inputs, 0.5), config, rng=5
+            )
+            samples = sampler.next_samples(interval=1)
+            assert samples.tolist() == [1.0, 1.0, 1.0, 1.0]
+        finally:
+            # Plain deletion: monkeypatch would restore the entry at teardown
+            # and leak the test engine into the session-wide registry.
+            SIMULATOR_REGISTRY._entries.pop("constant-test", None)

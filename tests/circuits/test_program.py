@@ -1,0 +1,251 @@
+"""Unit tests for the unified circuit lowering (:mod:`repro.circuits.program`)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits.iscas89 import build_netlist
+from repro.circuits.library import s27
+from repro.circuits.program import (
+    CircuitProgram,
+    circuit_content_key,
+    clear_program_memo,
+    compile_count,
+    program_cache_dir,
+)
+from repro.netlist.cell_library import GateType
+from repro.netlist.netlist import Netlist
+from repro.power.capacitance import CapacitanceModel
+from repro.simulation.compiled import CompiledCircuit
+from repro.simulation.delay_models import FanoutDelay, quantize_delays
+
+
+@pytest.fixture()
+def s27_circuit() -> CompiledCircuit:
+    return CompiledCircuit.from_netlist(s27())
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch):
+    """Unit tests run with the disk cache disabled unless they enable it."""
+    monkeypatch.delenv("REPRO_PROGRAM_CACHE", raising=False)
+
+
+class TestContentKey:
+    def test_identical_structure_same_key(self):
+        a = CompiledCircuit.from_netlist(s27())
+        b = CompiledCircuit.from_netlist(s27())
+        assert a is not b
+        assert circuit_content_key(a) == circuit_content_key(b)
+
+    def test_different_structure_different_key(self, s27_circuit):
+        other = CompiledCircuit.from_netlist(build_netlist("s298"))
+        assert circuit_content_key(s27_circuit) != circuit_content_key(other)
+
+    def test_key_is_stable_across_processes(self, s27_circuit):
+        # No Python hash() involved: the key must be a fixed string for a
+        # fixed circuit, or the disk cache would never hit across runs.
+        assert circuit_content_key(s27_circuit) == circuit_content_key(s27_circuit)
+        assert len(circuit_content_key(s27_circuit)) == 24
+
+
+class TestMemoization:
+    def test_of_returns_same_program_for_same_circuit(self, s27_circuit):
+        first = CircuitProgram.of(s27_circuit)
+        second = CircuitProgram.of(s27_circuit)
+        assert first is second
+
+    def test_of_accepts_a_program(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        assert CircuitProgram.of(program) is program
+
+    def test_of_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            CircuitProgram.of(s27())
+
+    def test_equal_circuits_share_one_program(self):
+        clear_program_memo()
+        a = CompiledCircuit.from_netlist(s27())
+        b = CompiledCircuit.from_netlist(s27())
+        assert CircuitProgram.of(a) is CircuitProgram.of(b)
+
+    def test_compile_count_rises_once_per_structure(self):
+        clear_program_memo()
+        circuit = CompiledCircuit.from_netlist(s27())
+        before = compile_count()
+        CircuitProgram.of(circuit)
+        after_first = compile_count()
+        CircuitProgram.of(CompiledCircuit.from_netlist(s27()))
+        assert after_first >= before  # fresh lowering only if memo was cold
+        assert compile_count() == after_first  # second circuit: memo hit
+
+
+class TestLoweredTables:
+    def test_every_non_const_gate_in_exactly_one_group(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        outs = np.concatenate([plan.outs for plan in program.level_groups])
+        expected = sorted(
+            gate.output
+            for gate in s27_circuit.gates
+            if gate.gate_type not in (GateType.CONST0, GateType.CONST1)
+        )
+        assert sorted(outs.tolist()) == expected
+
+    def test_fanin_csr_matches_circuit(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        for index, gate in enumerate(s27_circuit.gates):
+            start, stop = program.in_ptr[index], program.in_ptr[index + 1]
+            assert tuple(program.in_rows[start:stop].tolist()) == gate.inputs
+
+    def test_fanout_csr_matches_circuit(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        for net, gate_ids in enumerate(s27_circuit.fanout_gates):
+            start, stop = program.fanout_ptr[net], program.fanout_ptr[net + 1]
+            assert tuple(program.fanout_idx[start:stop].tolist()) == gate_ids
+
+    def test_levels_cover_all_non_const_gates(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        assert sum(program.gates_per_level()) == s27_circuit.num_gates
+        assert program.stats()["levels"] == len(program.levels_all)
+
+    def test_delay_schedule_matches_quantize_delays(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        model = FanoutDelay()
+        schedule = program.delay_schedule(model)
+        expected_ticks, expected_tick = quantize_delays(model.delays(s27_circuit))
+        assert schedule.ticks.tolist() == expected_ticks
+        assert schedule.tick == expected_tick
+        assert schedule.delays == tuple(model.delays(s27_circuit))
+
+    def test_delay_schedule_memoized_by_name_and_instance(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        assert program.delay_schedule("fanout") is program.delay_schedule("fanout")
+        # Two FanoutDelay() instances with equal parameters produce equal
+        # delay vectors and therefore share one schedule.
+        assert program.delay_schedule(FanoutDelay()) is program.delay_schedule(FanoutDelay())
+        assert program.delay_schedule("zero").any_zero_ticks is True
+        assert program.delay_schedule("unit").any_zero_ticks is False
+
+    def test_capacitances_memoized_and_read_only(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        model = CapacitanceModel()
+        caps = program.capacitances(model)
+        assert caps is program.capacitances(model)
+        assert caps.tolist() == model.node_capacitances(s27_circuit)
+        with pytest.raises(ValueError):
+            caps[0] = 1.0
+
+
+class TestDiskCache:
+    def test_round_trip_through_the_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRAM_CACHE", str(tmp_path))
+        assert program_cache_dir() == tmp_path
+        clear_program_memo()
+        circuit = CompiledCircuit.from_netlist(build_netlist("s298"))
+        original = CircuitProgram.of(circuit)
+        cached_files = list(tmp_path.glob("*.program"))
+        assert len(cached_files) == 1
+        assert original.key in cached_files[0].name
+
+        clear_program_memo()
+        before = compile_count()
+        reloaded = CircuitProgram.of(CompiledCircuit.from_netlist(build_netlist("s298")))
+        assert compile_count() == before  # deserialized, not recompiled
+        assert reloaded.key == original.key
+        np.testing.assert_array_equal(reloaded.padded_rows, original.padded_rows)
+        np.testing.assert_array_equal(reloaded.fanout_idx, original.fanout_idx)
+        np.testing.assert_array_equal(reloaded.sweep_ops, original.sweep_ops)
+
+    def test_corrupted_cache_file_recompiles(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRAM_CACHE", str(tmp_path))
+        clear_program_memo()
+        circuit = CompiledCircuit.from_netlist(s27())
+        program = CircuitProgram.of(circuit)
+        path = CircuitProgram._cache_path(program.key)
+        path.write_bytes(b"not a pickle")
+        clear_program_memo()
+        rebuilt = CircuitProgram.of(CompiledCircuit.from_netlist(s27()))
+        assert rebuilt.key == program.key
+
+    def test_no_cache_env_disables_disk_cache(self):
+        assert program_cache_dir() is None
+        assert CircuitProgram._cache_path("deadbeef") is None
+
+
+class TestPickle:
+    def test_program_pickles_with_tables_and_memos(self, s27_circuit):
+        program = CircuitProgram.of(s27_circuit)
+        program.delay_schedule("fanout")
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.key == program.key
+        assert clone.circuit.net_names == program.circuit.net_names
+        np.testing.assert_array_equal(clone.in_rows, program.in_rows)
+        # The unpickled circuit re-attaches its program, so engine
+        # construction in a worker process is a lookup, not a compile.
+        assert CircuitProgram.of(clone.circuit) is clone
+
+
+def _input_names(circuit):
+    return [circuit.net_names[i] for i in circuit.primary_inputs]
+
+
+class TestOptimize:
+    def _build_bufferful_netlist(self) -> Netlist:
+        netlist = Netlist(name="buffered")
+        netlist.add_input("A")
+        netlist.add_input("B")
+        netlist.add_output("OUT")
+        netlist.add_gate("N1", GateType.AND, ["A", "B"])
+        netlist.add_gate("B1", GateType.BUFF, ["N1"])
+        netlist.add_gate("B2", GateType.BUFF, ["B1"])
+        netlist.add_gate("INV1", GateType.NOT, ["B2"])
+        netlist.add_gate("INV2", GateType.NOT, ["INV1"])
+        netlist.add_gate("DEAD", GateType.OR, ["A", "B"])  # drives nothing
+        netlist.add_gate("OUT", GateType.XOR, ["INV2", "Q"])
+        netlist.add_latch("Q", "INV2", 0)
+        return netlist
+
+    def test_collapses_buffers_inverter_pairs_and_dead_gates(self):
+        program = CircuitProgram.from_netlist(self._build_bufferful_netlist())
+        optimized = program.optimize()
+        kept_types = [gate.gate_type for gate in optimized.circuit.gates]
+        assert GateType.BUFF not in kept_types
+        # INV1/INV2 collapse to the original signal; DEAD is swept.
+        assert kept_types.count(GateType.NOT) == 0
+        assert GateType.OR not in kept_types
+        assert optimized.circuit.num_gates == 2  # AND + XOR
+        assert optimized is not program
+        assert optimized.key != program.key
+
+    def test_optimize_preserves_po_and_latch_behavior(self):
+        rng = np.random.default_rng(7)
+        netlist = self._build_bufferful_netlist()
+        original = CompiledCircuit.from_netlist(netlist)
+        optimized = CircuitProgram.of(original).optimize().circuit
+
+        from repro.simulation.zero_delay import ZeroDelaySimulator
+
+        sim_a = ZeroDelaySimulator(original, width=1, backend="bigint")
+        sim_b = ZeroDelaySimulator(optimized, width=1, backend="bigint")
+        for sim in (sim_a, sim_b):
+            sim.reset()
+        for _ in range(64):
+            pattern = {"A": int(rng.integers(0, 2)), "B": int(rng.integers(0, 2))}
+            for sim, circuit in ((sim_a, original), (sim_b, optimized)):
+                sim.step([pattern[name] for name in _input_names(circuit)])
+            assert sim_a.net_value("OUT") == sim_b.net_value("OUT")
+            assert sim_a.latch_state_scalar() == sim_b.latch_state_scalar()
+
+    def test_po_driving_buffer_is_kept(self):
+        netlist = Netlist(name="po-buffer")
+        netlist.add_input("A")
+        netlist.add_output("OUT")
+        netlist.add_gate("OUT", GateType.BUFF, ["A"])
+        optimized = CircuitProgram.from_netlist(netlist).optimize()
+        assert optimized.circuit.num_gates == 1
+
+    def test_optimize_is_opt_in(self, s27_circuit):
+        # Building a program never optimizes implicitly.
+        program = CircuitProgram.of(s27_circuit)
+        assert program.circuit.num_gates == s27_circuit.num_gates

@@ -233,3 +233,38 @@ class TestShardedEstimate:
         assert main(["estimate", "s27", "--seed", "6", "--chains", "64",
                      "--workers", "2"]) == 0
         assert "shard workers" in capsys.readouterr().out
+
+
+class TestCompileVerb:
+    def test_compile_text_output(self, capsys):
+        assert main(["compile", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "cache key" in out
+        assert "logic levels" in out
+        assert "Quantized delay schedules" in out
+        assert "fanout" in out
+
+    def test_compile_json_output(self, capsys):
+        assert main(["compile", "s298", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "s298"
+        assert payload["gates"] == 119
+        assert sum(payload["gates_per_level"]) == payload["gates"]
+        assert set(payload["delay_models"]) == {"zero", "unit", "fanout", "type-table"}
+        assert payload["delay_models"]["zero"]["zero_tick_gates"] == payload["gates"]
+        assert len(payload["key"]) == 24
+
+    def test_compile_optimize_reports_removals(self, capsys):
+        assert main(["compile", "s27", "--optimize", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "optimized" in payload
+        assert payload["optimized"]["gates_removed"] >= 0
+
+    def test_compile_selected_delay_models(self, capsys):
+        assert main(["compile", "s27", "--delay-models", "unit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["delay_models"]) == {"unit"}
+
+    def test_compile_unknown_circuit_fails(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "nope"])
