@@ -1,0 +1,90 @@
+"""Load-test benchmark: the estimation service under thousands of small jobs.
+
+One server process (worker-pool threads + asyncio HTTP front end, on-disk
+store) absorbs 1,000 small jobs at quick scale — 4,000 with
+``REPRO_FULL_SCALE=1`` — submitted from concurrent clients.  Correctness is
+the hard gate, throughput the recorded trajectory:
+
+* every job completes; zero lost or duplicated ProgressEvents (each job's
+  envelope seqs must be contiguous from 0 with exactly one terminal event);
+* every result is byte-identical to an in-process
+  :class:`~repro.api.batch.BatchRunner` execution of the same spec (modulo
+  the ``elapsed_seconds`` wall-clock field, per the suite-wide convention);
+* one in-flight job is cancelled mid-run, checkpointed, resumed, and must
+  finish bit-identical to an uninterrupted run;
+* jobs/sec and p50/p99 submit-to-complete latency are **recorded, not
+  gated** — they land in ``benchmarks/results/BENCH_service.json`` so CI
+  artifacts track the trajectory across commits.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_scale, write_bench_json, write_report
+from repro.service import EstimationService, ServiceThread, make_small_specs, run_load_test
+from repro.utils.tables import TextTable
+
+#: ~3/4 of the fleet is s27-sized, the rest s298 — two distinct circuits so
+#: the exactly-once program-lowering guarantee is exercised across the pool.
+_CIRCUITS = ("s27", "s27", "s27", "s298")
+
+_NUM_WORKERS = 4
+_CLIENT_THREADS = 8
+
+
+def _num_jobs() -> int:
+    return 4000 if full_scale() else 1000
+
+
+class TestServiceLoad:
+    def test_thousand_small_jobs_one_server(self, tmp_path, results_dir):
+        num_jobs = _num_jobs()
+        specs = make_small_specs(num_jobs, circuits=_CIRCUITS)
+        service = EstimationService(
+            store=str(tmp_path / "store"),
+            num_workers=_NUM_WORKERS,
+            max_pending=num_jobs + 16,
+        )
+        with ServiceThread(service) as thread:
+            report = run_load_test(
+                thread.url,
+                specs,
+                client_threads=_CLIENT_THREADS,
+                verify_results=True,
+                check_resume=True,
+            )
+
+        payload = report.to_dict()
+        payload["num_workers"] = _NUM_WORKERS
+        payload["client_threads"] = _CLIENT_THREADS
+        write_bench_json(results_dir, "service", payload)
+        write_report(results_dir, "service", _format_report(report))
+
+        # Hard gates: completeness, event-log integrity, bit-exactness,
+        # cancel -> resume identity.  Throughput/latency are soft-recorded.
+        assert report.num_completed == num_jobs, payload
+        assert report.num_failed == 0, payload
+        assert report.event_log_errors == [], report.event_log_errors[:5]
+        assert report.result_mismatches == [], report.result_mismatches[:5]
+        assert report.resume_check and report.resume_check["identical"], report.resume_check
+        assert report.ok
+        # Two distinct circuits -> exactly two program lowerings for the
+        # whole fleet (the pool shares one in-process program memo).
+        if report.programs_lowered is not None:
+            assert report.programs_lowered <= len(set(_CIRCUITS))
+
+
+def _format_report(report) -> str:
+    table = TextTable(["metric", "value"])
+    table.add_row(["jobs submitted", report.num_jobs])
+    table.add_row(["jobs completed", report.num_completed])
+    table.add_row(["elapsed (s)", f"{report.elapsed_seconds:.2f}"])
+    table.add_row(["throughput (jobs/s)", f"{report.jobs_per_second:.1f}"])
+    table.add_row(["latency p50 (ms)", f"{report.latency_p50_ms:.1f}"])
+    table.add_row(["latency p99 (ms)", f"{report.latency_p99_ms:.1f}"])
+    table.add_row(["events streamed", report.events_total])
+    table.add_row(["429 retries", report.resubmit_429s])
+    table.add_row(["programs lowered", report.programs_lowered])
+    table.add_row(["cancel->resume identical", bool(report.resume_check
+                                                    and report.resume_check["identical"])])
+    table.add_row(["all audits ok", report.ok])
+    return "service load test\n\n" + table.render()

@@ -67,6 +67,8 @@ _EXPORTS = {
     "ShardProgress": "repro.api.events",
     "ChainsResized": "repro.api.events",
     "EstimateCompleted": "repro.api.events",
+    "event_from_dict": "repro.api.events",
+    "event_kinds": "repro.api.events",
     "RunCheckpoint": "repro.api.checkpoint",
     # jobs
     "JobSpec": "repro.api.jobs",

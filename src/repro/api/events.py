@@ -11,7 +11,12 @@ estimator satisfies two invariants the test suite pins down:
   the value returned by ``estimate()``.
 
 Events carry plain data and serialize to JSON-compatible dicts via
-:meth:`ProgressEvent.to_dict` (used by the CLI's ``--progress`` stream).
+:meth:`ProgressEvent.to_dict` (used by the CLI's ``--progress`` stream and
+the estimation service's SSE wire format); :func:`event_from_dict` is the
+inverse, re-materialising the typed event from its wire dict.  Every
+``ProgressEvent`` subclass registers its ``kind`` string automatically, so
+service-level lifecycle events (:mod:`repro.service.events`) join the same
+wire format just by subclassing.
 """
 
 from __future__ import annotations
@@ -21,6 +26,36 @@ from typing import TYPE_CHECKING, Any, ClassVar
 
 if TYPE_CHECKING:  # import would be circular at runtime (repro.core imports this)
     from repro.core.results import IntervalSelectionResult
+
+#: Wire-format dispatch: ``kind`` string -> event class.  Subclasses of
+#: :class:`ProgressEvent` register themselves on definition.
+_EVENT_KINDS: dict[str, type] = {}
+
+
+def event_kinds() -> tuple[str, ...]:
+    """Names of all registered event kinds (sorted)."""
+    return tuple(sorted(_EVENT_KINDS))
+
+
+def event_from_dict(data: dict[str, Any]) -> "ProgressEvent":
+    """Re-materialise a typed event from its :meth:`ProgressEvent.to_dict` form.
+
+    The inverse of the wire serialization, used by streaming clients (e.g.
+    ``repro watch``) to get typed events back from JSON.  Rich payload fields
+    that ``to_dict`` summarises or omits stay in their wire form: an
+    :class:`EstimateCompleted` parsed from a dict carries the estimate as a
+    plain dict, and ``repr=False`` diagnostics (``shards``, ``selection``)
+    take their defaults.  Unknown kinds raise ``ValueError`` so protocol
+    mismatches surface instead of silently degrading.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"event must be a dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    cls = _EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}; registered: {event_kinds()}")
+    names = {f.name for f in fields(cls) if f.init}
+    return cls(**{name: value for name, value in data.items() if name in names})
 
 
 @dataclass(frozen=True)
@@ -46,6 +81,17 @@ class ProgressEvent:
     samples_drawn: int
     cycles_simulated: int
 
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        """Register the subclass in the wire-format kind dispatch."""
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("kind")
+        if kind is None:
+            return  # inherits the parent's kind; parent stays the parser
+        existing = _EVENT_KINDS.get(kind)
+        if existing is not None and existing.__qualname__ != cls.__qualname__:
+            raise ValueError(f"event kind {kind!r} is already registered to {existing!r}")
+        _EVENT_KINDS[kind] = cls
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible representation (shallow; rich payloads summarised)."""
         data: dict[str, Any] = {"kind": self.kind}
@@ -57,6 +103,9 @@ class ProgressEvent:
                 value = value.to_dict()
             data[f.name] = value
         return data
+
+
+_EVENT_KINDS[ProgressEvent.kind] = ProgressEvent
 
 
 @dataclass(frozen=True)

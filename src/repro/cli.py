@@ -12,7 +12,14 @@ executes it through :func:`~repro.api.run_job`:
   one circuit, either a registered benchmark or a ``.bench`` file, with
   optional streaming progress (``--progress``).
 * ``repro batch jobs.json --workers N`` — fan a JSON list of job specs
-  across worker processes and write a results manifest.
+  across worker processes and write a results manifest.  Exits nonzero when
+  any job in the batch errored (the manifest still records every job).
+* ``repro serve --store runs/`` — run the estimation service: an HTTP server
+  accepting JobSpec submissions, streaming progress over SSE, persisting
+  results and checkpoints (see ``docs/service.md``).
+* ``repro submit s298 --watch`` / ``repro watch <job-id>`` / ``repro jobs``
+  — the matching client verbs: submit a spec to a running server, follow a
+  job's event stream, list the server's jobs.
 * ``repro table1`` / ``table2`` / ``figure3`` — regenerate the paper's
   tables and figure with configurable budgets (``--workers`` shards the
   estimation jobs; results are identical for any worker count).
@@ -285,7 +292,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     result = BatchRunner(workers=args.workers).run(specs)
     output = args.output or "batch_results.json"
-    result.write_manifest(output)
+    try:
+        result.write_manifest(output)
+    except OSError as error:
+        raise SystemExit(f"cannot write manifest to {output!r}: {error}") from None
 
     if args.json:
         _print_json(result.to_dict())
@@ -313,6 +323,136 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if not job.ok:
                 print(f"  FAILED {job.spec.name}: {job.error}")
     return 0 if result.all_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.core import EstimationService
+    from repro.service.server import ServiceServer
+
+    try:
+        service = EstimationService(
+            store=args.store, num_workers=args.workers, max_pending=args.max_pending
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot start service: {error}") from None
+
+    async def _serve() -> None:
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        host, port = server.address
+        jobs = len(service.jobs())
+        print(f"estimation service listening on http://{host}:{port} "
+              f"({args.workers} workers, {jobs} jobs rehydrated, "
+              f"store: {args.store or 'in-memory'})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as error:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {error}") from None
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _service_call(call):
+    """Run one client call, mapping connection/HTTP errors to clean exits."""
+    from repro.service.client import ServiceClientError
+
+    try:
+        return call()
+    except ServiceClientError as error:
+        raise SystemExit(str(error)) from None
+    except (ConnectionError, OSError) as error:
+        raise SystemExit(f"cannot reach the estimation service: {error}") from None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if not isinstance(args.params, dict):
+        raise SystemExit("--params must be a JSON object, e.g. '{\"warmup_period\": 12}'")
+    spec = JobSpec(
+        circuit=args.circuit,
+        estimator=args.estimator,
+        stimulus=_stimulus_spec(args),
+        config=_estimation_config(args),
+        seed=args.seed,
+        params=args.params,
+        label=args.label,
+    )
+    client = _service_client(args)
+    snapshot = _service_call(lambda: client.submit(spec))
+    job_id = snapshot["id"]
+    if not args.watch:
+        if args.json:
+            _print_json(snapshot)
+        else:
+            print(f"submitted {job_id} ({snapshot['name']}): {snapshot['status']}")
+        return 0
+    stream = client.events(job_id)
+    while True:
+        envelope = _service_call(lambda: next(stream, None))
+        if envelope is None:
+            break
+        print(json.dumps(envelope), file=sys.stderr)
+    final = _service_call(lambda: client.job(job_id))
+    if args.json:
+        _print_json(final)
+    else:
+        print(f"{job_id} ({final['name']}): {final['status']}")
+        if final.get("error"):
+            print(f"  error: {final['error']}")
+    return 0 if final["status"] == "completed" else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    terminal_kind = None
+    stream = _service_call(lambda: client.events(args.job_id, from_seq=args.from_seq))
+    while True:
+        envelope = _service_call(lambda: next(stream, None))
+        if envelope is None:
+            break
+        print(json.dumps(envelope))
+        terminal_kind = envelope["event"]["kind"]
+    return 0 if terminal_kind in (None, "job-completed") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.stats:
+        stats = _service_call(client.stats)
+        if args.json:
+            _print_json(stats)
+        else:
+            for key, value in sorted(stats.items()):
+                print(f"{key:>20} : {value}")
+        return 0
+    jobs = _service_call(client.jobs)
+    if args.json:
+        _print_json(jobs)
+        return 0
+    table = TextTable(
+        headers=["Job", "Name", "Status", "Samples", "Events", "Ckpt"], precision=4
+    )
+    for job in jobs:
+        table.add_row(
+            [job["id"], job["name"], job["status"], job["samples_drawn"],
+             job["num_events"], "yes" if job["checkpoint_available"] else "-"]
+        )
+    print(table.render())
+    print(f"\n{len(jobs)} jobs")
+    return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -419,7 +559,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.set_defaults(handler=_cmd_estimate)
 
     batch = subparsers.add_parser(
-        "batch", help="run a JSON list of job specs, optionally across worker processes"
+        "batch",
+        help="run a JSON list of job specs, optionally across worker processes",
+        description="Run every job in a JSON jobs file and write a results manifest. "
+                    "Exits 0 only when all jobs succeeded; any errored job makes the "
+                    "exit code 1 (the manifest still records all jobs, including "
+                    "failures and their error messages).",
     )
     batch.add_argument("jobs_file",
                        help="JSON file: a list of JobSpec dicts or {'jobs': [...]}")
@@ -429,6 +574,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="results manifest path (default: batch_results.json)")
     _add_json_argument(batch)
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the estimation service (HTTP + SSE job server)",
+        description="Long-running job server: POST JobSpecs to /jobs, stream "
+                    "progress from /jobs/{id}/events, cancel with DELETE. "
+                    "See docs/service.md for the endpoint reference.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent estimation worker threads")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="queued-job bound; submissions beyond it get HTTP 429")
+    serve.add_argument("--store", default=None,
+                       help="result-store directory (results/checkpoints survive "
+                            "restarts; omit for in-memory only)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one estimation job to a running service"
+    )
+    submit.add_argument("circuit", help="benchmark name or path to a .bench file")
+    submit.add_argument("--url", default="http://127.0.0.1:8642", help="service base URL")
+    submit.add_argument("--estimator", choices=sorted(estimator_names()), default="dipe",
+                        help="registered estimator kind (default: dipe)")
+    submit.add_argument("--params", type=json.loads, default={},
+                        help="extra estimator parameters as a JSON object")
+    submit.add_argument("--label", default=None, help="label shown in job listings")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream the job's events to stderr and wait for the result "
+                             "(exit code reflects the job's final status)")
+    _add_config_arguments(submit)
+    _add_json_argument(submit)
+    submit.set_defaults(handler=_cmd_submit)
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a job's event log (SSE) as JSON lines"
+    )
+    watch.add_argument("job_id", help="job id returned by 'repro submit'")
+    watch.add_argument("--url", default="http://127.0.0.1:8642", help="service base URL")
+    watch.add_argument("--from", dest="from_seq", type=int, default=0,
+                       help="first event seq to replay (resume a dropped stream)")
+    watch.set_defaults(handler=_cmd_watch)
+
+    jobs_verb = subparsers.add_parser(
+        "jobs", help="list the jobs of a running service"
+    )
+    jobs_verb.add_argument("--url", default="http://127.0.0.1:8642", help="service base URL")
+    jobs_verb.add_argument("--stats", action="store_true",
+                           help="show scheduler counters instead of the job table")
+    _add_json_argument(jobs_verb)
+    jobs_verb.set_defaults(handler=_cmd_jobs)
 
     table1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("circuits", nargs="*", help="circuit names (default: quick subset)")

@@ -347,17 +347,29 @@ class _ProcessShard:
         return replies
 
     def stop(self) -> None:
+        # Idempotent and silent: this also runs from a ``weakref.finalize``
+        # callback during interpreter shutdown, where the pipe may already be
+        # closed and parts of the multiprocessing machinery already torn
+        # down — nothing here may raise or print.
+        if getattr(self, "_stopped", False):
+            return
+        self._stopped = True
         try:
             self.connection.send(("stop",))
             self.connection.recv()
-        except (OSError, EOFError, BrokenPipeError):
+        except Exception:  # noqa: BLE001 — peer already gone is fine
             pass
-        finally:
+        try:
             self.connection.close()
+        except Exception:  # noqa: BLE001
+            pass
+        try:
             self.process.join(timeout=2.0)
             if self.process.is_alive():
                 self.process.terminate()
                 self.process.join(timeout=2.0)
+        except Exception:  # noqa: BLE001 — shutdown-time join can fail harmlessly
+            pass
 
 
 class _LocalShard:
@@ -388,8 +400,12 @@ class _LocalShard:
 
 
 def _shutdown_pool(handles: list) -> None:
+    """Stop every shard handle; never raises (runs from weakref.finalize)."""
     for handle in handles:
-        handle.stop()
+        try:
+            handle.stop()
+        except Exception:  # noqa: BLE001 — one bad handle must not strand the rest
+            pass
 
 
 # --------------------------------------------------------------------- parent

@@ -1,0 +1,91 @@
+"""repro.service — estimation-as-a-service on top of the JobSpec API.
+
+A long-running, stdlib-only job server for the power estimator:
+
+* :class:`~repro.service.core.EstimationService` — validating scheduler over
+  a persistent worker-thread pool: bounded queueing with backpressure, one
+  totally ordered event log per job, cancellation that snapshots a resumable
+  checkpoint, restart rehydration.  All jobs of one circuit share one
+  in-process :class:`~repro.circuits.program.CircuitProgram`, lowered
+  exactly once.
+* :class:`~repro.service.server.ServiceServer` — the asyncio HTTP front-end
+  (``POST /jobs``, SSE at ``GET /jobs/{id}/events``, ``DELETE /jobs/{id}``);
+  :class:`~repro.service.server.ServiceThread` runs it on a background
+  thread for tests and benchmarks.
+* :class:`~repro.service.store.ResultStore` — on-disk persistence (specs,
+  event logs, results, checkpoints) surviving server restarts.
+* :class:`~repro.service.client.ServiceClient` — stdlib HTTP/SSE client
+  backing the ``repro submit`` / ``repro watch`` / ``repro jobs`` CLI verbs.
+* :mod:`~repro.service.loadtest` — the throughput/latency/correctness
+  harness behind ``BENCH_service.json``.
+
+Quickstart (in-process)::
+
+    from repro.api import JobSpec
+    from repro.service import EstimationService
+
+    with EstimationService(num_workers=4) as service:
+        record = service.submit(JobSpec(circuit="s27").to_dict())
+        record.wait_finished()
+        print(record.status, record.result_payload["result"])
+
+Over HTTP, start ``repro serve --store runs/`` and talk to it with
+:class:`ServiceClient` or plain curl — see ``docs/service.md`` for the
+operator guide and endpoint reference.
+
+Attributes resolve lazily (PEP 562) so importing :mod:`repro.service` stays
+cheap for CLI startup.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    # scheduling core
+    "EstimationService": "repro.service.core",
+    "JobRecord": "repro.service.core",
+    "validate_job_payload": "repro.service.core",
+    "ServiceError": "repro.service.core",
+    "InvalidJobError": "repro.service.core",
+    "ServiceFullError": "repro.service.core",
+    "UnknownJobError": "repro.service.core",
+    "JobStateError": "repro.service.core",
+    "JOB_STATUSES": "repro.service.core",
+    "FINISHED_STATUSES": "repro.service.core",
+    # lifecycle events
+    "JobQueued": "repro.service.events",
+    "JobStarted": "repro.service.events",
+    "JobResumed": "repro.service.events",
+    "JobCancelled": "repro.service.events",
+    "JobCompleted": "repro.service.events",
+    "JobFailed": "repro.service.events",
+    "TERMINAL_EVENT_KINDS": "repro.service.events",
+    # persistence
+    "ResultStore": "repro.service.store",
+    # HTTP server + client
+    "ServiceServer": "repro.service.server",
+    "ServiceThread": "repro.service.server",
+    "serve": "repro.service.server",
+    "ServiceClient": "repro.service.client",
+    "ServiceClientError": "repro.service.client",
+    # load testing
+    "run_load_test": "repro.service.loadtest",
+    "make_small_specs": "repro.service.loadtest",
+    "LoadTestReport": "repro.service.loadtest",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

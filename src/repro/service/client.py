@@ -1,0 +1,184 @@
+"""Stdlib HTTP client for the estimation service.
+
+:class:`ServiceClient` wraps the JSON endpoints of
+:class:`~repro.service.server.ServiceServer` (submit, inspect, cancel,
+resume, stats) and parses the SSE event stream back into the envelope dicts
+the server publishes — :func:`repro.api.events.event_from_dict` turns an
+envelope's ``"event"`` payload back into a typed
+:class:`~repro.api.events.ProgressEvent`.  Built on :mod:`http.client` only,
+so it works anywhere the package does; it backs the ``repro submit`` /
+``repro watch`` / ``repro jobs`` CLI verbs and the load-test harness.
+
+A client instance keeps one persistent connection for request/response calls
+(transparently reconnecting when the server or a proxy drops it) and opens a
+dedicated connection per SSE stream.  Instances are not thread-safe — use
+one client per thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from repro.api.events import ProgressEvent, event_from_dict
+
+
+class ServiceClientError(Exception):
+    """A non-2xx response; ``status`` is the HTTP code, the message the body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Typed access to a running estimation service.
+
+    Wraps one persistent keep-alive HTTP connection (plus a dedicated
+    connection per SSE stream) around the server's JSON endpoints.  Responses
+    with status >= 400 raise :class:`ServiceClientError` carrying the status
+    code and the server's error message.  A client instance is **not**
+    thread-safe — create one per thread.
+    """
+
+    def __init__(self, url: str = "http://127.0.0.1:8642", timeout: float = 60.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8642
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------- transport
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Close the persistent request/response connection."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # The server closes idle keep-alive connections; retry once on
+                # a fresh socket before giving up.
+                self.close()
+                if attempt:
+                    raise
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            data = {"error": raw.decode("utf-8", "replace")}
+        if response.status >= 400:
+            message = data.get("error", "") if isinstance(data, dict) else str(data)
+            raise ServiceClientError(response.status, message)
+        return data
+
+    # ------------------------------------------------------------- endpoints
+    def health(self) -> dict[str, Any]:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /stats`` — scheduler counters."""
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Any) -> dict[str, Any]:
+        """``POST /jobs`` — submit a JobSpec (object with ``to_dict`` or dict).
+
+        Returns the job snapshot (its ``"id"`` addresses every other call).
+        Raises :class:`ServiceClientError` with status 400/413/429 on
+        invalid, oversized, or backpressured submissions.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        return self._request("POST", "/jobs", payload)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /jobs`` — all job snapshots in submission order."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/{id}`` — one job's snapshot."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/{id}/result`` — the stored result payload (409 until done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``DELETE /jobs/{id}`` — cancel; running jobs snapshot a checkpoint."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def resume(self, job_id: str) -> dict[str, Any]:
+        """``POST /jobs/{id}/resume`` — re-queue a cancelled/interrupted job."""
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    # ---------------------------------------------------------------- events
+    def events(self, job_id: str, from_seq: int = 0) -> Iterator[dict[str, Any]]:
+        """Stream the job's event envelopes over SSE, starting at *from_seq*.
+
+        Yields envelope dicts ``{"seq", "job", "time", "event"}`` in seq
+        order and returns once the server closes the stream after the
+        terminal event.  Heartbeat comments are consumed silently.
+        """
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events?from={from_seq}")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8", "replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw
+                raise ServiceClientError(response.status, message)
+            data_lines: list[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue  # heartbeat / stream-end comment
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                    continue
+                if not line and data_lines:
+                    yield json.loads("\n".join(data_lines))
+                    data_lines = []
+        finally:
+            connection.close()
+
+    def typed_events(self, job_id: str, from_seq: int = 0) -> Iterator[ProgressEvent]:
+        """Like :meth:`events`, but yields typed :class:`ProgressEvent` objects."""
+        for envelope in self.events(job_id, from_seq):
+            yield event_from_dict(envelope["event"])
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Follow the job's stream to its end and return the final snapshot."""
+        for _ in self.events(job_id):
+            pass
+        return self.job(job_id)

@@ -1,0 +1,105 @@
+"""Job lifecycle events of the estimation service.
+
+The service streams one totally ordered event log per job.  Estimator
+progress events (:mod:`repro.api.events`) are forwarded verbatim; the
+lifecycle events below bracket them — submission, start, cancellation with a
+resumable checkpoint, completion with the result payload, failure with the
+captured error.  All of them subclass :class:`~repro.api.events.ProgressEvent`,
+so they share the same ``to_dict`` / :func:`~repro.api.events.event_from_dict`
+wire format and the same ``kind`` dispatch as the estimator events.
+
+On the wire every event travels inside an *envelope* that adds the service's
+ordering metadata::
+
+    {"seq": 3, "job": "j5f2c81d90a", "time": 1754500000.123, "event": {...}}
+
+``seq`` starts at 0 (the ``job-queued`` event) and increments by one per
+event with no gaps — clients verify they lost nothing by checking
+contiguity, and resume interrupted streams with ``GET
+/jobs/{id}/events?from=<seq>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.api.events import ProgressEvent
+
+#: Event kinds that end a job's stream.  Exactly one terminal event is
+#: emitted per queued-to-finished lifecycle; a resumed job appends a fresh
+#: ``job-resumed`` .. terminal segment to the same log.
+TERMINAL_EVENT_KINDS = ("job-completed", "job-failed", "job-cancelled")
+
+
+@dataclass(frozen=True)
+class JobQueued(ProgressEvent):
+    """The job was accepted and entered the run queue (always ``seq == 0``)."""
+
+    kind: ClassVar[str] = "job-queued"
+
+    job_id: str = ""
+    label: str | None = None
+    queue_position: int = 0
+
+
+@dataclass(frozen=True)
+class JobStarted(ProgressEvent):
+    """A pool worker picked the job up and is about to drive the estimator."""
+
+    kind: ClassVar[str] = "job-started"
+
+    job_id: str = ""
+    worker: int = 0
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class JobResumed(ProgressEvent):
+    """A cancelled/interrupted job re-entered the queue (from its checkpoint)."""
+
+    kind: ClassVar[str] = "job-resumed"
+
+    job_id: str = ""
+    from_checkpoint: bool = False
+
+
+@dataclass(frozen=True)
+class JobCancelled(ProgressEvent):
+    """Terminal: the job was cancelled.
+
+    When the cancellation caught the job mid-run, ``checkpoint_available``
+    reports whether a resumable checkpoint was snapshotted;
+    ``samples_drawn`` / ``cycles_simulated`` carry the progress frozen in it.
+    """
+
+    kind: ClassVar[str] = "job-cancelled"
+
+    job_id: str = ""
+    checkpoint_available: bool = False
+
+
+@dataclass(frozen=True)
+class JobCompleted(ProgressEvent):
+    """Terminal: the job finished; ``result`` is the tagged result payload.
+
+    ``result`` has the manifest shape ``{"type": tag, "data": {...}}`` — the
+    same encoding :class:`~repro.api.jobs.JobResult` uses, so a streamed
+    completion and the stored ``result.json`` are byte-identical.
+    """
+
+    kind: ClassVar[str] = "job-completed"
+
+    job_id: str = ""
+    result: Any = None
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobFailed(ProgressEvent):
+    """Terminal: the job raised; ``error`` is ``"ExcType: message"``."""
+
+    kind: ClassVar[str] = "job-failed"
+
+    job_id: str = ""
+    error: str = ""

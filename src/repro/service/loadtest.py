@@ -1,0 +1,349 @@
+"""Load-test harness: thousands of concurrent small jobs against one server.
+
+This drives the full client path — HTTP submission with 429 retry, SSE event
+replay, result download — from a pool of client threads, then audits what the
+service did:
+
+* **Zero lost or duplicated events**: every job's envelope log must be seq-
+  contiguous from 0 (``job-queued``) to exactly one terminal event.
+* **Byte-identical results**: each completed job's stored result payload must
+  equal — as canonical JSON bytes — what :func:`repro.api.jobs.run_job`
+  produces for the same spec in-process (the :class:`BatchRunner` path).
+* **Cancel → resume integrity** (optional): one in-flight job is cancelled
+  mid-run, resumed from its checkpoint, and its final result compared
+  byte-identically against an uninterrupted run of the same spec.
+
+The audit results plus throughput (jobs/sec) and submit-to-complete latency
+percentiles (p50/p99, measured from the server's own timestamps) form a
+:class:`LoadTestReport` — ``benchmarks/test_bench_service.py`` gates on the
+correctness fields and publishes the numbers as ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.api.jobs import JobSpec, run_job
+from repro.core.config import EstimationConfig
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.events import TERMINAL_EVENT_KINDS
+
+#: A small-but-real estimation config: one s27-sized job runs in a few
+#: milliseconds, so thousands of jobs stress scheduling, not simulation.
+SMALL_JOB_CONFIG = EstimationConfig(
+    randomness_sequence_length=16,
+    max_independence_interval=4,
+    min_samples=16,
+    check_interval=16,
+    max_samples=48,
+    warmup_cycles=4,
+)
+
+
+def make_small_specs(
+    num_jobs: int,
+    circuits: Sequence[str] = ("s27",),
+    config: EstimationConfig = SMALL_JOB_CONFIG,
+    base_seed: int = 2025,
+) -> list[JobSpec]:
+    """Build *num_jobs* distinct small JobSpecs cycling over *circuits*.
+
+    Seeds differ per job so the audit distinguishes every result; circuits
+    repeat so the exactly-once program-lowering guarantee is exercised hard.
+    """
+    return [
+        JobSpec(
+            circuit=circuits[index % len(circuits)],
+            config=config,
+            seed=base_seed + index,
+            label=f"load-{index:05d}",
+        )
+        for index in range(num_jobs)
+    ]
+
+
+@dataclass
+class LoadTestReport:
+    """Outcome of one load-test run: correctness audit + throughput/latency."""
+
+    num_jobs: int
+    num_completed: int
+    num_failed: int
+    elapsed_seconds: float
+    jobs_per_second: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    events_total: int
+    event_log_errors: list[str] = field(default_factory=list)
+    result_mismatches: list[str] = field(default_factory=list)
+    resubmit_429s: int = 0
+    programs_lowered: int | None = None
+    resume_check: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every correctness audit passed."""
+        resume_ok = self.resume_check is None or self.resume_check.get("identical", False)
+        return (
+            self.num_completed == self.num_jobs
+            and self.num_failed == 0
+            and not self.event_log_errors
+            and not self.result_mismatches
+            and resume_ok
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form (the payload of ``BENCH_service.json``)."""
+        return {
+            "num_jobs": self.num_jobs,
+            "num_completed": self.num_completed,
+            "num_failed": self.num_failed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "events_total": self.events_total,
+            "event_log_errors": self.event_log_errors[:20],
+            "result_mismatches": self.result_mismatches[:20],
+            "resubmit_429s": self.resubmit_429s,
+            "programs_lowered": self.programs_lowered,
+            "resume_check": self.resume_check,
+            "ok": self.ok,
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _audit_event_log(job_id: str, envelopes: list[dict[str, Any]]) -> list[str]:
+    """Seq contiguity + lifecycle bracketing errors of one job's log."""
+    errors = []
+    seqs = [envelope["seq"] for envelope in envelopes]
+    if seqs != list(range(len(seqs))):
+        errors.append(f"{job_id}: event seqs not contiguous from 0: {seqs[:10]}...")
+    if not envelopes:
+        errors.append(f"{job_id}: empty event log")
+        return errors
+    if envelopes[0]["event"]["kind"] != "job-queued":
+        errors.append(f"{job_id}: first event is {envelopes[0]['event']['kind']!r}")
+    terminal = [e for e in envelopes if e["event"]["kind"] in TERMINAL_EVENT_KINDS]
+    if len(terminal) != 1 or envelopes[-1]["event"]["kind"] not in TERMINAL_EVENT_KINDS:
+        errors.append(
+            f"{job_id}: expected exactly one terminal event at the end, "
+            f"got {[e['event']['kind'] for e in terminal]}"
+        )
+    return errors
+
+
+def _canonical(payload: Any) -> str:
+    """Canonical JSON bytes, with wall-clock timing fields stripped.
+
+    ``elapsed_seconds`` is the one result field that is wall time, not
+    computation — the suite-wide bit-exactness convention excludes it
+    (cf. ``tests/api/test_batch.py``), and so does this audit.
+    """
+    return json.dumps(_strip_timing(payload), sort_keys=True)
+
+
+def _strip_timing(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [_strip_timing(item) for item in payload]
+    return payload
+
+
+def run_load_test(
+    url: str,
+    specs: Sequence[JobSpec],
+    client_threads: int = 8,
+    verify_results: bool = True,
+    check_resume: bool = True,
+    resume_circuit: str = "s27",
+) -> LoadTestReport:
+    """Drive *specs* through the server at *url* and audit the outcome.
+
+    Submits every spec from ``client_threads`` concurrent clients (retrying
+    politely on 429 backpressure), streams each job's SSE event log to
+    completion, then audits: sequence numbers contiguous from 0, exactly one
+    terminal event, and — when ``verify_results`` — results byte-identical to
+    an in-process :func:`repro.api.jobs.run_job` of the same spec (modulo
+    wall-clock timing).  ``check_resume`` additionally cancels one in-flight
+    job and verifies the resumed run is bit-identical to an uninterrupted
+    one.  Returns a :class:`LoadTestReport`; ``report.ok`` is the gate.
+    """
+    started = time.perf_counter()
+    retry_429s = 0
+    retry_lock = threading.Lock()
+
+    def _drive(chunk: list[JobSpec]) -> list[tuple[JobSpec, str]]:
+        nonlocal retry_429s
+        submitted = []
+        with ServiceClient(url) as client:
+            for spec in chunk:
+                while True:
+                    try:
+                        snapshot = client.submit(spec)
+                        break
+                    except ServiceClientError as error:
+                        if error.status != 429:
+                            raise
+                        with retry_lock:
+                            retry_429s += 1
+                        time.sleep(0.02)  # backpressure: drain a little, retry
+                submitted.append((spec, snapshot["id"]))
+        return submitted
+
+    chunks = [list(specs[index::client_threads]) for index in range(client_threads)]
+    chunks = [chunk for chunk in chunks if chunk]
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        submitted = [pair for chunk in pool.map(_drive, chunks) for pair in chunk]
+
+    def _collect(pairs: list[tuple[JobSpec, str]]) -> list[dict[str, Any]]:
+        rows = []
+        with ServiceClient(url) as client:
+            for spec, job_id in pairs:
+                envelopes = list(client.events(job_id))  # blocks until terminal
+                snapshot = client.job(job_id)
+                rows.append({"spec": spec, "id": job_id, "snapshot": snapshot,
+                             "envelopes": envelopes})
+        return rows
+
+    collect_chunks = [submitted[index::client_threads] for index in range(client_threads)]
+    collect_chunks = [chunk for chunk in collect_chunks if chunk]
+    with ThreadPoolExecutor(max_workers=len(collect_chunks)) as pool:
+        rows = [row for chunk in pool.map(_collect, collect_chunks) for row in chunk]
+    elapsed = time.perf_counter() - started
+
+    event_log_errors: list[str] = []
+    latencies_ms: list[float] = []
+    completed = failed = events_total = 0
+    for row in rows:
+        snapshot, envelopes = row["snapshot"], row["envelopes"]
+        events_total += len(envelopes)
+        event_log_errors.extend(_audit_event_log(row["id"], envelopes))
+        if snapshot["status"] == "completed":
+            completed += 1
+            latencies_ms.append(
+                (snapshot["finished_at"] - snapshot["submitted_at"]) * 1000.0
+            )
+        else:
+            failed += 1
+            event_log_errors.append(
+                f"{row['id']}: finished as {snapshot['status']!r} ({snapshot['error']})"
+            )
+
+    result_mismatches: list[str] = []
+    if verify_results:
+        reference: dict[str, str] = {}
+        for row in rows:
+            if row["snapshot"]["status"] != "completed":
+                continue
+            key = _canonical(row["spec"].to_dict())
+            if key not in reference:
+                # The in-process BatchRunner path: same spec, no service.
+                reference[key] = _canonical(run_job(row["spec"]).to_dict())
+            service_payload = _canonical(row["snapshot"]["result"])
+            if service_payload != reference[key]:
+                result_mismatches.append(
+                    f"{row['id']}: service result differs from in-process run"
+                )
+
+    resume_check = _check_cancel_resume(url, resume_circuit) if check_resume else None
+
+    stats = None
+    try:
+        with ServiceClient(url) as client:
+            stats = client.stats()
+    except (ServiceClientError, OSError):
+        pass
+
+    latencies_ms.sort()
+    return LoadTestReport(
+        num_jobs=len(specs),
+        num_completed=completed,
+        num_failed=failed,
+        elapsed_seconds=elapsed,
+        jobs_per_second=(completed / elapsed) if elapsed > 0 else 0.0,
+        latency_p50_ms=_percentile(latencies_ms, 0.50),
+        latency_p99_ms=_percentile(latencies_ms, 0.99),
+        latency_mean_ms=(sum(latencies_ms) / len(latencies_ms)) if latencies_ms else 0.0,
+        events_total=events_total,
+        event_log_errors=event_log_errors,
+        result_mismatches=result_mismatches,
+        resubmit_429s=retry_429s,
+        programs_lowered=stats.get("programs_lowered") if stats else None,
+        resume_check=resume_check,
+    )
+
+
+def _check_cancel_resume(url: str, circuit: str) -> dict[str, Any]:
+    """Cancel one in-flight job, resume it, compare against an unbroken run.
+
+    Uses a longer-running config so cancellation reliably lands mid-sampling
+    (after the first ``sample-progress``, before completion).  Returns a dict
+    with ``identical`` plus enough context to debug a failure.
+    """
+    spec = JobSpec(
+        circuit=circuit,
+        config=EstimationConfig(
+            randomness_sequence_length=32,
+            max_independence_interval=4,
+            min_samples=64,
+            check_interval=16,
+            max_samples=1536,
+            warmup_cycles=4,
+        ),
+        seed=90125,
+        label="cancel-resume-probe",
+    )
+    # Both sides are full JobResult.to_dict() payloads (the service's stored
+    # result and the job snapshot's "result" field share that shape).
+    uninterrupted = _canonical(run_job(spec).to_dict())
+    outcome: dict[str, Any] = {"identical": False, "cancelled_mid_run": False}
+    with ServiceClient(url) as client:
+        job_id = client.submit(spec)["id"]
+        outcome["job"] = job_id
+        stream = client.events(job_id)
+        try:
+            for envelope in stream:
+                if envelope["event"]["kind"] == "sample-progress":
+                    client.cancel(job_id)
+                    break
+        finally:
+            stream.close()
+        # Poll until the worker acknowledges the cancel with a terminal state.
+        deadline = time.monotonic() + 60.0
+        last = client.job(job_id)
+        while last["status"] in ("running", "queued") and time.monotonic() < deadline:
+            time.sleep(0.01)
+            last = client.job(job_id)
+        outcome["status_after_cancel"] = last["status"]
+        if last["status"] == "completed":
+            # The job outran the cancel; its result still must match.
+            outcome["cancelled_mid_run"] = False
+            outcome["identical"] = _canonical(last["result"]) == uninterrupted
+            return outcome
+        outcome["cancelled_mid_run"] = last["status"] == "cancelled"
+        outcome["checkpoint_available"] = last.get("checkpoint_available", False)
+        client.resume(job_id)
+        final = client.wait(job_id)
+        outcome["status_after_resume"] = final["status"]
+        if final["status"] == "completed":
+            outcome["identical"] = _canonical(final["result"]) == uninterrupted
+    return outcome

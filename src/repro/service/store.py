@@ -1,0 +1,181 @@
+"""On-disk persistence for the estimation service.
+
+A :class:`ResultStore` gives every job one directory under ``<root>/jobs/``::
+
+    <root>/jobs/<job_id>/
+        spec.json         # the submitted JobSpec (bit-exact to_dict form)
+        meta.json         # status, timestamps, error, event count
+        events.jsonl      # one event envelope per line, in seq order
+        result.json       # JobResult manifest entry (completed jobs)
+        checkpoint.pkl    # pickled RunCheckpoint (cancelled mid-run jobs)
+
+JSON documents are written atomically (temp file + ``os.replace``), so a
+crashed server never leaves a half-written ``meta.json`` or ``result.json``
+behind.  The event log is append-only; a torn final line (the one write that
+cannot be atomic) is tolerated and dropped on read.  Restarting a server on
+the same root rehydrates every job — completed results and cancelled jobs'
+checkpoints survive, and in-flight jobs of the dead process are surfaced as
+``"interrupted"`` (resumable when they left a checkpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+_SPEC = "spec.json"
+_META = "meta.json"
+_EVENTS = "events.jsonl"
+_RESULT = "result.json"
+_CHECKPOINT = "checkpoint.pkl"
+
+
+def _write_json_atomic(path: Path, payload: dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+class ResultStore:
+    """Directory-backed job persistence (see module docstring for the layout).
+
+    All methods are thread-safe: the worker pool appends events and writes
+    results from worker threads while the server thread reads.  One append
+    handle per active job is kept open (and closed by :meth:`close_events`
+    when the job reaches a terminal state) so the hot event-log path costs a
+    ``write`` + ``flush``, not an ``open`` per event.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._event_handles: dict[str, TextIO] = {}
+
+    # ----------------------------------------------------------------- layout
+    def job_dir(self, job_id: str) -> Path:
+        """Directory of one job."""
+        return self.jobs_dir / job_id
+
+    def has_job(self, job_id: str) -> bool:
+        """True when a directory for *job_id* exists."""
+        return self.job_dir(job_id).is_dir()
+
+    # ------------------------------------------------------------ spec + meta
+    def create_job(self, job_id: str, spec: dict[str, Any], meta: dict[str, Any]) -> None:
+        """Create the job directory and persist its spec and initial meta."""
+        directory = self.job_dir(job_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(directory / _SPEC, spec)
+        self.write_meta(job_id, meta)
+
+    def write_meta(self, job_id: str, meta: dict[str, Any]) -> None:
+        """Atomically replace the job's meta document."""
+        _write_json_atomic(self.job_dir(job_id) / _META, meta)
+
+    def read_meta(self, job_id: str) -> dict[str, Any] | None:
+        """The job's meta document, or ``None`` when absent/corrupt."""
+        return _read_json(self.job_dir(job_id) / _META)
+
+    def read_spec(self, job_id: str) -> dict[str, Any] | None:
+        """The job's submitted spec dict, or ``None`` when absent/corrupt."""
+        return _read_json(self.job_dir(job_id) / _SPEC)
+
+    # ---------------------------------------------------------------- events
+    def append_event(self, job_id: str, envelope: dict[str, Any]) -> None:
+        """Append one event envelope to the job's event log (flushed)."""
+        line = json.dumps(envelope, sort_keys=True)
+        with self._lock:
+            handle = self._event_handles.get(job_id)
+            if handle is None:
+                handle = open(self.job_dir(job_id) / _EVENTS, "a", encoding="utf-8")
+                self._event_handles[job_id] = handle
+            handle.write(line + "\n")
+            handle.flush()
+
+    def close_events(self, job_id: str) -> None:
+        """Close the job's cached event-log handle (idempotent)."""
+        with self._lock:
+            handle = self._event_handles.pop(job_id, None)
+        if handle is not None:
+            handle.close()
+
+    def read_events(self, job_id: str) -> list[dict[str, Any]]:
+        """All persisted event envelopes, in order; torn trailing lines dropped."""
+        path = self.job_dir(job_id) / _EVENTS
+        if not path.exists():
+            return []
+        envelopes = []
+        with open(path, encoding="utf-8") as stream:
+            for line in stream:
+                try:
+                    envelopes.append(json.loads(line))
+                except ValueError:
+                    break  # torn tail of a crashed writer; everything before is intact
+        return envelopes
+
+    # --------------------------------------------------------------- results
+    def save_result(self, job_id: str, result: dict[str, Any]) -> None:
+        """Persist the job's result manifest entry atomically."""
+        _write_json_atomic(self.job_dir(job_id) / _RESULT, result)
+
+    def load_result(self, job_id: str) -> dict[str, Any] | None:
+        """The stored result manifest entry, or ``None``."""
+        return _read_json(self.job_dir(job_id) / _RESULT)
+
+    # ------------------------------------------------------------ checkpoints
+    def save_checkpoint(self, job_id: str, checkpoint: Any) -> None:
+        """Pickle a :class:`~repro.api.checkpoint.RunCheckpoint` atomically."""
+        path = self.job_dir(job_id) / _CHECKPOINT
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as stream:
+            pickle.dump(checkpoint, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def load_checkpoint(self, job_id: str) -> Any | None:
+        """Unpickle the job's checkpoint, or ``None`` when absent."""
+        path = self.job_dir(job_id) / _CHECKPOINT
+        if not path.exists():
+            return None
+        with open(path, "rb") as stream:
+            return pickle.load(stream)
+
+    def has_checkpoint(self, job_id: str) -> bool:
+        """True when a resumable checkpoint is stored for *job_id*."""
+        return (self.job_dir(job_id) / _CHECKPOINT).exists()
+
+    # ------------------------------------------------------------------ scan
+    def scan(self) -> Iterator[tuple[str, dict[str, Any], dict[str, Any]]]:
+        """Yield ``(job_id, meta, spec)`` for every rehydratable stored job.
+
+        Jobs whose ``meta.json`` or ``spec.json`` is missing or corrupt are
+        skipped — a half-created directory must not take the server down.
+        """
+        for directory in sorted(self.jobs_dir.iterdir()):
+            if not directory.is_dir():
+                continue
+            meta = self.read_meta(directory.name)
+            spec = self.read_spec(directory.name)
+            if meta is None or spec is None:
+                continue
+            yield directory.name, meta, spec
+
+    def close(self) -> None:
+        """Close every cached event-log handle."""
+        with self._lock:
+            handles = list(self._event_handles.values())
+            self._event_handles.clear()
+        for handle in handles:
+            handle.close()

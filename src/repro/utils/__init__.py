@@ -1,4 +1,10 @@
-"""Shared utilities: deterministic RNG handling and plain-text table rendering."""
+"""Shared utilities: deterministic RNG handling and plain-text table rendering.
+
+:mod:`repro.utils.rng` centralises seed normalisation so every entry point
+(estimators, stimulus generators, job specs) derives reproducible child
+streams the same way; :mod:`repro.utils.tables` renders the aligned text
+tables used by the CLI and the experiment reports.
+"""
 
 from repro.utils.rng import RandomSource, spawn_rng
 from repro.utils.tables import TextTable, format_table

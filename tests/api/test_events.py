@@ -7,8 +7,11 @@ import pytest
 from repro.api.events import (
     EstimateCompleted,
     IntervalSelected,
+    ProgressEvent,
     RunStarted,
     SampleProgress,
+    event_from_dict,
+    event_kinds,
 )
 from repro.core.baselines import ConsecutiveCycleEstimator
 from repro.core.config import EstimationConfig
@@ -73,6 +76,71 @@ class TestStreamInvariants:
         stream = estimator.run()
         next(stream)  # run-started
         stream.close()  # must not raise; no estimate is produced
+
+
+class TestWireFormat:
+    """to_dict / event_from_dict round-tripping (the service SSE protocol)."""
+
+    def test_roundtrip_preserves_type_and_fields(self, s27_circuit, quick_config):
+        for event in DipeEstimator(s27_circuit, config=quick_config, rng=12).run():
+            wire = json.loads(json.dumps(event.to_dict()))
+            parsed = event_from_dict(wire)
+            assert type(parsed) is type(event)
+            assert parsed.kind == event.kind
+            assert parsed.samples_drawn == event.samples_drawn
+            assert parsed.cycles_simulated == event.cycles_simulated
+
+    def test_roundtrip_drops_rich_payloads_only(self, s27_circuit, quick_config):
+        events = list(DipeEstimator(s27_circuit, config=quick_config, rng=13).run())
+        selected = next(e for e in events if isinstance(e, IntervalSelected))
+        parsed = event_from_dict(selected.to_dict())
+        assert parsed.interval == selected.interval
+        assert parsed.selection is None  # repr=False diagnostics stay local
+        final = event_from_dict(events[-1].to_dict())
+        assert isinstance(final, EstimateCompleted)
+        assert isinstance(final.estimate, dict)  # wire form, not the dataclass
+
+    def test_service_lifecycle_events_share_the_format(self):
+        from repro.service.events import JobCompleted, JobQueued
+
+        queued = JobQueued(circuit="s27", method="dipe", samples_drawn=0,
+                           cycles_simulated=0, job_id="j1", queue_position=3)
+        parsed = event_from_dict(json.loads(json.dumps(queued.to_dict())))
+        assert isinstance(parsed, JobQueued)
+        assert parsed.queue_position == 3
+        done = JobCompleted(circuit="s27", method="dipe", samples_drawn=8,
+                            cycles_simulated=64, job_id="j1",
+                            result={"type": "power-estimate", "data": {}})
+        parsed = event_from_dict(done.to_dict())
+        assert parsed.result["type"] == "power-estimate"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "martian-event"})
+        with pytest.raises(ValueError, match="must be a dict"):
+            event_from_dict("not a dict")
+
+    def test_every_estimator_kind_registered(self):
+        kinds = event_kinds()
+        for expected in ("progress", "run-started", "interval-trial",
+                         "interval-selected", "sample-progress", "chains-resized",
+                         "estimate-completed"):
+            assert expected in kinds
+
+    def test_duplicate_kind_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            class Impostor(ProgressEvent):
+                kind = "run-started"
+
+    def test_subclass_without_kind_inherits_parent_parser(self):
+        class Specialized(RunStarted):  # no new kind: parent stays the parser
+            pass
+
+        parsed = event_from_dict(
+            {"kind": "run-started", "circuit": "c", "method": "dipe",
+             "samples_drawn": 0, "cycles_simulated": 0}
+        )
+        assert type(parsed) is RunStarted
 
 
 class TestCheckpointResume:

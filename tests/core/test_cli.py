@@ -158,6 +158,27 @@ class TestBatchCommand:
         assert main(["batch", str(path), "--output", str(manifest)]) == 1
         assert "FAILED" in capsys.readouterr().out
 
+    def test_batch_failing_job_json_mode_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "bad_jobs.json"
+        path.write_text(json.dumps([{"circuit": "nope", "seed": 1, "label": "doomed"}]))
+        manifest = tmp_path / "out.json"
+        assert main(["batch", str(path), "--output", str(manifest), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_errors"] == 1
+        assert json.loads(manifest.read_text())["num_errors"] == 1
+
+    def test_batch_parallel_failing_job_exits_1(self, tmp_path, jobs_file, capsys):
+        jobs = json.loads(jobs_file.read_text())["jobs"]
+        jobs.append({"circuit": "nope", "seed": 3, "label": "doomed"})
+        path = tmp_path / "mixed_jobs.json"
+        path.write_text(json.dumps({"jobs": jobs}))
+        manifest = tmp_path / "out.json"
+        assert main(["batch", str(path), "--workers", "2", "--output", str(manifest)]) == 1
+        payload = json.loads(manifest.read_text())
+        assert payload["num_errors"] == 1
+        good = [job for job in payload["jobs"] if job["status"] == "ok"]
+        assert len(good) == 2  # the failure does not take down its siblings
+
     def test_batch_missing_file_fails(self, tmp_path):
         with pytest.raises(SystemExit, match="cannot load jobs"):
             main(["batch", str(tmp_path / "missing.json")])

@@ -424,6 +424,40 @@ class TestEstimatorWiring:
         sharded.close()
 
 
+class TestTeardown:
+    """Pool teardown must be idempotent and silent.
+
+    The same ``stop()`` path runs from a ``weakref.finalize`` callback during
+    interpreter shutdown, where pipes may already be closed and stderr noise
+    shows up as spurious tracebacks after the program has "finished".
+    """
+
+    def test_shard_stop_idempotent_and_silent(self, s27_circuit, capfd):
+        _, sharded = _pair(s27_circuit, 128, 2)
+        handles = list(sharded._handles)
+        sharded.close()
+        for handle in handles:  # stop again on already-stopped shards
+            handle.stop()
+            handle.stop()
+        assert capfd.readouterr().err == ""
+
+    def test_stop_with_torn_pipe_is_silent(self, s27_circuit, capfd):
+        _, sharded = _pair(s27_circuit, 128, 2)
+        for handle in sharded._handles:
+            handle.connection.close()  # simulate shutdown-time pipe teardown
+        sharded.close()  # must not raise or print despite the dead pipes
+        assert capfd.readouterr().err == ""
+
+    def test_shutdown_pool_never_raises(self):
+        from repro.core.sharded_sampler import _shutdown_pool
+
+        class ExplodingHandle:
+            def stop(self):
+                raise RuntimeError("boom")
+
+        _shutdown_pool([ExplodingHandle(), ExplodingHandle()])
+
+
 class TestPoolComposition:
     """Shard pools compose with the job-level BatchRunner pool."""
 

@@ -1,0 +1,95 @@
+"""Documentation link checker: every relative link and anchor resolves.
+
+Runs over ``README.md`` and every markdown file under ``docs/``.  External
+(``http(s)://``) links are not fetched — the suite must pass offline — but
+relative file targets must exist and ``#fragment`` anchors must match a
+heading in the target document (GitHub slugification rules).  This is a
+tier-1 test *and* the CI link-check step: documentation that rots fails the
+build.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+#: ``[text](target)`` links, ignoring images; target captured up to ) or space.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+
+
+def _doc_id(path):
+    return str(path.relative_to(REPO_ROOT))
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — their brackets/parens are not links."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    heading = heading.lower().strip()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: pathlib.Path) -> set[str]:
+    text = _strip_code_blocks(path.read_text(encoding="utf-8"))
+    return {_github_slug(title) for _, title in _HEADING.findall(text)}
+
+
+def _links(path: pathlib.Path) -> list[str]:
+    return _LINK.findall(_strip_code_blocks(path.read_text(encoding="utf-8")))
+
+
+class TestDocTree:
+    def test_the_documented_tree_exists(self):
+        names = {path.name for path in DOC_FILES}
+        assert {"README.md", "architecture.md", "service.md", "api.md",
+                "benchmarks.md"} <= names
+
+    def test_readme_links_into_every_docs_page(self):
+        readme_targets = {link.split("#")[0] for link in _links(REPO_ROOT / "README.md")}
+        for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert f"docs/{page.name}" in readme_targets, (
+                f"README.md does not link to docs/{page.name}"
+            )
+
+
+class TestLinks:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=_doc_id)
+    def test_relative_links_resolve(self, path):
+        broken = []
+        for link in _links(path):
+            if link.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, fragment = link.partition("#")
+            resolved = (path.parent / target).resolve() if target else path
+            if target and not resolved.exists():
+                broken.append(f"{link}: file {target!r} does not exist")
+                continue
+            if fragment:
+                if resolved.is_dir() or resolved.suffix != ".md":
+                    broken.append(f"{link}: anchor on a non-markdown target")
+                elif fragment not in _anchors(resolved):
+                    broken.append(f"{link}: no heading slugifies to #{fragment}")
+        assert broken == [], f"{_doc_id(path)} has broken links: {broken}"
+
+    @pytest.mark.parametrize("path", DOC_FILES, ids=_doc_id)
+    def test_no_absolute_filesystem_links(self, path):
+        offenders = [link for link in _links(path) if link.startswith("/")]
+        assert offenders == [], (
+            f"{_doc_id(path)} uses absolute paths (break on GitHub): {offenders}"
+        )

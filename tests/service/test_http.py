@@ -1,0 +1,183 @@
+"""HTTP/SSE front-end: endpoints, streaming, cancel/resume over the wire."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.api import JobSpec
+from repro.api.events import EstimateCompleted, event_from_dict
+from repro.core.config import EstimationConfig
+from repro.service import EstimationService, ServiceClient, ServiceThread
+from repro.service.client import ServiceClientError
+
+TINY = EstimationConfig(
+    randomness_sequence_length=16,
+    max_independence_interval=4,
+    min_samples=16,
+    check_interval=16,
+    max_samples=48,
+    warmup_cycles=4,
+)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live server on an ephemeral port, with an on-disk store."""
+    service = EstimationService(store=str(tmp_path / "store"), num_workers=2)
+    with ServiceThread(service) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.url) as client:
+        yield client
+
+
+def _spec(seed=1, **kwargs):
+    return JobSpec(circuit="s27", config=TINY, seed=seed, **kwargs)
+
+
+class TestEndpoints:
+    def test_banner_health_stats(self, client):
+        assert client.health() == {"ok": True}
+        stats = client.stats()
+        assert stats["num_workers"] == 2
+        assert "jobs" in stats
+
+    def test_submit_wait_result_roundtrip(self, client):
+        snapshot = client.submit(_spec(seed=4, label="http-job"))
+        assert snapshot["status"] in ("queued", "running")
+        final = client.wait(snapshot["id"])
+        assert final["status"] == "completed"
+        assert final["label"] == "http-job"
+        result = client.result(snapshot["id"])
+        assert result["status"] == "ok"
+        assert result["result"]["type"] == "power-estimate"
+        listing = client.jobs()
+        assert [job["id"] for job in listing] == [snapshot["id"]]
+
+    def test_result_missing_job_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.result("jmissing")
+        assert excinfo.value.status == 404
+
+    def test_result_conflicts_until_finished(self, client):
+        long_spec = JobSpec(
+            circuit="s298",
+            config=EstimationConfig(
+                randomness_sequence_length=64,
+                max_independence_interval=8,
+                min_samples=128,
+                check_interval=32,
+                max_samples=4000,
+                warmup_cycles=16,
+            ),
+            seed=33,
+        )
+        job_id = client.submit(long_spec)["id"]
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.result(job_id)  # immediately: still queued or running
+        assert excinfo.value.status == 409
+        assert client.wait(job_id)["status"] == "completed"
+
+    def test_unknown_routes_and_methods(self, server):
+        conn = http.client.HTTPConnection(*server.server.address)
+        try:
+            for method, path, expected in [
+                ("GET", "/nope", 404),
+                ("PUT", "/jobs", 405),
+                ("PATCH", "/jobs/j123", 405),
+            ]:
+                conn.request(method, path)
+                response = conn.getresponse()
+                response.read()  # drain so the keep-alive connection is reusable
+                assert response.status == expected
+        finally:
+            conn.close()
+
+    def test_cancel_then_resume_over_http(self, client):
+        long_spec = JobSpec(
+            circuit="s27",
+            config=EstimationConfig(
+                randomness_sequence_length=32,
+                max_independence_interval=4,
+                min_samples=64,
+                check_interval=16,
+                max_samples=1536,
+                warmup_cycles=4,
+            ),
+            seed=90125,
+        )
+        job_id = client.submit(long_spec)["id"]
+        stream = client.events(job_id)
+        try:
+            for envelope in stream:
+                if envelope["event"]["kind"] == "sample-progress":
+                    client.cancel(job_id)
+                    break
+        finally:
+            stream.close()
+        final = client.wait(job_id)
+        if final["status"] == "cancelled":  # the cancel landed mid-run
+            client.resume(job_id)
+            final = client.wait(job_id)
+        assert final["status"] == "completed"
+
+
+class TestEventStream:
+    def test_sse_stream_is_contiguous_and_typed(self, client):
+        job_id = client.submit(_spec(seed=6))["id"]
+        envelopes = list(client.events(job_id))
+        assert [e["seq"] for e in envelopes] == list(range(len(envelopes)))
+        kinds = [e["event"]["kind"] for e in envelopes]
+        assert kinds[0] == "job-queued"
+        assert kinds[-1] == "job-completed"
+        typed = [event_from_dict(e["event"]) for e in envelopes]
+        completed = [e for e in typed if isinstance(e, EstimateCompleted)]
+        assert len(completed) == 1
+
+    def test_sse_replay_from_offset(self, client):
+        job_id = client.submit(_spec(seed=7))["id"]
+        full = list(client.events(job_id))  # runs to completion
+        tail = list(client.events(job_id, from_seq=3))
+        assert tail == full[3:]
+        again = list(client.typed_events(job_id))
+        assert len(again) == len(full)
+
+    def test_sse_unknown_job_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            list(client.events("jghost"))
+        assert excinfo.value.status == 404
+
+    def test_sse_bad_from_parameter(self, client):
+        job_id = client.submit(_spec(seed=8))["id"]
+        client.wait(job_id)
+        for bad in ("abc", "-1"):
+            with pytest.raises(ServiceClientError) as excinfo:
+                list(client.events(job_id, from_seq=bad))
+            assert excinfo.value.status == 400
+
+
+class TestRestartOverHttp:
+    def test_results_survive_server_restart(self, tmp_path):
+        store = str(tmp_path / "store")
+        service = EstimationService(store=store, num_workers=1)
+        with ServiceThread(service) as thread:
+            with ServiceClient(thread.url) as client:
+                job_id = client.submit(_spec(seed=12))["id"]
+                final = client.wait(job_id)
+                result = client.result(job_id)
+        assert final["status"] == "completed"
+
+        reborn = EstimationService(store=store, num_workers=1)
+        with ServiceThread(reborn) as thread:
+            with ServiceClient(thread.url) as client:
+                assert client.job(job_id)["status"] == "completed"
+                assert client.result(job_id) == result
+                # The persisted event log replays over SSE after restart.
+                envelopes = list(client.events(job_id))
+                assert envelopes[-1]["event"]["kind"] == "job-completed"

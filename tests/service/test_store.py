@@ -1,0 +1,106 @@
+"""ResultStore: atomic persistence, torn-tail tolerance, scan robustness."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.store import ResultStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _make_job(store, job_id="j1", status="queued"):
+    store.create_job(job_id, {"circuit": "s27"}, {"id": job_id, "status": status})
+    return job_id
+
+
+class TestLayout:
+    def test_create_and_read_back(self, store):
+        _make_job(store)
+        assert store.has_job("j1")
+        assert not store.has_job("j2")
+        assert store.read_spec("j1") == {"circuit": "s27"}
+        assert store.read_meta("j1")["status"] == "queued"
+
+    def test_meta_replace_is_atomic_no_tmp_left(self, store):
+        _make_job(store)
+        store.write_meta("j1", {"id": "j1", "status": "completed"})
+        assert store.read_meta("j1")["status"] == "completed"
+        leftovers = [p.name for p in store.job_dir("j1").iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_result_roundtrip(self, store):
+        _make_job(store)
+        payload = {"status": "ok", "result": {"type": "power-estimate", "data": {"x": 1}}}
+        store.save_result("j1", payload)
+        assert store.load_result("j1") == payload
+        assert store.load_result("missing") is None
+
+
+class TestEventLog:
+    def test_append_read_ordered(self, store):
+        _make_job(store)
+        for seq in range(5):
+            store.append_event("j1", {"seq": seq, "event": {"kind": "progress"}})
+        store.close_events("j1")
+        events = store.read_events("j1")
+        assert [e["seq"] for e in events] == list(range(5))
+
+    def test_close_events_idempotent(self, store):
+        _make_job(store)
+        store.append_event("j1", {"seq": 0})
+        store.close_events("j1")
+        store.close_events("j1")
+        store.close()
+
+    def test_torn_tail_dropped(self, store):
+        _make_job(store)
+        for seq in range(3):
+            store.append_event("j1", {"seq": seq})
+        store.close_events("j1")
+        path = store.job_dir("j1") / "events.jsonl"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "trunc')  # a crashed writer's torn line
+        events = store.read_events("j1")
+        assert [e["seq"] for e in events] == [0, 1, 2]
+
+    def test_missing_log_is_empty(self, store):
+        _make_job(store)
+        assert store.read_events("j1") == []
+
+
+class TestCheckpoints:
+    def test_pickle_roundtrip_with_numpy(self, store):
+        _make_job(store)
+        checkpoint = {"samples": np.arange(7, dtype=np.float64), "big": 1 << 200}
+        store.save_checkpoint("j1", checkpoint)
+        assert store.has_checkpoint("j1")
+        loaded = store.load_checkpoint("j1")
+        np.testing.assert_array_equal(loaded["samples"], checkpoint["samples"])
+        assert loaded["big"] == checkpoint["big"]
+
+    def test_absent_checkpoint(self, store):
+        _make_job(store)
+        assert not store.has_checkpoint("j1")
+        assert store.load_checkpoint("j1") is None
+
+
+class TestScan:
+    def test_scan_yields_in_name_order(self, store):
+        for job_id in ("jbb", "jaa", "jcc"):
+            _make_job(store, job_id)
+        assert [job_id for job_id, _, _ in store.scan()] == ["jaa", "jbb", "jcc"]
+
+    def test_scan_skips_corrupt_and_partial_dirs(self, store, tmp_path):
+        _make_job(store, "jgood")
+        (store.jobs_dir / "jhalf").mkdir()  # no spec/meta at all
+        _make_job(store, "jbadmeta")
+        (store.job_dir("jbadmeta") / "meta.json").write_text("{corrupt")
+        (store.jobs_dir / "stray-file").write_text("not a dir")
+        assert [job_id for job_id, _, _ in store.scan()] == ["jgood"]

@@ -1,0 +1,149 @@
+"""Adversarial JobSpec payloads at the service boundary.
+
+Every malformed, hostile, or oversized submission must come back as a clean
+4xx — never crash a worker, never poison the queue, never take the server
+down.  Each test ends by running a good job to prove the service survived.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.api import JobSpec
+from repro.core.config import EstimationConfig
+from repro.service import EstimationService, ServiceClient, ServiceThread
+from repro.service.client import ServiceClientError
+from repro.service.core import InvalidJobError, validate_job_payload
+from repro.service.server import MAX_BODY_BYTES
+
+TINY = EstimationConfig(
+    randomness_sequence_length=16,
+    max_independence_interval=4,
+    min_samples=16,
+    check_interval=16,
+    max_samples=48,
+    warmup_cycles=4,
+)
+
+
+def _tiny_payload(**overrides):
+    payload = JobSpec(circuit="s27", config=TINY, seed=1).to_dict()
+    payload.update(overrides)
+    return payload
+
+
+#: (payload, match) — every entry must be rejected by the boundary validator.
+REJECTED_PAYLOADS = [
+    (None, "JSON object"),
+    ("a string", "JSON object"),
+    ([1, 2, 3], "JSON object"),
+    ({}, "missing the required 'circuit'"),
+    ({"spec": {}}, "missing the required 'circuit'"),
+    (_tiny_payload(estimator="not-an-estimator"), "unknown estimator"),
+    (_tiny_payload(stimulus={"kind": "not-a-stimulus", "params": {}}), "unknown stimulus"),
+    (_tiny_payload(circuit="no-such-circuit"), "unknown circuit"),
+    (_tiny_payload(circuit="/nonexistent/path/to/file.bench"), "cannot read circuit"),
+    (_tiny_payload(sneaky_extra_field=1), "unknown spec fields"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], min_samples=-5)),
+     "min_samples"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], max_samples=-1)),
+     "invalid job spec"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], confidence=7.0)),
+     "invalid job spec"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], stopping_criterion="bogus")),
+     "invalid job spec"),
+    (_tiny_payload(stimulus={"kind": "bernoulli", "params": {"probabilities": 2.5}}),
+     "invalid stimulus"),
+    (_tiny_payload(seed="not-an-int"), "invalid job spec"),
+    (_tiny_payload(config="not-a-config-dict"), "invalid job spec"),
+]
+
+
+class TestBoundaryValidator:
+    @pytest.mark.parametrize("payload,match", REJECTED_PAYLOADS)
+    def test_rejected_with_clear_message(self, payload, match):
+        with pytest.raises(InvalidJobError, match=match):
+            validate_job_payload(payload)
+
+    def test_valid_payload_accepted_both_shapes(self):
+        payload = _tiny_payload()
+        assert validate_job_payload(payload).circuit == "s27"
+        assert validate_job_payload({"spec": payload}).circuit == "s27"
+
+
+class TestHttpBoundary:
+    @pytest.fixture()
+    def server(self):
+        service = EstimationService(num_workers=1, max_pending=8)
+        with ServiceThread(service) as thread:
+            yield thread
+
+    def test_all_adversarial_payloads_get_400_and_server_survives(self, server):
+        with ServiceClient(server.url) as client:
+            for payload, _match in REJECTED_PAYLOADS:
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.submit(payload)
+                assert excinfo.value.status == 400, payload
+            assert client.stats()["num_jobs"] == 0  # nothing reached the queue
+            good = client.submit(_tiny_payload())
+            assert client.wait(good["id"])["status"] == "completed"
+
+    def test_non_json_body_is_400(self, server):
+        conn = http.client.HTTPConnection(*server.server.address)
+        try:
+            conn.request("POST", "/jobs", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_empty_body_is_400(self, server):
+        conn = http.client.HTTPConnection(*server.server.address)
+        try:
+            conn.request("POST", "/jobs")
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_oversized_spec_is_413(self, server):
+        oversized = _tiny_payload(label="x" * (MAX_BODY_BYTES + 1))
+        with ServiceClient(server.url) as client:
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.submit(oversized)
+            assert excinfo.value.status == 413
+            # And the connection/server survive to run a real job.
+            good = client.submit(_tiny_payload())
+            assert client.wait(good["id"])["status"] == "completed"
+
+    def test_oversized_headers_are_413(self, server):
+        conn = http.client.HTTPConnection(*server.server.address)
+        try:
+            conn.putrequest("GET", "/health", skip_accept_encoding=True)
+            conn.putheader("X-Flood", "y" * (64 * 1024))
+            conn.endheaders()
+            assert conn.getresponse().status == 413
+        except (ConnectionError, http.client.HTTPException):
+            pass  # server may drop the connection mid-flood; that's fine too
+        finally:
+            conn.close()
+
+    def test_backpressure_is_429(self):
+        service = EstimationService(num_workers=1, max_pending=2)
+        # Keep the pool idle so submissions stay queued: don't start workers.
+        # ServiceThread.start() starts them, so drive the scheduler directly
+        # through the HTTP layer with the queue pre-filled.
+        with ServiceThread(service) as thread:
+            service._stop.set()  # freeze the pool: jobs stay pending
+            for worker in service._threads:
+                worker.join(timeout=5)
+            with ServiceClient(thread.url) as client:
+                client.submit(_tiny_payload(seed=1))
+                client.submit(_tiny_payload(seed=2))
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.submit(_tiny_payload(seed=3))
+                assert excinfo.value.status == 429
