@@ -200,7 +200,10 @@ class SampleProgress(ProgressEvent):
     configuration's power model, like the final estimate).  ``num_workers``
     and ``shards`` describe how the ensemble is sharded across worker
     processes (``num_workers == 1`` and an empty ``shards`` for in-process
-    sampling).
+    sampling).  ``effective_sample_size`` is the independent-sample
+    equivalent of the collected sample's precision, reported when a
+    variance-reduction technique (:mod:`repro.variance`) couples the draws
+    (``None`` for plain i.i.d. sampling).
     """
 
     kind: ClassVar[str] = "sample-progress"
@@ -211,6 +214,7 @@ class SampleProgress(ProgressEvent):
     relative_half_width: float = float("inf")
     accuracy_met: bool = False
     num_workers: int = 1
+    effective_sample_size: float | None = None
     shards: tuple[ShardProgress, ...] = field(default=(), repr=False)
 
 

@@ -126,6 +126,7 @@ ESTIMATOR_REGISTRY = Registry(
         "repro.core.dipe",
         "repro.core.baselines",
         "repro.experiments.figure3",
+        "repro.variance.control_variate",
     ),
 )
 
@@ -136,6 +137,7 @@ STIMULUS_REGISTRY = Registry(
         "repro.stimulus.random_inputs",
         "repro.stimulus.correlated_inputs",
         "repro.stimulus.sequence",
+        "repro.variance.stimuli",
     ),
 )
 

@@ -43,6 +43,7 @@ from repro.api.registry import (
     delay_model_names,
     estimator_names,
     simulator_names,
+    stimulus_names,
     stopping_criterion_names,
 )
 from repro.circuits.iscas89 import (
@@ -75,8 +76,18 @@ def _estimation_config(args: argparse.Namespace, num_workers: int = 1) -> Estima
     )
 
 
+#: Registered stimulus kinds whose factory takes a ``probability`` keyword —
+#: for these, ``--input-probability`` is forwarded into the spec's params.
+_PROBABILITY_STIMULI = ("antithetic", "stratified", "sobol", "lag-one-markov")
+
+
 def _stimulus_spec(args: argparse.Namespace) -> StimulusSpec:
-    return StimulusSpec.bernoulli(args.input_probability)
+    kind = getattr(args, "stimulus", "bernoulli")
+    if kind == "bernoulli":
+        return StimulusSpec.bernoulli(args.input_probability)
+    if kind in _PROBABILITY_STIMULI:
+        return StimulusSpec(kind=kind, params={"probability": args.input_probability})
+    return StimulusSpec(kind=kind)
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,8 +118,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="chain-count ceiling for --adaptive-chains")
     parser.add_argument("--backend", choices=("auto", "bigint", "numpy"), default="auto",
                         help="zero-delay simulator backend (auto picks by ensemble width)")
+    parser.add_argument("--stimulus", choices=sorted(stimulus_names()),
+                        default="bernoulli",
+                        help="input-pattern generator (any registered stimulus "
+                             "name; the variance-reduction stimuli antithetic/"
+                             "stratified/sobol need --chains > 1 to couple lanes)")
     parser.add_argument("--input-probability", type=float, default=0.5,
-                        help="probability of 1 at every primary input (paper: 0.5)")
+                        help="probability of 1 at every primary input (paper: 0.5); "
+                             "forwarded to stimuli that accept a probability")
     parser.add_argument("--seed", type=int, default=2025, help="random seed")
 
 

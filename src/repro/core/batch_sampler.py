@@ -44,6 +44,7 @@ from the stationary power distribution.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -100,8 +101,20 @@ def draw_sample_block(
     *min_count* samples accumulate (same RNG consumption, same sample order),
     but the interleaving of per-chain lanes into the flat sample happens as
     one vectorized reshape instead of a Python loop per batch.
+
+    When the configuration enables the wall-clock-aware resize policy
+    (``adaptive_chains`` plus ``adaptive_time_aware``), the batch is timed
+    and fed to :meth:`BatchPowerSampler.note_sweep_seconds`; with the flag
+    off, no clock is read at all, so disabled runs stay bit-identical.
     """
     if isinstance(sampler, BatchPowerSampler):
+        config = sampler.config
+        if config.adaptive_chains and config.adaptive_time_aware:
+            start = time.perf_counter()
+            block = sampler.sample_block(interval, min_count)
+            sweeps = len(block) // max(1, sampler.num_chains)
+            sampler.note_sweep_seconds(time.perf_counter() - start, sweeps)
+            return block.tolist()
         return sampler.sample_block(interval, min_count).tolist()
     return [sampler.next_sample(interval) for _ in range(min_count)]
 
@@ -162,6 +175,7 @@ class BatchPowerSampler:
 
         self.cycles_simulated = 0
         self._prepared = False
+        self._seconds_per_sweep: float | None = None
 
     #: Event-engine backend request used by :meth:`_build_engines`; shard
     #: samplers override it with the backend resolved at full ensemble width.
@@ -252,6 +266,22 @@ class BatchPowerSampler:
         if was_prepared:
             self._warm_up()
 
+    def note_sweep_seconds(self, seconds: float, sweeps: int) -> None:
+        """Feed a wall-clock measurement of *sweeps* measured sweeps.
+
+        Maintains an exponential moving average of seconds per sweep for the
+        time-aware resize policy.  Only called when
+        ``config.adaptive_time_aware`` is enabled (the caller owns the
+        clock), so disabled runs never touch a timer.
+        """
+        if sweeps < 1 or seconds < 0.0:
+            return
+        per_sweep = seconds / sweeps
+        if self._seconds_per_sweep is None:
+            self._seconds_per_sweep = per_sweep
+        else:
+            self._seconds_per_sweep = 0.5 * self._seconds_per_sweep + 0.5 * per_sweep
+
     def plan_chain_resize(self, decision: StoppingDecision) -> int:
         """Chain count the stopping trajectory asks for (with 2x hysteresis).
 
@@ -263,6 +293,14 @@ class BatchPowerSampler:
         signal is unusable (no samples yet, infinite half-width) or the
         proposed move is smaller than 2x in either direction — rebuilding and
         re-warming the ensemble is only worth a decisive change.
+
+        With ``config.adaptive_time_aware`` on and at least one batch timing
+        recorded (:meth:`note_sweep_seconds`), the sweep horizon is derived
+        from the measured seconds per sweep instead of the fixed default:
+        the policy sizes the ensemble so the remaining work fits in about
+        ``config.adaptive_target_seconds`` of sweeping.  When the flag is
+        off this branch is never taken and the plan is bit-identical to the
+        fixed-horizon policy.
         """
         if decision.should_stop or decision.sample_size == 0:
             return self.num_chains
@@ -274,8 +312,14 @@ class BatchPowerSampler:
         remaining = min(needed_total, float(self.config.max_samples)) - decision.sample_size
         if remaining <= 0.0:
             return self.num_chains
-        # Aim to finish in ~4 more measured sweeps at the proposed width.
-        desired = 1 << max(0, math.ceil(math.log2(max(1.0, remaining / 4.0))))
+        # Aim to finish in ~4 more measured sweeps at the proposed width; the
+        # time-aware policy instead spends the configured wall-clock budget.
+        sweeps_target = 4.0
+        if self.config.adaptive_time_aware and self._seconds_per_sweep:
+            sweeps_target = min(
+                64.0, max(1.0, self.config.adaptive_target_seconds / self._seconds_per_sweep)
+            )
+        desired = 1 << max(0, math.ceil(math.log2(max(1.0, remaining / sweeps_target))))
         desired = max(1, min(self.config.max_chains, desired))
         if desired >= 2 * self.num_chains or 2 * desired <= self.num_chains:
             return desired
@@ -380,6 +424,46 @@ class BatchPowerSampler:
         for _ in range(interval):
             self._advance_one_cycle()
         return self.measure_cycle()
+
+    def next_samples_with_control(
+        self, interval: int, cheap_cycles: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """One control-variate sweep: samples, their controls and a cheap mean.
+
+        Advances all chains ``max(interval, cheap_cycles)`` cycles, measuring
+        each advance cycle's *total* zero-delay switched capacitance (the
+        advance cycles double as the independence interval, so the cheap
+        control costs no extra simulation), then measures the sampled cycle
+        with **both** engines on identical lanes via the power engine's
+        ``measure_lanes_with_control``.
+
+        Returns ``(samples, controls, cheap_mean)``: the per-chain power
+        samples, the per-chain zero-delay controls of the same cycle, and the
+        per-chain-cycle mean of the cheap advance measurements.  Under
+        stationarity the controls and the cheap mean share one expectation,
+        so their difference is a mean-zero control variate for the samples
+        (see :class:`repro.variance.control_variate.ControlVariateEstimator`).
+        """
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if cheap_cycles < 1:
+            raise ValueError("cheap_cycles must be at least 1")
+        measure = getattr(self._power, "measure_lanes_with_control", None)
+        if measure is None:
+            raise ValueError(
+                f"power simulator {self.config.power_simulator!r} does not expose "
+                f"measure_lanes_with_control; the control-variate estimator needs it"
+            )
+        self._require_prepared()
+        advance = max(interval, cheap_cycles)
+        cheap_total = 0.0
+        for _ in range(advance):
+            cheap_total += float(self._engine.step_and_measure(self._next_pattern()))
+            self.cycles_simulated += 1
+        samples, controls = measure(self._engine, self._next_pattern())
+        self.cycles_simulated += 1
+        cheap_mean = cheap_total / (advance * self.num_chains)
+        return samples, controls, cheap_mean
 
     def sample_block(self, interval: int, min_count: int) -> np.ndarray:
         """Return at least *min_count* samples spaced by *interval* cycles.

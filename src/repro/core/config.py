@@ -91,6 +91,16 @@ class EstimationConfig:
     max_chains:
         Upper bound on the ensemble width adaptive scaling may grow to
         (ignored when ``adaptive_chains`` is off).
+    adaptive_time_aware:
+        When ``True`` (and ``adaptive_chains`` is on), the resize policy also
+        consults the measured wall-clock seconds per sweep and sizes the
+        ensemble so one sampling batch targets ``adaptive_target_seconds`` of
+        work — wide ensembles on fast circuits, narrow ones on slow circuits.
+        Off by default; when off, no timing is measured and the sampled
+        trajectory is bit-identical to earlier releases.
+    adaptive_target_seconds:
+        Wall-clock budget per sampling batch the time-aware policy aims for
+        (ignored unless ``adaptive_time_aware`` is on).
     num_workers:
         Number of worker processes the chain ensemble is sharded across.
         1 (the default) keeps all chains in-process; larger values use
@@ -125,6 +135,8 @@ class EstimationConfig:
     num_chains: int = 1
     adaptive_chains: bool = False
     max_chains: int = 1024
+    adaptive_time_aware: bool = False
+    adaptive_target_seconds: float = 2.0
     num_workers: int = 1
     simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
@@ -184,6 +196,8 @@ class EstimationConfig:
                 "adaptive chain scaling needs max_chains >= num_chains "
                 f"(got max_chains={self.max_chains}, num_chains={self.num_chains})"
             )
+        if self.adaptive_target_seconds <= 0.0:
+            raise ValueError("adaptive_target_seconds must be positive")
         if self.simulation_backend not in SIMULATION_BACKENDS:
             raise ValueError(
                 f"simulation_backend must be one of {SIMULATION_BACKENDS}, "

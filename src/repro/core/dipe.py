@@ -50,7 +50,7 @@ from repro.core.results import PowerEstimate
 from repro.core.sampler import PowerSampler
 from repro.netlist.netlist import Netlist
 from repro.simulation.compiled import CompiledCircuit
-from repro.stats.stopping import make_stopping_criterion
+from repro.stats.stopping import GroupedStoppingCriterion, make_stopping_criterion
 from repro.stimulus.base import Stimulus
 from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.utils.rng import RandomSource
@@ -89,11 +89,33 @@ class DipeEstimator(StreamingEstimator):
         self.sampler: PowerSampler | BatchPowerSampler = make_sampler(
             circuit, self.stimulus, self.config, rng=rng
         )
-        self.stopping_criterion = make_stopping_criterion(
+        # Lane-coupled variance-reduction stimuli (repro.variance) correlate
+        # the draws within each measured sweep; per-sample i.i.d. confidence
+        # intervals would be invalid, so the criterion evaluates sweep means
+        # instead.  The grouped inner criterion counts sweeps, hence the
+        # scaled-down min_samples floor.
+        lanes_dependent = getattr(self.stimulus, "lanes_dependent", False)
+        group = getattr(self.sampler, "num_chains", 1) if lanes_dependent else 1
+        if lanes_dependent and self.config.adaptive_chains:
+            raise ValueError(
+                "adaptive_chains cannot be combined with a lane-coupled "
+                "(lanes_dependent) stimulus: resizing would change the sweep "
+                "group width mid-run and invalidate the grouped confidence "
+                "interval"
+            )
+        self.sample_group_width = group
+        inner = make_stopping_criterion(
             self.config.stopping_criterion,
             max_relative_error=self.config.max_relative_error,
             confidence=self.config.confidence,
-            min_samples=self.config.min_samples,
+            min_samples=(
+                max(16, -(-self.config.min_samples // group))
+                if group > 1
+                else self.config.min_samples
+            ),
+        )
+        self.stopping_criterion = (
+            GroupedStoppingCriterion(inner, group) if group > 1 else inner
         )
 
     # -------------------------------------------------------------- streaming
@@ -144,7 +166,14 @@ class DipeEstimator(StreamingEstimator):
             selection=interval_result,
         )
 
+        # Imported lazily: the repro.variance package's control-variate
+        # estimator subclasses DipeEstimator, so a module-level import here
+        # would be circular.
+        from repro.variance.accumulators import PairedMeanAccumulator
+
         adaptive = config.adaptive_chains and isinstance(self.sampler, BatchPowerSampler)
+        accumulator = PairedMeanAccumulator(self.sample_group_width)
+        accumulator.extend(samples)
         decision = self.stopping_criterion.evaluate(samples)
         while not decision.should_stop and len(samples) < config.max_samples:
             if adaptive:
@@ -164,7 +193,9 @@ class DipeEstimator(StreamingEstimator):
             # One measured sweep yields one sample per chain; the chains'
             # draws are interleaved chain-major into the growing sample by
             # one vectorized block draw per stopping-criterion check.
-            samples.extend(draw_sample_block(self.sampler, interval, config.check_interval))
+            block = draw_sample_block(self.sampler, interval, config.check_interval)
+            samples.extend(block)
+            accumulator.extend(block)
             decision = self.stopping_criterion.evaluate(samples)
             self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
             yield SampleProgress(
@@ -178,6 +209,11 @@ class DipeEstimator(StreamingEstimator):
                 relative_half_width=decision.relative_half_width,
                 accuracy_met=decision.should_stop,
                 num_workers=getattr(self.sampler, "num_workers", 1),
+                effective_sample_size=(
+                    accumulator.effective_sample_size
+                    if self.sample_group_width > 1
+                    else None
+                ),
                 shards=(
                     self.sampler.shard_progress()
                     if hasattr(self.sampler, "shard_progress")
@@ -200,6 +236,9 @@ class DipeEstimator(StreamingEstimator):
             stopping_criterion=self.stopping_criterion.name,
             accuracy_met=decision.should_stop,
             interval_selection=interval_result,
+            effective_sample_size=(
+                accumulator.effective_sample_size if self.sample_group_width > 1 else None
+            ),
             samples_switched_capacitance_f=tuple(samples),
         )
         yield EstimateCompleted(

@@ -115,6 +115,12 @@ class PowerEstimate:
         when the ``max_samples`` cap was hit first).
     interval_selection:
         Diagnostics of the interval-selection phase (``None`` for baselines).
+    effective_sample_size:
+        Independent-sample equivalent of the collected sample's precision
+        (``None`` for plain i.i.d. sampling, where it would equal the raw
+        count).  Reported by estimators using variance-reduction techniques
+        (:mod:`repro.variance`): above ``sample_size`` means the coupling
+        bought extra precision per raw sample.
     samples_switched_capacitance_f:
         The raw sample of per-cycle switched capacitance (farads); kept so
         reports and tests can re-analyse the sample.
@@ -133,6 +139,7 @@ class PowerEstimate:
     stopping_criterion: str
     accuracy_met: bool
     interval_selection: IntervalSelectionResult | None = None
+    effective_sample_size: float | None = None
     samples_switched_capacitance_f: tuple[float, ...] = field(default=(), repr=False)
 
     @property
@@ -164,6 +171,7 @@ class PowerEstimate:
             "interval_selection": (
                 self.interval_selection.to_dict() if self.interval_selection is not None else None
             ),
+            "effective_sample_size": self.effective_sample_size,
             "samples_switched_capacitance_f": list(self.samples_switched_capacitance_f),
         }
 
@@ -189,5 +197,6 @@ class PowerEstimate:
                 if interval_selection is not None
                 else None
             ),
+            effective_sample_size=data.get("effective_sample_size"),
             samples_switched_capacitance_f=tuple(data.get("samples_switched_capacitance_f", ())),
         )

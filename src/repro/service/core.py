@@ -109,12 +109,12 @@ def validate_job_payload(payload: Any) -> JobSpec:
         raise InvalidJobError(f"invalid job spec: {error}") from None
     if spec.estimator not in ESTIMATOR_REGISTRY:
         raise InvalidJobError(
-            f"unknown estimator {spec.estimator!r}; "
+            f"invalid 'estimator': unknown estimator {spec.estimator!r}; "
             f"registered: {sorted(ESTIMATOR_REGISTRY.names())}"
         )
     if spec.stimulus.kind not in STIMULUS_REGISTRY:
         raise InvalidJobError(
-            f"unknown stimulus {spec.stimulus.kind!r}; "
+            f"invalid 'stimulus.kind': unknown stimulus {spec.stimulus.kind!r}; "
             f"registered: {sorted(STIMULUS_REGISTRY.names())}"
         )
     try:
@@ -126,7 +126,7 @@ def validate_job_payload(payload: Any) -> JobSpec:
     try:
         spec.stimulus.build(circuit.num_inputs)
     except (TypeError, ValueError) as error:
-        raise InvalidJobError(f"invalid stimulus parameters: {error}") from None
+        raise InvalidJobError(f"invalid 'stimulus.params': invalid stimulus parameters: {error}") from None
     return spec
 
 

@@ -22,6 +22,11 @@ The returned engine exposes:
   per-lane switched capacitance, shape ``(width,)``;
 * ``measure_total(state_engine, pattern) -> float`` — same cycle, lane-summed
   (cheaper when per-chain resolution is not needed);
+* ``measure_lanes_with_control(state_engine, pattern) -> (np.ndarray,
+  np.ndarray)`` *(optional)* — same cycle measured by **both** this engine
+  and the cheap zero-delay state engine on identical lanes; the second array
+  is the zero-delay switched capacitance, used as the control variable by
+  :class:`repro.variance.control_variate.ControlVariateEstimator`;
 * ``engine`` — the underlying simulator object, or ``None`` when measurement
   happens on the state engine itself.
 
@@ -70,6 +75,13 @@ class ZeroDelayPowerEngine:
 
     def measure_total(self, state_engine, pattern) -> float:
         return state_engine.step_and_measure(pattern)
+
+    def measure_lanes_with_control(self, state_engine, pattern) -> tuple[np.ndarray, np.ndarray]:
+        # The zero-delay measurement *is* the control here: the pair is
+        # degenerate (identical arrays), which the control-variate estimator
+        # rejects up front — kept for interface completeness.
+        switched = state_engine.step_and_measure_lanes(pattern)
+        return switched, switched
 
 
 @register_simulator("event-driven")
@@ -122,3 +134,14 @@ class EventDrivenPowerEngine:
         switched = self.engine.cycle(pattern)
         state_engine.step(pattern)
         return switched
+
+    def measure_lanes_with_control(self, state_engine, pattern) -> tuple[np.ndarray, np.ndarray]:
+        # Same cycle, both engines, identical lanes: the event-driven
+        # measurement (glitches included) and the zero-delay functional
+        # transitions.  Advancing the state engine with step_and_measure_lanes
+        # keeps the state trajectory identical to measure_lanes — only the
+        # extra per-lane readout differs.
+        self.engine.load_settled_state(self._settled_state(state_engine))
+        switched = self.engine.cycle_lanes(pattern)
+        control = state_engine.step_and_measure_lanes(pattern)
+        return switched, control

@@ -16,6 +16,10 @@ provided:
   (the paper's reference [6]).
 
 All criteria share the interface of :class:`StoppingCriterion`.
+:class:`GroupedStoppingCriterion` wraps any of them so they evaluate sweep
+means instead of raw samples — required for validity when a lane-coupled
+variance-reduction stimulus (``repro.variance``) correlates the draws within
+each sweep.
 """
 
 from repro.api.registry import (
@@ -25,6 +29,7 @@ from repro.api.registry import (
 )
 from repro.stats.stopping.base import StoppingCriterion, StoppingDecision
 from repro.stats.stopping.clt import CltStoppingCriterion
+from repro.stats.stopping.grouped import GroupedStoppingCriterion
 from repro.stats.stopping.ks import KolmogorovSmirnovStoppingCriterion
 from repro.stats.stopping.order_stat import OrderStatisticStoppingCriterion
 
@@ -32,6 +37,7 @@ __all__ = [
     "StoppingCriterion",
     "StoppingDecision",
     "CltStoppingCriterion",
+    "GroupedStoppingCriterion",
     "KolmogorovSmirnovStoppingCriterion",
     "OrderStatisticStoppingCriterion",
     "make_stopping_criterion",

@@ -63,6 +63,13 @@ class Stimulus(ABC):
     statistically independent given independent RNG streams.
     """
 
+    #: ``True`` for generators that deliberately correlate the simulation
+    #: lanes (the variance-reduction stimuli in :mod:`repro.variance`).
+    #: Estimators consult this flag to switch to sweep-grouped confidence
+    #: intervals, because per-sample i.i.d. intervals are invalid for
+    #: cross-lane-dependent draws.
+    lanes_dependent: bool = False
+
     def __init__(self, num_inputs: int):
         if num_inputs < 0:
             raise ValueError("num_inputs must be non-negative")

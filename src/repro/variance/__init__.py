@@ -1,0 +1,55 @@
+"""Variance-reduction subsystem: fewer samples for the same confidence.
+
+The DIPE flow estimates average power as the mean of i.i.d. per-cycle
+switched-capacitance samples; its cost is the number of simulated cycles
+needed before the stopping criterion's confidence interval closes.  This
+package shrinks that cost without touching the estimand, through two
+orthogonal families of techniques:
+
+* **Lane-coupled stimuli** (:mod:`repro.variance.stimuli`) —
+  :class:`AntitheticStimulus`, :class:`StratifiedStimulus` and
+  :class:`SobolStimulus` drive the multi-chain batch sampler's lanes with
+  *negatively correlated* input-toggle streams while keeping every single
+  lane marginally identical to independent Bernoulli(0.5) inputs.  Per-sweep
+  ensemble means then have lower variance than independent lanes would give,
+  and the sweep-grouped stopping criterion
+  (:class:`~repro.stats.stopping.GroupedStoppingCriterion`) converts that
+  into an earlier, still-valid stop.
+* **Control variates** (:mod:`repro.variance.control_variate`) —
+  :class:`ControlVariateEstimator` measures the cheap zero-delay toggle
+  estimate alongside the event-driven (glitch) estimate on the *same* lanes
+  and regresses out the correlated component, with the optimal coefficient
+  estimated online.
+
+:mod:`repro.variance.accumulators` supplies the
+:class:`PairedMeanAccumulator` that tracks the effective sample size of the
+coupled draws; estimators surface it in
+:class:`~repro.api.events.SampleProgress` events and
+:class:`~repro.core.results.PowerEstimate` diagnostics.
+
+All components register through the standard plugin registries
+(``"antithetic"``, ``"stratified"``, ``"sobol"`` stimuli; the
+``"control-variate"`` estimator), so they compose with the CLI, the batch
+runner and the estimation service exactly like the built-ins.  See
+``docs/variance.md`` for when each technique helps and
+``benchmarks/test_bench_variance.py`` for the measured gains.
+"""
+
+from repro.variance.accumulators import PairedMeanAccumulator
+from repro.variance.control_variate import ControlVariateEstimator
+from repro.variance.sobol import SobolSequence, direction_numbers
+from repro.variance.stimuli import (
+    AntitheticStimulus,
+    SobolStimulus,
+    StratifiedStimulus,
+)
+
+__all__ = [
+    "AntitheticStimulus",
+    "ControlVariateEstimator",
+    "PairedMeanAccumulator",
+    "SobolSequence",
+    "SobolStimulus",
+    "StratifiedStimulus",
+    "direction_numbers",
+]

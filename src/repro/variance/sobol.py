@@ -1,0 +1,195 @@
+"""Self-contained scrambled-Sobol machinery (no scipy dependency).
+
+A Sobol sequence is a (t, s)-digital net in base 2: coordinate *d* of point
+*i* is built by XOR-ing *direction numbers* selected by the bits of *i*.
+Any aligned block of ``2^k`` consecutive points is perfectly balanced in
+every coordinate — exactly the property :class:`~repro.variance.stimuli.
+SobolStimulus` exploits to balance input toggles across the lock-step chain
+ensemble.
+
+Everything here is built at runtime from first principles:
+
+* :func:`primitive_polynomials` brute-forces primitive polynomials over
+  GF(2) in degree order (a polynomial is primitive iff ``x`` has
+  multiplicative order ``2^deg - 1`` in ``GF(2)[x]/(poly)``, checked with a
+  factored-order power test);
+* :func:`direction_numbers` seeds each coordinate with deterministic odd
+  initial direction integers and extends them with the classical Sobol
+  recurrence;
+* :class:`SobolSequence` generates consecutive points with the gray-code
+  construction, which maps aligned ``2^k`` blocks onto aligned blocks — so
+  block balance survives the incremental generator.
+
+The number of constructible dimensions is bounded only by the brute-force
+polynomial search (degrees 1..8 already give 50+ dimensions, far beyond the
+ISCAS-89 input counts); direction-number tables are cached per
+``(dim, bits)``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+__all__ = ["SobolSequence", "direction_numbers", "primitive_polynomials"]
+
+#: Default direction-number precision (bits per coordinate).  32 keeps every
+#: XOR inside uint64 with room to spare and is far below any point count the
+#: samplers reach.
+DEFAULT_BITS = 32
+
+
+def _is_primitive(poly: int, deg: int) -> bool:
+    """True when *poly* (degree *deg*, bit-encoded) is primitive over GF(2)."""
+    order = (1 << deg) - 1
+    if order == 1:
+        return True
+
+    def mulmod(a: int, b: int) -> int:
+        result = 0
+        while b:
+            if b & 1:
+                result ^= a
+            b >>= 1
+            a <<= 1
+            if (a >> deg) & 1:
+                a ^= poly
+        return result
+
+    def powmod(a: int, exponent: int) -> int:
+        result = 1
+        while exponent:
+            if exponent & 1:
+                result = mulmod(result, a)
+            a = mulmod(a, a)
+            exponent >>= 1
+        return result
+
+    # x (encoded as 2) must have full multiplicative order: x^order == 1 and
+    # x^(order/p) != 1 for every prime factor p of the order.
+    if powmod(2, order) != 1:
+        return False
+    remaining = order
+    factor = 2
+    prime_factors = set()
+    while factor * factor <= remaining:
+        while remaining % factor == 0:
+            prime_factors.add(factor)
+            remaining //= factor
+        factor += 1
+    if remaining > 1:
+        prime_factors.add(remaining)
+    return all(powmod(2, order // p) != 1 for p in prime_factors)
+
+
+@functools.lru_cache(maxsize=None)
+def primitive_polynomials(count: int) -> tuple[tuple[int, int], ...]:
+    """First *count* primitive polynomials over GF(2), in degree order.
+
+    Returns ``(degree, tail)`` pairs where ``tail`` holds the coefficients of
+    ``x^(degree-1) .. x^0`` (the leading coefficient is implicit).  The
+    constant term of a primitive polynomial is always 1, so only odd tails
+    are examined.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    polys: list[tuple[int, int]] = []
+    deg = 1
+    while len(polys) < count:
+        for tail in range(1, 1 << deg, 2):
+            if _is_primitive((1 << deg) | tail, deg):
+                polys.append((deg, tail))
+                if len(polys) >= count:
+                    break
+        deg += 1
+    return tuple(polys)
+
+
+@functools.lru_cache(maxsize=None)
+def direction_numbers(dim: int, bits: int = DEFAULT_BITS) -> np.ndarray:
+    """Direction-number table: ``(dim, bits)`` uint64, column *j* for bit *j*.
+
+    Coordinate 0 is the van der Corput sequence (identity directions); every
+    further coordinate gets its own primitive polynomial and deterministic
+    odd initial direction integers ``m_k``, extended by the Sobol recurrence
+
+    ``m_k = m_{k-deg} ^ (m_{k-deg} << deg) ^ XOR_i a_i (m_{k-i} << i)``.
+
+    The returned array is cached and must be treated as read-only.
+    """
+    if dim < 1:
+        raise ValueError("dim must be at least 1")
+    if not 1 <= bits <= 62:
+        raise ValueError("bits must lie in [1, 62]")
+    table = np.zeros((dim, bits), dtype=np.uint64)
+    for j in range(bits):
+        table[0, j] = np.uint64(1) << np.uint64(bits - 1 - j)
+    polys = primitive_polynomials(dim - 1)
+    for d in range(1, dim):
+        deg, tail = polys[d - 1]
+        m = [1]
+        for k in range(1, deg):
+            m.append((2 * k + 1) % (1 << (k + 1)) | 1)
+        coeffs = [(tail >> (deg - 1 - i)) & 1 for i in range(deg - 1)] if deg > 1 else []
+        for k in range(deg, bits):
+            new = m[k - deg] ^ (m[k - deg] << deg)
+            for i in range(1, deg):
+                if coeffs[i - 1]:
+                    new ^= m[k - i] << i
+            m.append(new)
+        for j in range(bits):
+            table[d, j] = np.uint64(m[j]) << np.uint64(bits - 1 - j)
+    table.setflags(write=False)
+    return table
+
+
+class SobolSequence:
+    """Incremental gray-code Sobol point generator.
+
+    Produces consecutive points of the *dim*-dimensional Sobol sequence as
+    uint64 coordinates in ``[0, 2^bits)``.  The only mutable state is the
+    next point index, so checkpointing reduces to saving one integer
+    (:attr:`index`).
+
+    The gray-code construction emits points in gray-code order rather than
+    natural order; within any aligned block of ``2^k`` consecutive indices
+    the emitted point *set* equals the natural-order block (gray code
+    permutes aligned blocks onto themselves), which is the balance property
+    the stimuli rely on.
+    """
+
+    def __init__(self, dim: int, bits: int = DEFAULT_BITS, index: int = 0):
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        self.dim = dim
+        self.bits = bits
+        self._directions = direction_numbers(dim, bits)
+        self.index = index
+
+    def next_block(self, count: int) -> np.ndarray:
+        """Return the next *count* points as a ``(count, dim)`` uint64 array."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out = np.zeros((count, self.dim), dtype=np.uint64)
+        for offset in range(count):
+            gray = (self.index + offset) ^ ((self.index + offset) >> 1)
+            point = np.zeros(self.dim, dtype=np.uint64)
+            bit = 0
+            while gray:
+                if gray & 1:
+                    point ^= self._directions[:, bit]
+                gray >>= 1
+                bit += 1
+            out[offset] = point
+        self.index += count
+        return out
+
+    def next_top_bits(self, count: int) -> np.ndarray:
+        """Top bit of each coordinate for the next *count* points, uint8 ``(count, dim)``.
+
+        The top bit of coordinate *d* answers "is the point in the upper half
+        of axis *d*?" — the one-bit quantisation the toggle stimuli consume.
+        """
+        top = np.uint64(1) << np.uint64(self.bits - 1)
+        return ((self.next_block(count) & top) != 0).astype(np.uint8)

@@ -1,0 +1,223 @@
+"""Lane-coupled variance-reduction stimuli for the multi-chain sampler.
+
+All three stimuli operate in **toggle (transition) space**: they keep the
+current input levels of every lane as internal state, draw a matrix of
+*toggle* bits each cycle, and XOR the toggles into the levels.  Dynamic
+power is driven by input transitions, not input levels — at ``p = 0.5``,
+complementing the level stream leaves the transition stream unchanged, so
+coupling levels across lanes achieves nothing.  Coupling the *toggles* is
+what transfers onto power (established empirically during bring-up and
+pinned by ``benchmarks/test_bench_variance.py``).
+
+The coupling schemes:
+
+* :class:`AntitheticStimulus` — adjacent lanes ``(2k, 2k+1)`` receive exactly
+  complementary toggle streams (lane ``2k+1`` toggles an input iff lane
+  ``2k`` does not).  Pairs are adjacent uint64 lanes in the packed
+  ``(num_inputs, num_words)`` pattern words, so the pairing is free: it
+  survives word-aligned sharding untouched and no lane permutation is ever
+  needed.
+* :class:`StratifiedStimulus` — a Latin-hypercube design per input: each
+  cycle, every input's toggle probabilities are jitter-stratified over the
+  lanes so the input toggles in *exactly* half the lanes (lane assignment
+  random).  The per-sweep toggle density of every input is pinned to 0.5
+  with zero variance.
+* :class:`SobolStimulus` — one scrambled-Sobol coordinate per input; each
+  cycle consumes one aligned block of ``width`` consecutive points, and the
+  top bit of coordinate *d* (freshly scrambled: a per-cycle digital shift
+  XOR plus a per-cycle random lane permutation) becomes input *d*'s toggle
+  in each lane.  Aligned ``2^k`` blocks of a Sobol net are balanced in every
+  coordinate *and* well-spread in coordinate pairs, so joint toggle patterns
+  across inputs are balanced too — typically the strongest coupling of the
+  three on circuits with wide input cones.
+
+**Unbiasedness** is exact and structural: every single lane's toggle stream
+is marginally i.i.d. Bernoulli(0.5) — for Sobol and stratified draws because
+XOR-ing/jittering with fresh independent uniform randomness each cycle makes
+each lane's bits exactly uniform; for antithetic pairs because the
+complement of a Bernoulli(0.5) stream is again Bernoulli(0.5).  Each chain
+is therefore distributed *identically* to one driven by
+:class:`~repro.stimulus.random_inputs.BernoulliStimulus`; only the
+*cross-lane* dependence differs.  That dependence is exactly why the flat
+per-sample confidence interval is no longer valid, and why estimators group
+samples per sweep (see :class:`~repro.stats.stopping.GroupedStoppingCriterion`)
+when a stimulus declares :attr:`~repro.stimulus.base.Stimulus.lanes_dependent`.
+
+All three only support ``probability = 0.5`` (the paper's setting): the
+toggle rate of a stationary Bernoulli(p) level stream is ``2 p (1-p)`` and
+its toggles are no longer independent of its levels for ``p != 0.5``, so the
+toggle-space constructions would bias the input law.  A clear error refuses
+anything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.registry import register_stimulus
+from repro.stimulus.base import Stimulus
+from repro.variance.sobol import DEFAULT_BITS, SobolSequence
+
+__all__ = ["AntitheticStimulus", "SobolStimulus", "StratifiedStimulus"]
+
+
+class _ToggleCoupledStimulus(Stimulus):
+    """Shared machinery: per-lane level state updated by coupled toggle draws.
+
+    The first :meth:`next_bits` call of a run (or after a width change, which
+    only happens when an adaptive ensemble is rebuilt) draws independent
+    uniform initial levels; every later call XORs a freshly drawn toggle
+    matrix into the levels.  Subclasses implement :meth:`_toggles`.
+    """
+
+    lanes_dependent = True
+
+    def __init__(self, num_inputs: int, probability: float = 0.5):
+        super().__init__(num_inputs)
+        probability = float(probability)
+        if probability != 0.5:
+            raise ValueError(
+                f"{type(self).__name__} only supports probability=0.5 "
+                f"(got {probability!r}): its toggle-space coupling is only "
+                f"unbiased for balanced inputs"
+            )
+        self.probability = probability
+        self._levels: np.ndarray | None = None
+
+    def _toggles(self, rng: np.random.Generator, width: int) -> np.ndarray:
+        """Return the coupled ``(num_inputs, width)`` uint8 toggle matrix."""
+        raise NotImplementedError
+
+    def _check_width(self, width: int) -> None:
+        """Hook for subclasses with lane-count constraints (default: none)."""
+
+    def next_bits(self, rng: np.random.Generator, width: int = 1) -> np.ndarray:
+        self._check_width(width)
+        if self.num_inputs == 0:
+            return np.zeros((0, width), dtype=np.uint8)
+        if self._levels is None or self._levels.shape[1] != width:
+            self._levels = rng.integers(0, 2, size=(self.num_inputs, width), dtype=np.uint8)
+        else:
+            self._levels = self._levels ^ self._toggles(rng, width)
+        return self._levels
+
+    def reset(self) -> None:
+        self._levels = None
+
+    def get_state(self):
+        return None if self._levels is None else self._levels.copy()
+
+    def set_state(self, state) -> None:
+        self._levels = None if state is None else np.asarray(state, dtype=np.uint8).copy()
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(inputs={self.num_inputs}, p=0.5)"
+
+
+@register_stimulus("antithetic")
+class AntitheticStimulus(_ToggleCoupledStimulus):
+    """Complementary toggle streams on adjacent lane pairs.
+
+    Lane ``2k+1`` toggles an input exactly when lane ``2k`` does not, so the
+    pair's toggle counts per input sum to a constant every cycle and the
+    positively-correlated component of the pair's power samples cancels in
+    the pair mean.  Initial levels are independent per lane, keeping every
+    lane marginally Bernoulli(0.5).
+
+    Requires an even lane count (``EstimationConfig(num_chains=2, 4, ...)``):
+    an unpaired trailing lane would break the pairing invariant silently, so
+    odd widths are rejected loudly instead.
+    """
+
+    def _check_width(self, width: int) -> None:
+        if width % 2 != 0:
+            raise ValueError(
+                f"AntitheticStimulus pairs adjacent lanes and needs an even "
+                f"number of chains, got width={width}; set "
+                f"EstimationConfig(num_chains=...) to an even value"
+            )
+
+    def _toggles(self, rng: np.random.Generator, width: int) -> np.ndarray:
+        half = rng.integers(0, 2, size=(self.num_inputs, width // 2), dtype=np.uint8)
+        toggles = np.empty((self.num_inputs, width), dtype=np.uint8)
+        toggles[:, 0::2] = half
+        toggles[:, 1::2] = half ^ 1
+        return toggles
+
+
+@register_stimulus("stratified")
+class StratifiedStimulus(_ToggleCoupledStimulus):
+    """Latin-hypercube-stratified toggles: every input toggles in exactly
+    ``width / 2`` lanes per cycle.
+
+    Each input independently places one jittered point per lane on a
+    ``width``-cell stratification of [0, 1) and toggles where the point falls
+    below 0.5 — a randomised balanced design whose per-lane marginal is
+    exactly Bernoulli(0.5).  With ``width = 1`` the construction degrades
+    gracefully to plain independent toggles.
+    """
+
+    def _toggles(self, rng: np.random.Generator, width: int) -> np.ndarray:
+        shape = (self.num_inputs, width)
+        strata = np.argsort(rng.random(shape), axis=1)
+        positions = (strata + rng.random(shape)) / width
+        return (positions < 0.5).astype(np.uint8)
+
+
+@register_stimulus("sobol")
+class SobolStimulus(_ToggleCoupledStimulus):
+    """Scrambled Sobol (QMC) toggles: one net coordinate per primary input.
+
+    Each cycle consumes one aligned block of ``width`` consecutive points
+    from a private :class:`~repro.variance.sobol.SobolSequence` (own
+    direction-number table, no scipy).  The block is re-scrambled *per
+    cycle* — a fresh digital-shift XOR of each coordinate's top bit plus a
+    fresh random lane permutation — before its top bits become the lanes'
+    toggles.  Per-cycle re-scrambling is essential: a scramble fixed for the
+    whole run would pin each lane to a fixed stratum of the net and the
+    resulting persistent lane offsets would *inflate* the sweep-mean
+    variance instead of shrinking it.
+
+    The XOR scrambling makes each lane's toggles exactly i.i.d. uniform
+    (marginally identical to Bernoulli(0.5) inputs); only the cross-lane
+    joint distribution carries the net's balance.
+
+    Parameters
+    ----------
+    num_inputs:
+        Primary inputs; one Sobol coordinate each.
+    probability:
+        Must be 0.5 (see module docstring).
+    bits:
+        Direction-number precision; the default (32) is ample for any
+        reachable point index.
+    """
+
+    def __init__(self, num_inputs: int, probability: float = 0.5, bits: int = DEFAULT_BITS):
+        super().__init__(num_inputs, probability)
+        self._sequence = SobolSequence(max(1, num_inputs), bits=bits)
+
+    def _toggles(self, rng: np.random.Generator, width: int) -> np.ndarray:
+        base = self._sequence.next_top_bits(width)  # (width, num_inputs)
+        flip = rng.integers(0, 2, size=self.num_inputs, dtype=np.uint8)
+        perm = rng.permutation(width)
+        return (base[perm] ^ flip[None, :]).T
+
+    def reset(self) -> None:
+        super().reset()
+        self._sequence.index = 0
+
+    def get_state(self):
+        return {
+            "levels": None if self._levels is None else self._levels.copy(),
+            "index": int(self._sequence.index),
+        }
+
+    def set_state(self, state) -> None:
+        if state is None:
+            self._levels = None
+            self._sequence.index = 0
+            return
+        levels = state["levels"]
+        self._levels = None if levels is None else np.asarray(levels, dtype=np.uint8).copy()
+        self._sequence.index = int(state["index"])

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.circuits.library import S27_BENCH
-from repro.cli import build_parser, main
+from repro.cli import _stimulus_spec, build_parser, main
 
 
 class TestParser:
@@ -289,3 +289,48 @@ class TestCompileVerb:
     def test_compile_unknown_circuit_fails(self):
         with pytest.raises(SystemExit):
             main(["compile", "nope"])
+
+
+class TestStimulusOption:
+    def test_defaults_to_bernoulli(self):
+        args = build_parser().parse_args(["estimate", "s27"])
+        assert args.stimulus == "bernoulli"
+        spec = _stimulus_spec(args)
+        assert spec.kind == "bernoulli"
+        assert spec.params["probabilities"] == 0.5
+
+    def test_unknown_stimulus_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "s27", "--stimulus", "magic"])
+
+    def test_probability_forwarded_to_probability_kinds(self):
+        args = build_parser().parse_args(
+            ["estimate", "s27", "--stimulus", "lag-one-markov",
+             "--input-probability", "0.3"]
+        )
+        spec = _stimulus_spec(args)
+        assert spec.kind == "lag-one-markov"
+        assert spec.params == {"probability": 0.3}
+
+    def test_parameterless_kinds_get_bare_spec(self):
+        args = build_parser().parse_args(["estimate", "s27", "--stimulus", "sobol"])
+        spec = _stimulus_spec(args)
+        assert spec.kind == "sobol"
+        assert spec.params == {"probability": 0.5}
+
+    def test_registry_kinds_are_offered(self):
+        for kind in ("antithetic", "stratified", "sobol"):
+            args = build_parser().parse_args(["estimate", "s27", "--stimulus", kind])
+            assert args.stimulus == kind
+
+    def test_estimate_runs_with_variance_stimulus(self, capsys):
+        exit_code = main(
+            ["estimate", "s27", "--stimulus", "antithetic", "--chains", "8",
+             "--seed", "3", "--json", "--reference-cycles", "0"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["stimulus"]["kind"] == "antithetic"
+        estimate = payload["result"]["data"]
+        assert estimate["stopping_criterion"] == "grouped-order-statistic"
+        assert estimate["effective_sample_size"] > 0

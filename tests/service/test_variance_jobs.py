@@ -1,0 +1,93 @@
+"""Variance-reduction stimuli through the service: HTTP, SSE, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import JobSpec, StimulusSpec
+from repro.core.config import EstimationConfig
+from repro.service import EstimationService, ResultStore, ServiceClient, ServiceThread
+
+COUPLED = EstimationConfig(
+    num_chains=16,
+    randomness_sequence_length=32,
+    max_independence_interval=4,
+    min_samples=64,
+    check_interval=32,
+    max_samples=2000,
+    warmup_cycles=8,
+)
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "store")
+
+
+@pytest.fixture()
+def server(store_path):
+    service = EstimationService(store=store_path, num_workers=2)
+    with ServiceThread(service) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(server.url) as client:
+        yield client
+
+
+def _spec(kind, seed):
+    return JobSpec(
+        circuit="s27",
+        stimulus=StimulusSpec(kind=kind, params={"probability": 0.5}),
+        config=COUPLED,
+        seed=seed,
+        label=f"{kind}-job",
+    )
+
+
+@pytest.mark.parametrize("kind", ["sobol", "antithetic"])
+class TestVarianceJobsOverHttp:
+    def test_job_completes_and_streams_ess(self, client, kind):
+        job_id = client.submit(_spec(kind, seed=5))["id"]
+        assert client.wait(job_id)["status"] == "completed"
+
+        envelopes = list(client.events(job_id))
+        progress = [
+            e["event"] for e in envelopes if e["event"]["kind"] == "sample-progress"
+        ]
+        assert progress
+        # Past the first check, streamed progress carries the running ESS.
+        assert all(
+            e["effective_sample_size"] is not None and e["effective_sample_size"] > 0
+            for e in progress[1:]
+        )
+
+        result = client.result(job_id)
+        assert result["status"] == "ok"
+        estimate = result["result"]["data"]
+        assert estimate["stopping_criterion"] == "grouped-order-statistic"
+        assert estimate["effective_sample_size"] > 0
+        assert estimate["sample_size"] % COUPLED.num_chains == 0
+
+    def test_result_roundtrips_through_store(self, client, store_path, kind):
+        job_id = client.submit(_spec(kind, seed=6))["id"]
+        client.wait(job_id)
+        over_http = client.result(job_id)
+        on_disk = ResultStore(store_path).load_result(job_id)
+        assert on_disk == over_http
+        assert on_disk["result"]["data"]["effective_sample_size"] > 0
+
+
+class TestVarianceJobValidation:
+    def test_unknown_stimulus_rejected(self, client):
+        from repro.service.client import ServiceClientError
+
+        spec = JobSpec(circuit="s27", config=COUPLED, seed=1)
+        payload = spec.to_dict()
+        payload["stimulus"] = {"kind": "warp-drive", "params": {}}
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit(payload)
+        assert excinfo.value.status == 400
+        assert "stimulus" in str(excinfo.value)

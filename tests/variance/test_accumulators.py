@@ -1,0 +1,85 @@
+"""Unit tests for the paired/grouped moment accumulators."""
+
+import numpy as np
+import pytest
+
+from repro.variance import PairedMeanAccumulator
+
+
+class TestPairedMeanAccumulator:
+    def test_group_width_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            PairedMeanAccumulator(0)
+
+    def test_empty_accumulator(self):
+        acc = PairedMeanAccumulator(4)
+        assert acc.count == 0
+        assert acc.num_groups == 0
+        assert acc.mean == 0.0
+        assert acc.per_sample_variance is None
+        assert acc.group_mean_variance is None
+        assert acc.effective_sample_size is None
+
+    def test_moments_match_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=240)
+        acc = PairedMeanAccumulator(8)
+        acc.extend(data)
+        assert acc.count == 240
+        assert acc.num_groups == 30
+        assert acc.mean == pytest.approx(data.mean())
+        assert acc.per_sample_variance == pytest.approx(data.var(ddof=1))
+        group_means = data.reshape(30, 8).mean(axis=1)
+        assert acc.group_mean_variance == pytest.approx(group_means.var(ddof=1))
+
+    def test_chunked_feeding_is_equivalent(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=200)
+        whole = PairedMeanAccumulator(8)
+        whole.extend(data)
+        chunked = PairedMeanAccumulator(8)
+        for start in range(0, 200, 7):  # chunk size coprime to the group width
+            chunked.extend(data[start : start + 7])
+        assert chunked.count == whole.count
+        assert chunked.num_groups == whole.num_groups
+        assert chunked.group_mean_variance == pytest.approx(whole.group_mean_variance)
+        assert chunked.effective_sample_size == pytest.approx(whole.effective_sample_size)
+
+    def test_partial_trailing_group_is_buffered(self):
+        acc = PairedMeanAccumulator(4)
+        acc.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert acc.count == 6
+        assert acc.num_groups == 1
+        acc.extend([7.0, 8.0])
+        assert acc.num_groups == 2
+
+    def test_iid_data_has_ess_near_count(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=6400)
+        acc = PairedMeanAccumulator(8)
+        acc.extend(data)
+        assert acc.effective_sample_size == pytest.approx(6400, rel=0.25)
+
+    def test_negative_coupling_raises_ess_above_count(self):
+        # Pairs (x, -x + noise): group means have far lower variance than
+        # independent samples, so the coupled draws are worth more each.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=2000)
+        noise = 0.1 * rng.normal(size=2000)
+        data = np.stack([x, -x + noise], axis=1).reshape(-1)
+        acc = PairedMeanAccumulator(2)
+        acc.extend(data)
+        assert acc.effective_sample_size > 10 * acc.count
+
+    def test_degenerate_constant_sample_gives_none(self):
+        acc = PairedMeanAccumulator(2)
+        acc.extend([1.0] * 20)
+        assert acc.effective_sample_size is None
+
+    def test_group_width_one_matches_raw_count(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=500)
+        acc = PairedMeanAccumulator(1)
+        acc.extend(data)
+        assert acc.num_groups == acc.count == 500
+        assert acc.effective_sample_size == pytest.approx(500)

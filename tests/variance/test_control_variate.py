@@ -1,0 +1,148 @@
+"""Control-variate estimator: validation, estimation, checkpoints, gains."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.events import EstimateCompleted, SampleProgress
+from repro.api.registry import get_estimator
+from repro.core.config import EstimationConfig
+from repro.variance import ControlVariateEstimator
+
+
+@pytest.fixture()
+def cv_config():
+    return EstimationConfig(
+        power_simulator="event-driven",
+        num_chains=16,
+        randomness_sequence_length=32,
+        max_independence_interval=4,
+        min_samples=64,
+        check_interval=32,
+        max_samples=4000,
+        warmup_cycles=8,
+    )
+
+
+class TestValidation:
+    def test_registered_with_alias(self):
+        assert get_estimator("control-variate") is ControlVariateEstimator
+        assert get_estimator("cv") is ControlVariateEstimator
+
+    def test_rejects_zero_delay(self, s27_circuit):
+        with pytest.raises(ValueError, match="zero-delay"):
+            ControlVariateEstimator(s27_circuit, config=EstimationConfig())
+
+    def test_rejects_workers(self, s27_circuit, cv_config):
+        config = dataclasses.replace(cv_config, num_workers=2)
+        with pytest.raises(ValueError, match="num_workers"):
+            ControlVariateEstimator(s27_circuit, config=config)
+
+    def test_rejects_adaptive_chains(self, s27_circuit, cv_config):
+        config = dataclasses.replace(cv_config, adaptive_chains=True)
+        with pytest.raises(ValueError, match="adaptive_chains"):
+            ControlVariateEstimator(s27_circuit, config=config)
+
+    def test_rejects_tiny_cheap_window(self, s27_circuit, cv_config):
+        with pytest.raises(ValueError, match="cheap_cycles"):
+            ControlVariateEstimator(s27_circuit, config=cv_config, cheap_cycles=1)
+
+
+class TestEstimation:
+    def test_runs_to_completion_with_diagnostics(self, s27_circuit, cv_config):
+        estimator = ControlVariateEstimator(s27_circuit, config=cv_config, rng=5)
+        events = list(estimator.run())
+        assert isinstance(events[-1], EstimateCompleted)
+        result = events[-1].estimate
+        assert result.method == "control-variate"
+        assert result.average_power_w > 0
+        assert result.sample_size % cv_config.num_chains == 0
+        assert result.effective_sample_size is not None
+        assert result.effective_sample_size > 0
+        # z values are sweep-level: one per measured sweep.
+        assert len(result.samples_switched_capacitance_f) == (
+            result.sample_size // cv_config.num_chains
+        )
+        progress = [e for e in events if isinstance(e, SampleProgress)]
+        assert progress
+        assert all(e.effective_sample_size is not None for e in progress[1:])
+
+    def test_estimate_matches_event_driven_dipe_statistically(
+        self, s27_circuit, cv_config
+    ):
+        # The control variate must not shift the estimand: compare against
+        # the plain event-driven DIPE estimate within the combined CIs.
+        from repro.core.dipe import DipeEstimator
+
+        cv = ControlVariateEstimator(s27_circuit, config=cv_config, rng=10).estimate()
+        plain = DipeEstimator(s27_circuit, config=cv_config, rng=11).estimate()
+        spread = (cv.upper_bound_w - cv.lower_bound_w) + (
+            plain.upper_bound_w - plain.lower_bound_w
+        )
+        assert abs(cv.average_power_w - plain.average_power_w) <= spread
+
+    def test_reproducible_from_seed(self, s27_circuit, cv_config):
+        first = ControlVariateEstimator(s27_circuit, config=cv_config, rng=3).estimate()
+        second = ControlVariateEstimator(s27_circuit, config=cv_config, rng=3).estimate()
+        assert first.average_power_w == second.average_power_w
+        assert first.samples_switched_capacitance_f == second.samples_switched_capacitance_f
+
+
+class TestCheckpointResume:
+    def test_resumed_run_identical(self, s27_circuit, cv_config):
+        full = ControlVariateEstimator(s27_circuit, config=cv_config, rng=42).estimate()
+
+        estimator = ControlVariateEstimator(s27_circuit, config=cv_config, rng=42)
+        stream = estimator.run()
+        checkpoint = None
+        for event in stream:
+            if isinstance(event, SampleProgress):
+                checkpoint = estimator.make_checkpoint()
+                stream.close()
+                break
+        assert checkpoint is not None
+        assert len(checkpoint.samples) % 3 == 0
+
+        resumed = ControlVariateEstimator(s27_circuit, config=cv_config, rng=0)
+        result = resumed.estimate_from(checkpoint)
+        assert result.average_power_w == full.average_power_w
+        assert result.sample_size == full.sample_size
+        assert result.samples_switched_capacitance_f == full.samples_switched_capacitance_f
+
+    def test_rejects_non_triple_checkpoints(self, s27_circuit, cv_config):
+        from repro.api.checkpoint import RunCheckpoint
+        from repro.core.results import IntervalSelectionResult
+
+        estimator = ControlVariateEstimator(s27_circuit, config=cv_config, rng=1)
+        bogus = RunCheckpoint(
+            method="control-variate",
+            circuit_name=s27_circuit.name,
+            samples=(1.0, 2.0),
+            interval_selection=IntervalSelectionResult(
+                interval=1,
+                converged=True,
+                trials=(),
+                significance_level=0.2,
+                cycles_simulated=0,
+            ),
+            sampler_state=estimator.sampler.get_state(),
+        )
+        with pytest.raises(ValueError, match="multiple of 3"):
+            list(estimator.run(resume_from=bogus))
+
+
+class TestVarianceReduction:
+    def test_adjusted_sweeps_beat_raw_sweeps(self, s27_circuit, cv_config):
+        # The online-regressed z sequence must have materially lower variance
+        # than the raw sweep means on a glitchy circuit.
+        estimator = ControlVariateEstimator(s27_circuit, config=cv_config, rng=8)
+        triples = []
+        estimator.sampler.prepare(8)
+        for _ in range(120):
+            samples, controls, cheap = estimator.sampler.next_samples_with_control(2, 8)
+            triples.extend((float(samples.mean()), float(controls.mean()), cheap))
+        z, ess = estimator._control_adjusted(triples)
+        arr = np.asarray(triples).reshape(-1, 3)
+        assert z.var(ddof=1) < arr[:, 0].var(ddof=1)
+        assert ess > 120 * cv_config.num_chains

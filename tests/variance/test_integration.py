@@ -1,0 +1,158 @@
+"""Variance stimuli through the full stack: DIPE, sharding, checkpoints."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.events import SampleProgress
+from repro.core.batch_sampler import BatchPowerSampler
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.core.sharded_sampler import ShardedPowerSampler
+from repro.stats.stopping import GroupedStoppingCriterion
+from repro.stimulus.random_inputs import BernoulliStimulus
+from repro.variance import AntitheticStimulus, SobolStimulus, StratifiedStimulus
+
+STIMULI = {
+    "antithetic": AntitheticStimulus,
+    "stratified": StratifiedStimulus,
+    "sobol": SobolStimulus,
+}
+
+
+@pytest.fixture()
+def coupled_config():
+    return EstimationConfig(
+        num_chains=32,
+        randomness_sequence_length=32,
+        max_independence_interval=4,
+        min_samples=64,
+        check_interval=64,
+        max_samples=6000,
+        warmup_cycles=8,
+    )
+
+
+class TestGroupedStoppingWiring:
+    def test_coupled_stimulus_gets_grouped_criterion(self, s27_circuit, coupled_config):
+        estimator = DipeEstimator(
+            s27_circuit,
+            stimulus=SobolStimulus(s27_circuit.num_inputs),
+            config=coupled_config,
+        )
+        assert isinstance(estimator.stopping_criterion, GroupedStoppingCriterion)
+        assert estimator.sample_group_width == 32
+        # The inner floor counts sweeps: ceil(64 / 32) = 2, raised to 16.
+        assert estimator.stopping_criterion.inner.min_samples == 16
+
+    def test_iid_stimulus_keeps_flat_criterion(self, s27_circuit, coupled_config):
+        estimator = DipeEstimator(
+            s27_circuit,
+            stimulus=BernoulliStimulus(s27_circuit.num_inputs, 0.5),
+            config=coupled_config,
+        )
+        assert not isinstance(estimator.stopping_criterion, GroupedStoppingCriterion)
+        assert estimator.sample_group_width == 1
+
+    def test_adaptive_chains_rejected_with_coupled_stimulus(
+        self, s27_circuit, coupled_config
+    ):
+        config = dataclasses.replace(coupled_config, adaptive_chains=True, max_chains=64)
+        with pytest.raises(ValueError, match="lanes_dependent"):
+            DipeEstimator(
+                s27_circuit,
+                stimulus=SobolStimulus(s27_circuit.num_inputs),
+                config=config,
+            )
+
+
+@pytest.mark.parametrize("kind", sorted(STIMULI))
+class TestEndToEnd:
+    def test_estimate_completes_and_reports_ess(self, s27_circuit, coupled_config, kind):
+        estimator = DipeEstimator(
+            s27_circuit,
+            stimulus=STIMULI[kind](s27_circuit.num_inputs),
+            config=coupled_config,
+            rng=sum(map(ord, kind)),  # distinct deterministic seed per kind
+        )
+        events = list(estimator.run())
+        result = events[-1].estimate
+        assert result.average_power_w > 0
+        assert result.stopping_criterion == "grouped-order-statistic"
+        assert result.effective_sample_size is not None
+        assert result.effective_sample_size > 0
+        progress = [e for e in events if isinstance(e, SampleProgress)]
+        assert progress
+        assert all(e.effective_sample_size is not None for e in progress[1:])
+
+    def test_estimate_agrees_with_iid_reference(self, s27_circuit, coupled_config, kind):
+        coupled = DipeEstimator(
+            s27_circuit,
+            stimulus=STIMULI[kind](s27_circuit.num_inputs),
+            config=coupled_config,
+            rng=17,
+        ).estimate()
+        reference = DipeEstimator(
+            s27_circuit,
+            stimulus=BernoulliStimulus(s27_circuit.num_inputs, 0.5),
+            config=coupled_config,
+            rng=18,
+        ).estimate()
+        spread = (coupled.upper_bound_w - coupled.lower_bound_w) + (
+            reference.upper_bound_w - reference.lower_bound_w
+        )
+        assert abs(coupled.average_power_w - reference.average_power_w) <= spread
+
+    def test_checkpoint_resume_identical(self, s27_circuit, coupled_config, kind):
+        def build():
+            return DipeEstimator(
+                s27_circuit,
+                stimulus=STIMULI[kind](s27_circuit.num_inputs),
+                config=coupled_config,
+                rng=9,
+            )
+
+        full = build().estimate()
+        estimator = build()
+        stream = estimator.run()
+        checkpoint = None
+        for event in stream:
+            if isinstance(event, SampleProgress):
+                checkpoint = estimator.make_checkpoint()
+                stream.close()
+                break
+        assert checkpoint is not None
+        resumed = build().estimate_from(checkpoint)
+        assert resumed.average_power_w == full.average_power_w
+        assert resumed.samples_switched_capacitance_f == full.samples_switched_capacitance_f
+
+
+@pytest.mark.parametrize("kind", sorted(STIMULI))
+class TestShardedIdentity:
+    def test_sharded_draws_bit_identical(self, s298_circuit, kind):
+        # 128 chains = 2 uint64 words; word-aligned partitioning never splits
+        # antithetic pairs, and the parent owns stimulus + RNG, so stateful
+        # coupled stimuli must shard transparently.
+        config = EstimationConfig(warmup_cycles=8)
+        reference = BatchPowerSampler(
+            s298_circuit,
+            STIMULI[kind](s298_circuit.num_inputs),
+            config,
+            rng=7,
+            num_chains=128,
+        )
+        sharded = ShardedPowerSampler(
+            s298_circuit,
+            STIMULI[kind](s298_circuit.num_inputs),
+            config,
+            rng=7,
+            num_chains=128,
+            num_workers=2,
+        )
+        with sharded:
+            assert np.array_equal(
+                reference.sample_block(2, 256), sharded.sample_block(2, 256)
+            )
+            assert np.array_equal(reference.next_samples(1), sharded.next_samples(1))
+            assert reference.cycles_simulated == sharded.cycles_simulated

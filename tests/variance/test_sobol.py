@@ -1,0 +1,87 @@
+"""Unit tests for the self-contained Sobol machinery."""
+
+import numpy as np
+import pytest
+
+from repro.variance.sobol import SobolSequence, direction_numbers, primitive_polynomials
+
+
+class TestPrimitivePolynomials:
+    def test_first_polynomials_match_the_classical_table(self):
+        # x+1; x^2+x+1; x^3+x+1; x^3+x^2+1 (degree, tail bit-encoding).
+        assert primitive_polynomials(4) == ((1, 1), (2, 3), (3, 3), (3, 5))
+
+    def test_count_zero_and_validation(self):
+        assert primitive_polynomials(0) == ()
+        with pytest.raises(ValueError, match="non-negative"):
+            primitive_polynomials(-1)
+
+    def test_enough_dimensions_for_large_input_counts(self):
+        polys = primitive_polynomials(64)
+        assert len(polys) == 64
+        degrees = [deg for deg, _ in polys]
+        assert degrees == sorted(degrees)
+
+
+class TestDirectionNumbers:
+    def test_coordinate_zero_is_van_der_corput(self):
+        table = direction_numbers(1, bits=8)
+        assert table.shape == (1, 8)
+        assert [int(v) for v in table[0]] == [1 << (7 - j) for j in range(8)]
+
+    def test_all_directions_have_leading_bit_in_range(self):
+        bits = 16
+        table = direction_numbers(8, bits=bits)
+        assert table.dtype == np.uint64
+        # m_j is odd and < 2^(j+1), so direction j always has its top bit at
+        # position bits-1-j and no bits below bits-1-j... i.e. every
+        # direction is non-zero and fits in `bits` bits.
+        assert (table > 0).all()
+        assert (table < (1 << bits)).all()
+
+    def test_table_is_cached_and_read_only(self):
+        table = direction_numbers(4)
+        assert direction_numbers(4) is table
+        with pytest.raises(ValueError):
+            table[0, 0] = 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            direction_numbers(0)
+        with pytest.raises(ValueError, match="bits"):
+            direction_numbers(2, bits=63)
+
+
+class TestSobolSequence:
+    def test_aligned_blocks_are_balanced_in_every_coordinate(self):
+        seq = SobolSequence(dim=7)
+        for block_size in (64, 64, 128):
+            top = seq.next_top_bits(block_size)
+            assert top.shape == (block_size, 7)
+            # Each coordinate of an aligned 2^k block hits the upper half of
+            # its axis exactly half the time — the net's defining balance.
+            assert (top.sum(axis=0) == block_size // 2).all()
+
+    def test_gray_code_emits_the_natural_block_as_a_set(self):
+        seq = SobolSequence(dim=3, bits=8)
+        block = seq.next_block(16)
+        # Coordinate 0 is van der Corput: the 16 points cover all 16
+        # multiples of 2^4 exactly once (gray code permutes the block).
+        assert sorted(int(v) >> 4 for v in block[:, 0]) == list(range(16))
+
+    def test_index_is_the_only_state(self):
+        first = SobolSequence(dim=4)
+        head = first.next_block(10)
+        tail_direct = first.next_block(10)
+        resumed = SobolSequence(dim=4, index=10)
+        np.testing.assert_array_equal(resumed.next_block(10), tail_direct)
+        restart = SobolSequence(dim=4)
+        np.testing.assert_array_equal(restart.next_block(10), head)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SobolSequence(dim=2, index=-1)
+        seq = SobolSequence(dim=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            seq.next_block(-1)
+        assert seq.next_block(0).shape == (0, 2)

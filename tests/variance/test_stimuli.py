@@ -1,0 +1,144 @@
+"""Unit tests for the lane-coupled variance-reduction stimuli."""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import get_stimulus
+from repro.variance import AntitheticStimulus, SobolStimulus, StratifiedStimulus
+
+ALL_KINDS = [AntitheticStimulus, StratifiedStimulus, SobolStimulus]
+
+
+def _toggle_stream(stimulus, rng, width, cycles):
+    """Toggle matrices between consecutive patterns (cycles-1 entries)."""
+    patterns = [stimulus.next_bits(rng, width).copy() for _ in range(cycles)]
+    return [a ^ b for a, b in zip(patterns, patterns[1:])]
+
+
+@pytest.mark.parametrize("cls", ALL_KINDS)
+class TestCommonBehaviour:
+    def test_rejects_unbalanced_probability(self, cls):
+        with pytest.raises(ValueError, match="probability=0.5"):
+            cls(4, probability=0.3)
+
+    def test_marks_lanes_dependent(self, cls):
+        assert cls(4).lanes_dependent is True
+
+    def test_registered_in_the_stimulus_registry(self, cls):
+        name = {
+            AntitheticStimulus: "antithetic",
+            StratifiedStimulus: "stratified",
+            SobolStimulus: "sobol",
+        }[cls]
+        assert get_stimulus(name) is cls
+
+    def test_shapes_and_dtype(self, cls):
+        stim = cls(5)
+        rng = np.random.default_rng(0)
+        bits = stim.next_bits(rng, width=8)
+        assert bits.shape == (5, 8)
+        assert bits.dtype == np.uint8
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_zero_inputs(self, cls):
+        stim = cls(0)
+        rng = np.random.default_rng(0)
+        assert stim.next_bits(rng, width=4).shape == (0, 4)
+
+    def test_reset_restarts_the_stream(self, cls):
+        stim = cls(4)
+        rng = np.random.default_rng(3)
+        first = [stim.next_bits(rng, 8).copy() for _ in range(6)]
+        stim.reset()
+        rng = np.random.default_rng(3)
+        again = [stim.next_bits(rng, 8).copy() for _ in range(6)]
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a, b)
+
+    def test_state_roundtrip_continues_bit_identically(self, cls):
+        stim = cls(4)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            stim.next_bits(rng, 8)
+        state = stim.get_state()
+        rng_state = rng.bit_generator.state
+
+        continued = [stim.next_bits(rng, 8).copy() for _ in range(5)]
+
+        clone = cls(4)
+        clone.set_state(state)
+        rng2 = np.random.default_rng(0)
+        rng2.bit_generator.state = rng_state
+        resumed = [clone.next_bits(rng2, 8).copy() for _ in range(5)]
+        for a, b in zip(continued, resumed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_fresh_state_is_restorable(self, cls):
+        stim = cls(4)
+        clone = cls(4)
+        clone.set_state(stim.get_state())
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        np.testing.assert_array_equal(stim.next_bits(rng1, 4), clone.next_bits(rng2, 4))
+
+    def test_each_lane_is_marginally_balanced(self, cls):
+        # Every lane's level stream must look exactly like Bernoulli(0.5):
+        # check the per-lane level mean over many cycles.
+        stim = cls(3)
+        rng = np.random.default_rng(42)
+        levels = np.stack([stim.next_bits(rng, 8).copy() for _ in range(4000)])
+        lane_means = levels.mean(axis=0)
+        assert np.abs(lane_means - 0.5).max() < 0.05
+
+
+class TestAntithetic:
+    def test_odd_width_is_rejected(self):
+        stim = AntitheticStimulus(3)
+        with pytest.raises(ValueError, match="even"):
+            stim.next_bits(np.random.default_rng(0), width=5)
+
+    def test_adjacent_lanes_toggle_complementarily(self):
+        stim = AntitheticStimulus(4)
+        rng = np.random.default_rng(1)
+        for toggles in _toggle_stream(stim, rng, width=8, cycles=10):
+            np.testing.assert_array_equal(toggles[:, 0::2] ^ toggles[:, 1::2], 1)
+
+
+class TestStratified:
+    def test_every_input_toggles_exactly_half_the_lanes(self):
+        stim = StratifiedStimulus(5)
+        rng = np.random.default_rng(2)
+        for toggles in _toggle_stream(stim, rng, width=16, cycles=10):
+            assert (toggles.sum(axis=1) == 8).all()
+
+    def test_width_one_degrades_to_plain_toggles(self):
+        stim = StratifiedStimulus(3)
+        rng = np.random.default_rng(4)
+        bits = [stim.next_bits(rng, 1).copy() for _ in range(50)]
+        assert all(b.shape == (3, 1) for b in bits)
+
+
+class TestSobol:
+    def test_every_input_toggles_exactly_half_the_lanes(self):
+        # Aligned 2^k Sobol blocks are balanced per coordinate; the digital
+        # flip complements whole columns, keeping the count at width/2.
+        stim = SobolStimulus(6)
+        rng = np.random.default_rng(5)
+        for toggles in _toggle_stream(stim, rng, width=64, cycles=8):
+            assert (toggles.sum(axis=1) == 32).all()
+
+    def test_state_carries_the_sequence_index(self):
+        stim = SobolStimulus(4)
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            stim.next_bits(rng, 8)
+        state = stim.get_state()
+        assert state["index"] == 4 * 8  # first call draws levels, 4 consume points
+        assert state["levels"].shape == (4, 8)
+
+    def test_reset_rewinds_the_sequence(self):
+        stim = SobolStimulus(4)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            stim.next_bits(rng, 8)
+        stim.reset()
+        assert stim.get_state() == {"levels": None, "index": 0}
