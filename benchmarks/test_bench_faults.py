@@ -1,0 +1,141 @@
+"""Chaos benchmark: worker kills mid-run must not change the estimate.
+
+The fault-tolerance contract is absolute: a :class:`DipeEstimator` run whose
+shard workers are killed mid-flight (a seeded :class:`FaultSchedule` with two
+kills, one per worker) must produce an estimate draw-for-draw identical to
+the fault-free single-process run — samples, sample size, cycles, power — on
+**both** power engines.  This is a hard gate on every machine; there is no
+timing floor to soften.  The measured recovery overhead (respawns, replayed
+commands, recovery seconds, wall-clock delta) is recorded to
+``benchmarks/results/BENCH_faults.json`` and ``faults.txt`` so the cost of
+supervision can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_bench_json, write_report
+from repro.api.events import EstimateCompleted, WorkerLost, WorkerRecovered
+from repro.circuits.iscas89 import build_circuit
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.faults import FaultSchedule, inject
+from repro.utils.tables import TextTable
+
+_CIRCUIT = "s298"
+_WORKERS = 2
+
+#: Seed chosen so the two kills land on *different* shards (one per worker),
+#: at commands inside the warmup/sampling window every run reaches.
+_FAULT_SEED = 1
+_KILLS = 2
+
+_CONFIG_KW = dict(
+    randomness_sequence_length=64,
+    min_samples=64,
+    check_interval=32,
+    max_samples=1500,
+    warmup_cycles=16,
+    max_independence_interval=8,
+    num_chains=128,
+    worker_retry_backoff=0.01,
+)
+
+
+def _run(circuit, engine: str, workers: int, schedule=None):
+    """One DIPE run; returns (events, elapsed_seconds)."""
+    config = EstimationConfig(
+        power_simulator=engine, num_workers=workers, **_CONFIG_KW
+    )
+    start = time.perf_counter()
+    # The estimator builds its shard pool at construction, so the schedule
+    # must be ambient before DipeEstimator() runs, not just around run().
+    if schedule is not None:
+        with inject(schedule):
+            events = list(DipeEstimator(circuit, config=config, rng=11).run())
+    else:
+        events = list(DipeEstimator(circuit, config=config, rng=11).run())
+    return events, time.perf_counter() - start
+
+
+def test_bench_fault_tolerance(results_dir):
+    """Two mid-run worker kills: bit-identical estimates on both engines."""
+    circuit = build_circuit(_CIRCUIT)
+    schedule = FaultSchedule.seeded(
+        _FAULT_SEED, _WORKERS, kills=_KILLS, window=(2, 12), points=("recv", "handle")
+    )
+    table = TextTable(
+        headers=["Engine", "Kills", "Respawns", "Replayed", "Recovery s", "Overhead s"],
+        precision=3,
+    )
+    metrics: dict[str, dict] = {}
+
+    for engine in ("zero-delay", "event-driven"):
+        baseline_events, baseline_elapsed = _run(circuit, engine, workers=1)
+        chaos_events, chaos_elapsed = _run(
+            circuit, engine, workers=_WORKERS, schedule=schedule
+        )
+
+        lost = [e for e in chaos_events if isinstance(e, WorkerLost)]
+        recovered = [e for e in chaos_events if isinstance(e, WorkerRecovered)]
+        assert len(lost) >= _KILLS, (
+            f"{engine}: only {len(lost)} injected kills were observed "
+            f"(schedule promised {_KILLS}); the chaos run did not exercise recovery"
+        )
+        assert {event.worker for event in lost} == set(range(_WORKERS))
+        assert len(recovered) == len(lost)
+
+        baseline = baseline_events[-1]
+        chaos = chaos_events[-1]
+        assert isinstance(baseline, EstimateCompleted)
+        assert isinstance(chaos, EstimateCompleted)
+        # The hard gate: recovery must not perturb a single drawn sample.
+        assert (
+            chaos.estimate.samples_switched_capacitance_f
+            == baseline.estimate.samples_switched_capacitance_f
+        ), f"{engine}: sample stream diverged after worker recovery"
+        assert chaos.estimate.average_power_w == baseline.estimate.average_power_w
+        assert chaos.estimate.sample_size == baseline.estimate.sample_size
+        assert chaos.estimate.cycles_simulated == baseline.estimate.cycles_simulated
+
+        respawns = max(event.respawns for event in recovered)
+        replayed = sum(event.replayed_commands for event in recovered)
+        recovery_seconds = sum(event.recovery_seconds for event in recovered)
+        overhead = chaos_elapsed - baseline_elapsed
+        table.add_row(
+            [engine, len(lost), len(recovered), replayed, recovery_seconds, overhead]
+        )
+        metrics[engine] = {
+            "workers_lost": len(lost),
+            "workers_recovered": len(recovered),
+            "max_consecutive_respawns": respawns,
+            "replayed_commands": replayed,
+            "recovery_seconds": recovery_seconds,
+            "baseline_elapsed_seconds": baseline_elapsed,
+            "chaos_elapsed_seconds": chaos_elapsed,
+            "overhead_seconds": overhead,
+            "estimate_bit_identical": True,
+            "degraded_seats": sum(1 for e in recovered if e.degraded),
+        }
+
+    lines = [
+        f"Fault-tolerant sharded sampling on {_CIRCUIT} "
+        f"({_WORKERS} workers, seeded schedule {_FAULT_SEED}: {_KILLS} kills mid-run)",
+        "Estimates are bit-identical to the fault-free single-process run.",
+        "",
+        table.render(),
+    ]
+    write_report(results_dir, "faults", "\n".join(lines))
+    write_bench_json(
+        results_dir,
+        "faults",
+        {
+            "circuit": _CIRCUIT,
+            "workers": _WORKERS,
+            "fault_seed": _FAULT_SEED,
+            "kills_scheduled": _KILLS,
+            "schedule": schedule.to_json(),
+            "engines": metrics,
+        },
+    )

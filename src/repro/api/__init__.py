@@ -66,6 +66,8 @@ _EXPORTS = {
     "SampleProgress": "repro.api.events",
     "ShardProgress": "repro.api.events",
     "ChainsResized": "repro.api.events",
+    "WorkerLost": "repro.api.events",
+    "WorkerRecovered": "repro.api.events",
     "EstimateCompleted": "repro.api.events",
     "event_from_dict": "repro.api.events",
     "event_kinds": "repro.api.events",

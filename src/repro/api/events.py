@@ -193,6 +193,47 @@ class ShardProgress:
 
 
 @dataclass(frozen=True)
+class WorkerLost(ProgressEvent):
+    """A shard worker died, hung past its deadline, or garbled its replies.
+
+    Emitted by estimators running on a :class:`ShardedPowerSampler` whose
+    supervision layer lost a worker; always followed (in the same drain) by
+    a :class:`WorkerRecovered` once the seat is restored.  Recovery replays
+    the shard bit-identically, so this event signals degraded health and
+    latency — never a change in results.
+    """
+
+    kind: ClassVar[str] = "worker-lost"
+
+    worker: int = 0
+    pid: int | None = None
+    exitcode: int | None = None
+    reason: str = "died"
+
+
+@dataclass(frozen=True)
+class WorkerRecovered(ProgressEvent):
+    """A lost shard worker was respawned and bit-identically restored.
+
+    ``respawns`` counts the consecutive recovery attempts of the current
+    round (1 for a first respawn), ``replayed_commands`` the messages
+    replayed from the supervisor's log, and ``recovery_seconds`` the
+    wall-clock cost.  ``degraded`` marks a seat that exhausted its restart
+    budget and now runs as a clean in-process replica until the pool
+    re-partitions at the next round boundary.
+    """
+
+    kind: ClassVar[str] = "worker-recovered"
+
+    worker: int = 0
+    pid: int | None = None
+    respawns: int = 1
+    replayed_commands: int = 0
+    recovery_seconds: float = 0.0
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
 class SampleProgress(ProgressEvent):
     """Stopping-criterion verdict after a batch of new samples.
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -350,7 +350,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         service = EstimationService(
-            store=args.store, num_workers=args.workers, max_pending=args.max_pending
+            store=args.store,
+            num_workers=args.workers,
+            max_pending=args.max_pending,
+            max_retries=args.max_retries,
+            auto_checkpoint_events=args.auto_checkpoint_events,
         )
     except (OSError, ValueError) as error:
         raise SystemExit(f"cannot start service: {error}") from None
@@ -408,7 +412,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         label=args.label,
     )
     client = _service_client(args)
-    snapshot = _service_call(lambda: client.submit(spec))
+    payload: Any = spec.to_dict()
+    if args.max_retries is not None:
+        payload = {"spec": payload, "max_retries": args.max_retries}
+    snapshot = _service_call(lambda: client.submit(payload))
     job_id = snapshot["id"]
     if not args.watch:
         if args.json:
@@ -605,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent estimation worker threads")
     serve.add_argument("--max-pending", type=int, default=1024,
                        help="queued-job bound; submissions beyond it get HTTP 429")
+    serve.add_argument("--max-retries", type=int, default=0,
+                       help="default per-job retry budget for failed attempts "
+                            "(jobs resume from their auto-snapshot checkpoint)")
+    serve.add_argument("--auto-checkpoint-events", type=int, default=32,
+                       help="snapshot a resumable checkpoint every N estimator "
+                            "events while a job runs")
     serve.add_argument("--store", default=None,
                        help="result-store directory (results/checkpoints survive "
                             "restarts; omit for in-memory only)")
@@ -620,6 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--params", type=json.loads, default={},
                         help="extra estimator parameters as a JSON object")
     submit.add_argument("--label", default=None, help="label shown in job listings")
+    submit.add_argument("--max-retries", type=int, default=None,
+                        help="per-job retry budget (overrides the server default)")
     submit.add_argument("--watch", action="store_true",
                         help="stream the job's events to stderr and wait for the result "
                              "(exit code reflects the job's final status)")

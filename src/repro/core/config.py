@@ -110,6 +110,28 @@ class EstimationConfig:
         draw-for-draw identical to the in-process sampler with the same
         ``num_chains`` — worker count changes wall-clock time, never
         results.
+    worker_max_restarts:
+        How many consecutive respawn-and-replay recoveries the shard
+        supervisor attempts for one worker seat within a single collect
+        round before declaring the seat unrecoverable.  Past the budget the
+        seat degrades to a clean in-process replica and the pool
+        re-partitions onto the surviving workers at the next round boundary.
+        Recovery never changes results — merged samples stay draw-for-draw
+        identical to the fault-free run.
+    worker_hang_timeout:
+        Seconds a shard worker may go without making progress (no reply and
+        no heartbeat advance) before the supervisor declares it hung, kills
+        it and recovers.  Must comfortably exceed the longest single shard
+        command; the heartbeat only advances between commands.
+    worker_retry_backoff:
+        Base of the exponential backoff (seconds) between consecutive
+        respawns of the same worker seat: attempt *n* waits
+        ``worker_retry_backoff * 2**(n-1)``, capped at 2 s.
+    shard_sync_interval:
+        The supervisor truncates each shard's replay log to a fresh state
+        snapshot every this many collect rounds (checkpoints truncate for
+        free).  Smaller values bound recovery replay and parent memory
+        tighter at the cost of more ``get_state`` round trips.
     simulation_backend:
         Lane-storage backend of the zero-delay simulator: ``"bigint"``
         (Python integers), ``"numpy"`` (word-sliced uint64 arrays) or
@@ -138,6 +160,10 @@ class EstimationConfig:
     adaptive_time_aware: bool = False
     adaptive_target_seconds: float = 2.0
     num_workers: int = 1
+    worker_max_restarts: int = 3
+    worker_hang_timeout: float = 120.0
+    worker_retry_backoff: float = 0.05
+    shard_sync_interval: int = 16
     simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
     capacitance_model: CapacitanceModel = field(default_factory=CapacitanceModel)
@@ -187,6 +213,14 @@ class EstimationConfig:
             )
         if self.num_workers < 1:
             raise ValueError("num_workers must be at least 1")
+        if self.worker_max_restarts < 0:
+            raise ValueError("worker_max_restarts must be non-negative")
+        if self.worker_hang_timeout <= 0.0:
+            raise ValueError("worker_hang_timeout must be positive")
+        if self.worker_retry_backoff < 0.0:
+            raise ValueError("worker_retry_backoff must be non-negative")
+        if self.shard_sync_interval < 1:
+            raise ValueError("shard_sync_interval must be at least 1")
         if self.num_chains < 1:
             raise ValueError("num_chains must be at least 1")
         if self.max_chains < 1:

@@ -39,6 +39,8 @@ from repro.api.events import (
     ProgressEvent,
     RunStarted,
     SampleProgress,
+    WorkerLost,
+    WorkerRecovered,
 )
 from repro.api.protocol import StreamingEstimator
 from repro.api.registry import register_estimator
@@ -54,6 +56,40 @@ from repro.stats.stopping import GroupedStoppingCriterion, make_stopping_criteri
 from repro.stimulus.base import Stimulus
 from repro.stimulus.random_inputs import BernoulliStimulus
 from repro.utils.rng import RandomSource
+
+
+def _drain_worker_events(sampler, circuit_name, method, samples_drawn):
+    """Convert the sampler's queued supervision incidents into typed events.
+
+    Samplers without a supervision layer (no ``take_fault_incidents``) yield
+    nothing, so the estimator works unchanged on in-process samplers.
+    """
+    take = getattr(sampler, "take_fault_incidents", None)
+    if take is None:
+        return
+    for incident in take():
+        common = dict(
+            circuit=circuit_name,
+            method=method,
+            samples_drawn=samples_drawn,
+            cycles_simulated=sampler.cycles_simulated,
+            worker=incident.get("worker", 0),
+            pid=incident.get("pid"),
+        )
+        if incident.get("kind") == "lost":
+            yield WorkerLost(
+                exitcode=incident.get("exitcode"),
+                reason=incident.get("reason", "died"),
+                **common,
+            )
+        else:
+            yield WorkerRecovered(
+                respawns=incident.get("respawns", 1),
+                replayed_commands=incident.get("replayed", 0),
+                recovery_seconds=incident.get("seconds", 0.0),
+                degraded=incident.get("degraded", False),
+                **common,
+            )
 
 
 @register_estimator("dipe")
@@ -155,6 +191,9 @@ class DipeEstimator(StreamingEstimator):
         self._interval_result = interval_result
         self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
         interval = interval_result.interval
+        yield from _drain_worker_events(
+            self.sampler, circuit_name, self.method, len(samples)
+        )
         yield IntervalSelected(
             circuit=circuit_name,
             method=self.method,
@@ -198,6 +237,9 @@ class DipeEstimator(StreamingEstimator):
             accumulator.extend(block)
             decision = self.stopping_criterion.evaluate(samples)
             self._elapsed_seconds = elapsed_before + (time.perf_counter() - start_time)
+            yield from _drain_worker_events(
+                self.sampler, circuit_name, self.method, len(samples)
+            )
             yield SampleProgress(
                 circuit=circuit_name,
                 method=self.method,
@@ -240,6 +282,9 @@ class DipeEstimator(StreamingEstimator):
                 accumulator.effective_sample_size if self.sample_group_width > 1 else None
             ),
             samples_switched_capacitance_f=tuple(samples),
+        )
+        yield from _drain_worker_events(
+            self.sampler, circuit_name, self.method, len(samples)
         )
         yield EstimateCompleted(
             circuit=circuit_name,

@@ -52,6 +52,30 @@ function fed picklable state), default to the platform's fastest start
 method, and fall back to an in-process serial shard pool on platforms
 without multiprocessing support — results are identical either way, only
 wall-clock time changes.
+
+**Fault tolerance.**  Every pool seat is a :class:`_SupervisedShard`: a
+replay log wrapped around a raw transport (:class:`_ProcessShard` process or
+:class:`_LocalShard` in-process).  Workers are deterministic functions of
+the message stream they were fed — they own no RNG — so the supervisor
+recovers a dead, hung or garbled worker by respawning the process and
+replaying the logged messages since the last synchronized shard state,
+re-receiving the replayed replies and delivering only the ones the caller
+has not seen yet.  Merged samples are therefore *bit-identical with or
+without faults* (pinned by ``tests/core/test_faults.py`` and
+``benchmarks/test_bench_faults.py``).  Hangs are detected with a shared
+heartbeat counter plus a per-collect deadline
+(``EstimationConfig.worker_hang_timeout``); respawns back off exponentially
+(``worker_retry_backoff``); a seat that keeps dying past
+``worker_max_restarts`` consecutive recoveries degrades to a clean
+in-process replica and the pool re-partitions onto the surviving workers at
+the next round boundary.  Replay logs are truncated at every checkpoint and
+every ``shard_sync_interval`` collect rounds.  Supervision incidents surface
+as :class:`~repro.api.events.WorkerLost` /
+:class:`~repro.api.events.WorkerRecovered` progress events via
+:meth:`ShardedPowerSampler.take_fault_incidents`, and deterministic worker
+*errors* (as opposed to transport failures) raise a typed
+:class:`ShardWorkerError` carrying the shard index, pid, exit code and
+remote traceback.
 """
 
 from __future__ import annotations
@@ -59,16 +83,19 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import sys
+import time
 import traceback
 import weakref
 from collections import deque
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.circuits.program import CircuitProgram
 from repro.core.batch_sampler import BatchPowerSampler
 from repro.core.config import EstimationConfig
+from repro.faults import FaultInjector, FaultPlan, FaultSchedule, SimulatedWorkerDeath
+from repro.faults import active_schedule as _ambient_fault_schedule
 from repro.simulation.zero_delay import resolve_backend
 from repro.stimulus.base import Stimulus
 from repro.utils.bitpack import (
@@ -80,11 +107,70 @@ from repro.utils.bitpack import (
 )
 from repro.utils.rng import RandomSource
 
-__all__ = ["ShardedPowerSampler", "partition_chains"]
+__all__ = ["ShardWorkerError", "ShardedPowerSampler", "partition_chains"]
 
 #: Clock cycles of pattern words shipped per feed message; bounds the size of
 #: one pipe write while keeping the per-command message count small.
 _FEED_CHUNK = 2048
+
+#: Seconds between liveness checks while the supervisor waits for a reply;
+#: bounds fault-detection latency without busy-polling the pipe.
+_POLL_TICK = 0.05
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised a deterministic error while handling a command.
+
+    Unlike transport failures (death, hang, garbled reply) — which the
+    supervisor recovers by respawn-and-replay — a worker *error* is a real
+    exception out of the shard's own sampler code; replaying it would fail
+    identically, so it is surfaced to the caller with full context instead.
+
+    Attributes
+    ----------
+    shard_index:
+        Pool seat (worker index) the failure came from.
+    pid:
+        Worker process id (``None`` for the in-process serial transport).
+    exitcode:
+        Worker process exit code at the time the error surfaced (usually
+        ``None``: the process is still alive after reporting an error).
+    remote_traceback:
+        The worker-side traceback, formatted.
+    reason:
+        Short failure class, e.g. ``"remote-error"`` or
+        ``"unrecoverable"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_index: int = -1,
+        pid: int | None = None,
+        exitcode: int | None = None,
+        remote_traceback: str | None = None,
+        reason: str = "remote-error",
+    ):
+        detail = f"{message} [shard {shard_index}, pid {pid}, exitcode {exitcode}, {reason}]"
+        if remote_traceback:
+            detail = f"{detail}\n{remote_traceback}"
+        super().__init__(detail)
+        self.shard_index = shard_index
+        self.pid = pid
+        self.exitcode = exitcode
+        self.remote_traceback = remote_traceback
+        self.reason = reason
+
+
+class _WorkerDown(Exception):
+    """Internal: the transport failed (recoverable by respawn-and-replay)."""
+
+    def __init__(self, reason: str, pid: int | None = None, exitcode: int | None = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.pid = pid
+        self.exitcode = exitcode
 
 
 def partition_chains(num_chains: int, num_workers: int) -> list[tuple[int, int]]:
@@ -292,9 +378,12 @@ class _ShardServer:
         raise ValueError(f"unknown shard command {op!r}")
 
 
-def _shard_worker_main(conn, program, config, backend_request) -> None:
+def _shard_worker_main(
+    conn, program, config, backend_request, heartbeat=None, fault_plan=None
+) -> None:
     """Worker process entry point: serve shard commands until "stop" or EOF."""
     server = _ShardServer(program, config, backend_request)
+    injector = FaultInjector(fault_plan, mode="process")
     try:
         while True:
             try:
@@ -304,47 +393,97 @@ def _shard_worker_main(conn, program, config, backend_request) -> None:
             if message[0] == "stop":
                 conn.send(("ok", None))
                 break
+            command = injector.begin()
+            injector.trip(command, "recv")
             try:
-                reply = server.handle(message)
+                reply = ("ok", server.handle(message))
             except BaseException:  # noqa: BLE001 — errors travel back to the parent
-                conn.send(("error", traceback.format_exc()))
-            else:
-                conn.send(("ok", reply))
+                reply = ("error", traceback.format_exc())
+            injector.trip(command, "handle")
+            conn.send("!garbled!" if injector.garbled(command) else reply)
+            if heartbeat is not None:
+                heartbeat.value += 1
+            injector.trip(command, "reply")
     finally:
         conn.close()
 
 
 class _ProcessShard:
-    """Parent-side handle of one worker process (request/reply over a pipe)."""
+    """Raw parent-side transport of one worker process (request/reply pipe).
 
-    def __init__(self, ctx, program, config, backend_request):
+    Pure plumbing: ships messages, receives wire replies, reports liveness
+    (process state + a lock-free shared heartbeat the worker bumps after
+    every handled command).  All bookkeeping, error typing and recovery live
+    in :class:`_SupervisedShard`.
+    """
+
+    kind = "process"
+
+    def __init__(self, ctx, program, config, backend_request, fault_plan=None):
+        self._heartbeat = ctx.Value("Q", 0, lock=False)
         self.connection, child_conn = mp.Pipe()
         self.process = ctx.Process(
             target=_shard_worker_main,
-            args=(child_conn, program, config, backend_request),
+            args=(child_conn, program, config, backend_request, self._heartbeat, fault_plan),
             daemon=True,
         )
         self.process.start()
         child_conn.close()
-        self.pending = 0
 
-    def send(self, *message) -> None:
-        self.connection.send(message)
-        self.pending += 1
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
 
-    def collect(self) -> list:
-        """Receive one reply per outstanding request; raise on worker errors."""
-        replies = []
-        while self.pending:
-            self.pending -= 1
-            try:
-                status, payload = self.connection.recv()
-            except (EOFError, OSError) as error:
-                raise RuntimeError("shard worker process died unexpectedly") from error
-            if status == "error":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
-            replies.append(payload)
-        return replies
+    @property
+    def exitcode(self) -> int | None:
+        return self.process.exitcode
+
+    def _reaped_exitcode(self) -> int | None:
+        # A pipe EOF can beat the dying child becoming waitable (its fds
+        # close before the exit code is published), so reap with a bounded
+        # join before reading — a dying process joins near-instantly.
+        self.process.join(timeout=1.0)
+        return self.process.exitcode
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def heartbeat_count(self) -> int:
+        return int(self._heartbeat.value)
+
+    def send_raw(self, message: tuple) -> None:
+        try:
+            self.connection.send(message)
+        except (BrokenPipeError, ConnectionError, OSError, ValueError) as error:
+            raise _WorkerDown("died", self.pid, self._reaped_exitcode()) from error
+
+    def poll(self, timeout: float) -> bool:
+        try:
+            return self.connection.poll(timeout)
+        except (EOFError, OSError):
+            return True  # let recv_raw surface the failure
+
+    def recv_raw(self):
+        try:
+            return self.connection.recv()
+        except (EOFError, OSError) as error:
+            raise _WorkerDown("died", self.pid, self._reaped_exitcode()) from error
+
+    def destroy(self) -> None:
+        """Tear the transport down hard (no stop handshake); never raises."""
+        try:
+            self.connection.close()
+        except Exception:  # noqa: BLE001
+            pass
+        try:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        except Exception:  # noqa: BLE001 — shutdown-time join can fail harmlessly
+            pass
 
     def stop(self) -> None:
         # Idempotent and silent: this also runs from a ``weakref.finalize``
@@ -359,44 +498,276 @@ class _ProcessShard:
             self.connection.recv()
         except Exception:  # noqa: BLE001 — peer already gone is fine
             pass
-        try:
-            self.connection.close()
-        except Exception:  # noqa: BLE001
-            pass
-        try:
-            self.process.join(timeout=2.0)
-            if self.process.is_alive():
-                self.process.terminate()
-                self.process.join(timeout=2.0)
-        except Exception:  # noqa: BLE001 — shutdown-time join can fail harmlessly
-            pass
+        self.destroy()
 
 
 class _LocalShard:
-    """In-process stand-in for a worker (serial fallback; same command path)."""
+    """In-process stand-in for a worker (serial fallback; same command path).
 
-    def __init__(self, program, config, backend_request):
+    Executes commands synchronously at ``send_raw`` time and queues the wire
+    replies.  Injected ``kill``/``hang`` faults surface as
+    :class:`~repro.faults.SimulatedWorkerDeath`, which this transport
+    converts into the same :class:`_WorkerDown` signal a broken pipe
+    produces — so the supervisor exercises the identical recovery path.
+    """
+
+    kind = "local"
+
+    def __init__(self, program, config, backend_request, fault_plan=None):
         self._server = _ShardServer(program, config, backend_request)
+        self._injector = FaultInjector(fault_plan, mode="local")
         self._replies: deque = deque()
+        self._dead: str | None = None
+        self._handled = 0
 
-    def send(self, *message) -> None:
+    pid: int | None = None
+    exitcode: int | None = None
+
+    def is_alive(self) -> bool:
+        return self._dead is None
+
+    def heartbeat_count(self) -> int:
+        return self._handled
+
+    def send_raw(self, message: tuple) -> None:
+        if self._dead is not None:
+            raise _WorkerDown(self._dead)
+        if message[0] == "stop":
+            self._replies.append(("ok", None))
+            return
+        command = self._injector.begin()
         try:
-            self._replies.append(("ok", self._server.handle(message)))
-        except Exception:  # noqa: BLE001 — mirror the process transport
-            self._replies.append(("error", traceback.format_exc()))
+            self._injector.trip(command, "recv")
+            try:
+                reply = ("ok", self._server.handle(message))
+            except Exception:  # noqa: BLE001 — mirror the process transport
+                reply = ("error", traceback.format_exc())
+            self._injector.trip(command, "handle")
+            self._replies.append("!garbled!" if self._injector.garbled(command) else reply)
+            self._handled += 1
+            self._injector.trip(command, "reply")
+        except SimulatedWorkerDeath as death:
+            self._dead = death.reason
+            raise _WorkerDown(death.reason) from death
 
-    def collect(self) -> list:
-        replies = []
-        while self._replies:
-            status, payload = self._replies.popleft()
-            if status == "error":
-                raise RuntimeError(f"shard worker failed:\n{payload}")
-            replies.append(payload)
-        return replies
+    def poll(self, timeout: float) -> bool:
+        return True  # replies (or the dead flag) are available synchronously
+
+    def recv_raw(self):
+        if self._replies:
+            return self._replies.popleft()
+        if self._dead is not None:
+            raise _WorkerDown(self._dead)
+        raise RuntimeError("local shard has no pending reply (supervisor bug)")
+
+    def destroy(self) -> None:
+        self._replies.clear()
+        self._dead = "destroyed"
+        self._server.sampler = None
 
     def stop(self) -> None:
         self._replies.clear()
         self._server.sampler = None
+
+
+class _SupervisedShard:
+    """One supervised seat of the shard pool: replay log + recovery policy.
+
+    Wraps a raw transport and keeps the full message *history* since the
+    seat's last ``build``/``set_state``/sync point, plus how many replies
+    have already been *delivered* to the caller.  Because workers are
+    deterministic functions of their fed message stream, any transport
+    failure (death, hang past the deadline, garbled reply) is recovered by
+    spawning a fresh transport, replaying the history and re-receiving the
+    replies — delivering only the not-yet-seen tail, so the caller observes
+    an uninterrupted, bit-identical reply stream.
+
+    Consecutive recoveries of one in-flight round back off exponentially and
+    are bounded by ``max_restarts``; past the bound the seat *degrades* to a
+    clean in-process replica (restored the same way) and flags itself so the
+    pool can re-partition onto the surviving workers at the next round
+    boundary.  Deterministic worker errors are not recovered: they raise
+    :class:`ShardWorkerError`.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int], object],
+        shard_index: int,
+        *,
+        fallback: Callable[[], object],
+        max_restarts: int,
+        hang_timeout: float,
+        backoff: float,
+        on_incident: Callable[[dict], None] | None = None,
+    ):
+        self._spawn = spawn
+        self._fallback = fallback
+        self.shard_index = shard_index
+        self.max_restarts = max_restarts
+        self.hang_timeout = hang_timeout
+        self.backoff = backoff
+        self._on_incident = on_incident if on_incident is not None else (lambda incident: None)
+        self.incarnation = 0
+        self.respawns = 0
+        self.degraded = False
+        self._history: list[tuple] = []
+        self._received: list = []
+        self._delivered = 0
+        self._failures = 0  # consecutive recoveries while the current round is in flight
+        self._stopped = False
+        self.transport = spawn(0)
+
+    # Tests reach through the seat to the live pipe/process.
+    @property
+    def connection(self):
+        return self.transport.connection
+
+    @property
+    def process(self):
+        return self.transport.process
+
+    def send(self, *message) -> None:
+        op = message[0]
+        if op == "build":
+            # A build makes the worker a fresh function of what follows.
+            self._history = [message]
+            self._received = []
+            self._delivered = 0
+        elif op == "set_state":
+            # The restored engine state fully determines the shard from here
+            # on; everything between the build and now is dead history.
+            # (set_state is only ever sent at a drained round boundary.)
+            self._history = [self._history[0], message]
+            self._received = [None]
+            self._delivered = 1
+        else:
+            self._history.append(message)
+        try:
+            self.transport.send_raw(message)
+        except _WorkerDown:
+            pass  # collect() detects the failure, respawns and replays
+
+    def mark_synced(self, state_payload: dict) -> None:
+        """Truncate the replay log: *state_payload* reproduces the shard.
+
+        Must be called at a drained round boundary, with the payload the
+        worker just returned for ``get_state`` (minus ``num_chains``).  From
+        now on recovery replays ``build`` + ``set_state`` instead of the
+        whole history.
+        """
+        self._history = [self._history[0], ("set_state", state_payload)]
+        self._received = [None, None]
+        self._delivered = 2
+
+    def collect(self) -> list:
+        """Deliver one reply per outstanding request, recovering as needed."""
+        total = len(self._history)
+        while len(self._received) < total:
+            try:
+                self._received.append(self._receive_one())
+            except _WorkerDown as failure:
+                self._recover(failure)
+        payloads = self._received[self._delivered : total]
+        # Delivered payloads are never read again — keep placeholders only,
+        # so the log does not pin every sample block in parent memory.
+        self._received[:] = [None] * total
+        self._delivered = total
+        self._failures = 0
+        return payloads
+
+    def _receive_one(self):
+        transport = self.transport
+        last_beat = transport.heartbeat_count()
+        deadline = time.monotonic() + self.hang_timeout
+        while True:
+            if transport.poll(_POLL_TICK):
+                reply = transport.recv_raw()
+                if (
+                    not isinstance(reply, tuple)
+                    or len(reply) != 2
+                    or reply[0] not in ("ok", "error")
+                ):
+                    # The stream is no longer trustworthy: treat like death.
+                    raise _WorkerDown("garbled", transport.pid, transport.exitcode)
+                status, payload = reply
+                if status == "error":
+                    raise ShardWorkerError(
+                        "shard worker failed",
+                        shard_index=self.shard_index,
+                        pid=transport.pid,
+                        exitcode=transport.exitcode,
+                        remote_traceback=payload,
+                        reason="remote-error",
+                    )
+                return payload
+            if not transport.is_alive():
+                raise _WorkerDown("died", transport.pid, transport.exitcode)
+            beat = transport.heartbeat_count()
+            if beat != last_beat:
+                # The worker is making progress through queued feed
+                # messages — extend the deadline rather than declaring a
+                # hang mid-burst.
+                last_beat = beat
+                deadline = time.monotonic() + self.hang_timeout
+            elif time.monotonic() >= deadline:
+                raise _WorkerDown("hung", transport.pid, transport.exitcode)
+
+    def _recover(self, failure: _WorkerDown) -> None:
+        began = time.perf_counter()
+        self._on_incident(
+            {
+                "kind": "lost",
+                "worker": self.shard_index,
+                "pid": failure.pid,
+                "exitcode": failure.exitcode,
+                "reason": failure.reason,
+            }
+        )
+        self.transport.destroy()
+        self._failures += 1
+        if self._failures > self.max_restarts:
+            # Unrecoverable seat: fall back to a clean in-process replica
+            # (no fault injection) so the round completes, and flag the seat
+            # for re-partitioning at the next boundary.
+            self.degraded = True
+            transport = self._fallback()
+        else:
+            time.sleep(min(self.backoff * (2 ** (self._failures - 1)), 2.0))
+            self.incarnation += 1
+            try:
+                transport = self._spawn(self.incarnation)
+            except (OSError, PermissionError, RuntimeError, AssertionError):
+                self.degraded = True
+                transport = self._fallback()
+        self.transport = transport
+        self.respawns += 1
+        self._received = []
+        try:
+            for message in self._history:
+                transport.send_raw(message)
+        except _WorkerDown:
+            pass  # the replacement died mid-replay; collect() loops again
+        self._on_incident(
+            {
+                "kind": "recovered",
+                "worker": self.shard_index,
+                "pid": transport.pid,
+                "respawns": self._failures,
+                "replayed": len(self._history),
+                "seconds": time.perf_counter() - began,
+                "degraded": self.degraded,
+            }
+        )
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        try:
+            self.transport.stop()
+        except Exception:  # noqa: BLE001 — runs from weakref.finalize too
+            pass
 
 
 def _shutdown_pool(handles: list) -> None:
@@ -431,6 +802,10 @@ class ShardedPowerSampler(BatchPowerSampler):
         defaults to the ``REPRO_SHARD_START_METHOD`` environment variable or
         the platform's fastest available method.  Platforms where worker
         processes cannot be created fall back to ``"serial"`` transparently.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule` injected into the
+        worker pool (testing/chaos only); defaults to the ambient schedule
+        from :func:`repro.faults.inject` or ``REPRO_FAULTS``.
     """
 
     def __init__(
@@ -443,6 +818,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         backend: str | None = None,
         num_workers: int | None = None,
         start_method: str | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ):
         config = config or EstimationConfig()
         self.num_workers = config.num_workers if num_workers is None else num_workers
@@ -453,6 +829,13 @@ class ShardedPowerSampler(BatchPowerSampler):
             if start_method is not None
             else os.environ.get("REPRO_SHARD_START_METHOD") or None
         )
+        self._fault_schedule = (
+            fault_schedule if fault_schedule is not None else _ambient_fault_schedule()
+        )
+        self._fault_incidents: list[dict] = []
+        self._rounds_since_sync = 0
+        self._syncing = False
+        self._healing = False
         self._handles: list | None = None
         self._finalizer = None
         super().__init__(
@@ -460,12 +843,39 @@ class ShardedPowerSampler(BatchPowerSampler):
         )
 
     # ------------------------------------------------------------------- pool
+    def _fault_plan(self, index: int, incarnation: int) -> FaultPlan | None:
+        if self._fault_schedule is None:
+            return None
+        return self._fault_schedule.plan_for(index, incarnation)
+
+    def _supervise(self, index: int, spawn) -> _SupervisedShard:
+        """Wrap a raw-transport factory in a supervised pool seat."""
+        return _SupervisedShard(
+            spawn,
+            index,
+            # The degradation fallback is a clean local replica: never
+            # injected with faults, so an exhausted retry budget cannot loop.
+            fallback=lambda: _LocalShard(self.program, self.config, self._backend_request),
+            max_restarts=self.config.worker_max_restarts,
+            hang_timeout=self.config.worker_hang_timeout,
+            backoff=self.config.worker_retry_backoff,
+            on_incident=self._fault_incidents.append,
+        )
+
+    def _local_seat(self, index: int) -> _SupervisedShard:
+        return self._supervise(
+            index,
+            lambda incarnation, index=index: _LocalShard(
+                self.program,
+                self.config,
+                self._backend_request,
+                self._fault_plan(index, incarnation),
+            ),
+        )
+
     def _spawn_pool(self) -> list:
         if self._start_method == "serial":
-            return [
-                _LocalShard(self.program, self.config, self._backend_request)
-                for _ in range(self.num_workers)
-            ]
+            return [self._local_seat(index) for index in range(self.num_workers)]
         if self._start_method is not None:
             ctx = mp.get_context(self._start_method)
         elif sys.platform == "linux" and "fork" in mp.get_all_start_methods():
@@ -478,18 +888,24 @@ class ShardedPowerSampler(BatchPowerSampler):
             ctx = mp.get_context()
         handles: list = []
         try:
-            for _ in range(self.num_workers):
+            for index in range(self.num_workers):
                 handles.append(
-                    _ProcessShard(ctx, self.program, self.config, self._backend_request)
+                    self._supervise(
+                        index,
+                        lambda incarnation, index=index: _ProcessShard(
+                            ctx,
+                            self.program,
+                            self.config,
+                            self._backend_request,
+                            self._fault_plan(index, incarnation),
+                        ),
+                    )
                 )
         except (OSError, PermissionError, RuntimeError, AssertionError):
             # Sandboxes (or daemonic parents) that cannot create processes:
             # identical results from the in-process pool, one process.
             _shutdown_pool(handles)
-            return [
-                _LocalShard(self.program, self.config, self._backend_request)
-                for _ in range(self.num_workers)
-            ]
+            return [self._local_seat(index) for index in range(self.num_workers)]
         return handles
 
     def _build_engines(self) -> None:
@@ -519,6 +935,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         for handle, (_, width) in zip(self._handles, self._shards):
             handle.send("build", width, zd_backend, event_backend)
         self._shard_backends = [replies[0] for replies in self._collect_all()]
+        self._rounds_since_sync = 0
 
     def close(self) -> None:
         """Shut the worker pool down (also runs on garbage collection)."""
@@ -545,10 +962,92 @@ class ShardedPowerSampler(BatchPowerSampler):
         return active
 
     def _collect_all(self) -> list[list]:
-        return [handle.collect() for handle in self._handles]
+        replies = [handle.collect() for handle in self._handles]
+        self._after_round()
+        return replies
 
     def _collect_active(self) -> list[list]:
-        return [entry[0].collect() for entry in self._active()]
+        replies = [entry[0].collect() for entry in self._active()]
+        self._after_round()
+        return replies
+
+    # ------------------------------------------------------------ supervision
+    def _after_round(self) -> None:
+        """Round-boundary housekeeping: periodic replay-log truncation."""
+        if self._syncing or self._healing:
+            return
+        self._rounds_since_sync += 1
+        if self._rounds_since_sync >= max(1, self.config.shard_sync_interval):
+            self._sync_shards()
+
+    def _sync_shards(self) -> None:
+        """Snapshot every live shard and truncate the replay logs.
+
+        Bounds recovery replay (and parent memory) to at most
+        ``shard_sync_interval`` rounds of traffic; costs one ``get_state``
+        round trip per shard.  Checkpoints (:meth:`get_state`) sync for
+        free.
+        """
+        self._syncing = True
+        try:
+            active = self._active()
+            for entry in active:
+                entry[0].send("get_state")
+            for entry in active:
+                state = entry[0].collect()[-1]
+                entry[0].mark_synced({"engine": state["engine"], "prepared": state["prepared"]})
+        finally:
+            self._syncing = False
+            self._rounds_since_sync = 0
+
+    def _heal_pool(self) -> None:
+        """Re-partition the ensemble off permanently-degraded seats.
+
+        A seat that exhausted its restart budget finished its round on a
+        clean in-process replica; at the next round boundary this folds its
+        chains onto the surviving worker processes through the ordinary
+        checkpoint machinery (state gather → re-partition → restore), which
+        is bit-identical because the merged state is lane-ordered regardless
+        of the partitioning and ``get_state``/``set_state`` consume no RNG.
+        """
+        if self._handles is None or self._healing:
+            return
+        degraded = [seat for seat in self._handles if seat.degraded]
+        if not degraded or len(degraded) == len(self._handles):
+            # Nothing to heal — or nowhere to go (every seat degraded means
+            # the pool already runs fully in-process; keep it).
+            return
+        self._healing = True
+        try:
+            state = self.get_state()
+            survivors = [seat for seat in self._handles if not seat.degraded]
+            for seat in degraded:
+                seat.stop()
+            # In-place: the weakref.finalize shutdown callback holds this
+            # exact list object.
+            self._handles[:] = survivors
+            self.num_workers = len(survivors)
+            self._build_engines()
+            self.set_state(state)
+        finally:
+            self._healing = False
+
+    def take_fault_incidents(self) -> list[dict]:
+        """Drain supervision incidents (worker losses/recoveries) since last call.
+
+        Each incident is a dict with ``kind`` ``"lost"`` or ``"recovered"``
+        plus context fields; :class:`~repro.core.dipe.DipeEstimator` turns
+        them into :class:`~repro.api.events.WorkerLost` /
+        :class:`~repro.api.events.WorkerRecovered` progress events.
+        """
+        incidents = list(self._fault_incidents)
+        self._fault_incidents.clear()
+        return incidents
+
+    @property
+    def worker_restarts(self) -> int:
+        """Total worker respawns performed by the supervision layer."""
+        return sum(seat.respawns for seat in self._handles or [])
 
     def _scatter_patterns(self, cycles: int) -> None:
         """Draw *cycles* input patterns from the run RNG and feed shard slices.
@@ -603,6 +1102,7 @@ class ShardedPowerSampler(BatchPowerSampler):
     # ----------------------------------------------------------------- set-up
     def _warm_up(self, warmup_cycles: int | None = None) -> None:
         warmup = self.config.warmup_cycles if warmup_cycles is None else warmup_cycles
+        self._heal_pool()
         self._scatter_latches()
         self._scatter_patterns(1 + warmup)
         for entry in self._active():
@@ -612,6 +1112,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         self.cycles_simulated += warmup
 
     def restart_from_random_state(self) -> None:
+        self._heal_pool()
         self._scatter_latches()
         self._scatter_patterns(1)
         for entry in self._active():
@@ -626,6 +1127,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         self._require_prepared()
         if cycles == 0:
             return
+        self._heal_pool()
         self._scatter_patterns(cycles)
         for entry in self._active():
             entry[0].send("advance", cycles)
@@ -635,6 +1137,7 @@ class ShardedPowerSampler(BatchPowerSampler):
     def _sample_sweeps(self, interval: int, sweeps: int) -> np.ndarray:
         """Run *sweeps* measured sweeps; return the merged (sweeps, num_chains) block."""
         self._require_prepared()
+        self._heal_pool()
         self._scatter_patterns(sweeps * (interval + 1))
         for entry in self._active():
             entry[0].send("sample_block", interval, sweeps)
@@ -670,6 +1173,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         if length < 1:
             raise ValueError("length must be at least 1")
         self._require_prepared()
+        self._heal_pool()
         self._scatter_patterns((interval + 1) * length)
         active = self._active()
         for position, entry in enumerate(active):
@@ -688,9 +1192,16 @@ class ShardedPowerSampler(BatchPowerSampler):
         bit-identical (the parent's RNG consumed the same stream the
         in-process sampler would have).
         """
-        for entry in self._active():
+        self._heal_pool()
+        active = self._active()
+        for entry in active:
             entry[0].send("get_state")
         states = [replies[-1] for replies in self._collect_active()]
+        # A checkpoint is a free sync point: each shard's snapshot reproduces
+        # it exactly, so the replay logs truncate to build + set_state.
+        for entry, state in zip(active, states):
+            entry[0].mark_synced({"engine": state["engine"], "prepared": state["prepared"]})
+        self._rounds_since_sync = 0
         return {
             "rng": self.rng.bit_generator.state,
             "num_chains": self.num_chains,

@@ -1,0 +1,333 @@
+"""Deterministic fault injection for the sharded sampling worker pool.
+
+The supervision layer in :mod:`repro.core.sharded_sampler` promises that a
+worker may die, hang, slow down or corrupt its reply stream at *any* point
+without changing a single merged sample.  Proving that needs a way to make
+workers fail on purpose, at exactly reproducible points — this module is that
+harness.
+
+A :class:`FaultSchedule` maps ``(shard_index, incarnation)`` to a
+:class:`FaultPlan`, a sequence of :class:`FaultAction` entries.  Each action
+names a *kind* (``kill``, ``hang``, ``slow``, ``garble``), an *injection
+point* relative to one handled command (``recv`` — after the command is
+received but before it runs; ``handle`` — after it ran but before the reply
+is sent; ``reply`` — after the reply went out), and the zero-based *command
+index* at which it fires.  Because every parent→worker message (including
+pattern feeds) counts as one command, a seeded schedule pins the fault to an
+exact position in the deterministic command stream — re-running the same
+seed reproduces the same failure in the same place.
+
+Schedules address worker *incarnations*: when the supervisor respawns a
+killed worker, the replacement looks up its own plan under an incremented
+incarnation number, so storms (kill the respawn too) are expressible while
+finite schedules always terminate.
+
+Activation is either explicit — pass ``fault_schedule=...`` to
+:class:`~repro.core.sharded_sampler.ShardedPowerSampler`, or wrap code in
+:func:`inject` — or ambient through the ``REPRO_FAULTS`` environment
+variable (a JSON document produced by :meth:`FaultSchedule.to_json`), which
+reaches pools built deep inside the service without threading a parameter
+through every layer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "INJECTION_POINTS",
+    "KILLED_EXIT_CODE",
+    "FaultAction",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultInjector",
+    "SimulatedWorkerDeath",
+    "active_schedule",
+    "inject",
+    "schedule_from_env",
+]
+
+#: Injection points relative to one handled worker command.
+INJECTION_POINTS = ("recv", "handle", "reply")
+
+#: Supported failure modes.
+FAULT_KINDS = ("kill", "hang", "slow", "garble")
+
+#: Exit code of a worker process killed by an injected ``kill`` action, so
+#: tests (and :class:`ShardWorkerError` messages) can tell injected deaths
+#: from organic crashes.
+KILLED_EXIT_CODE = 87
+
+#: How long an injected ``hang`` sleeps when no duration is given — far past
+#: any reasonable ``worker_hang_timeout``, so the supervisor must intervene.
+_DEFAULT_HANG_SECONDS = 3600.0
+
+#: Default stall of a ``slow`` action: long enough to be observable, short
+#: enough that an un-supervised test does not crawl.
+_DEFAULT_SLOW_SECONDS = 0.05
+
+
+class SimulatedWorkerDeath(RuntimeError):
+    """Raised by the in-process (serial) transport to simulate a worker death.
+
+    The serial shard pool has no process to kill, so ``kill`` and ``hang``
+    actions surface as this exception instead — the supervisor treats it
+    exactly like a broken pipe and replays the shard.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"injected worker fault: {reason}")
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One injected failure: *kind* at *point* of command number *command*.
+
+    ``seconds`` parameterises ``hang`` and ``slow`` (0.0 means the kind's
+    default duration); it is ignored by ``kill`` and ``garble``.  ``garble``
+    replaces the reply wire message, so it is only meaningful at the
+    ``reply`` point.
+    """
+
+    kind: str
+    point: str = "handle"
+    command: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(f"point must be one of {INJECTION_POINTS}, got {self.point!r}")
+        if self.kind == "garble" and self.point != "reply":
+            raise ValueError("garble actions replace the reply; use point='reply'")
+        if self.command < 0:
+            raise ValueError("command index must be non-negative")
+        if self.seconds < 0.0:
+            raise ValueError("seconds must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "point": self.point,
+            "command": self.command,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The ordered fault actions of one worker incarnation."""
+
+    actions: tuple[FaultAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def at(self, command: int, point: str) -> FaultAction | None:
+        """First action scheduled for (*command*, *point*), or ``None``."""
+        for action in self.actions:
+            if action.command == command and action.point == point:
+                return action
+        return None
+
+    def to_dict(self) -> dict:
+        return {"actions": [action.to_dict() for action in self.actions]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(tuple(FaultAction(**action) for action in data.get("actions", ())))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Fault plans keyed by ``(shard_index, incarnation)``.
+
+    Incarnation 0 is the worker spawned at pool construction; each
+    supervisor respawn increments it.  Shards or incarnations without an
+    entry run fault-free, so every finite schedule eventually lets the run
+    complete — the property the chaos suite's bit-identical gate relies on.
+    """
+
+    plans: dict[tuple[int, int], FaultPlan] = field(default_factory=dict)
+
+    def plan_for(self, shard_index: int, incarnation: int) -> FaultPlan | None:
+        return self.plans.get((shard_index, incarnation))
+
+    @property
+    def total_actions(self) -> int:
+        """Number of scheduled actions across all plans (for reporting)."""
+        return sum(len(plan.actions) for plan in self.plans.values())
+
+    @classmethod
+    def single(
+        cls,
+        shard_index: int,
+        kind: str,
+        *,
+        point: str = "handle",
+        command: int = 0,
+        seconds: float = 0.0,
+        incarnation: int = 0,
+    ) -> "FaultSchedule":
+        """Schedule exactly one action on one worker incarnation."""
+        action = FaultAction(kind=kind, point=point, command=command, seconds=seconds)
+        return cls({(shard_index, incarnation): FaultPlan((action,))})
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_workers: int,
+        *,
+        kills: int = 2,
+        window: tuple[int, int] = (2, 40),
+        kinds: tuple[str, ...] = ("kill",),
+        points: tuple[str, ...] = INJECTION_POINTS,
+        storm: int = 0,
+    ) -> "FaultSchedule":
+        """Draw a reproducible random schedule of *kills* faults.
+
+        Faults land on random shards at random command indices inside
+        *window* (which spans warmup, advance, sampling and checkpoint
+        traffic for typical test configs).  ``storm`` additionally kills the
+        first *storm* respawn incarnations of the first faulted shard at the
+        same point, exercising repeated recovery of one seat.  ``garble`` is
+        forced to the ``reply`` point automatically.
+        """
+        rng = np.random.default_rng(seed)
+        plans: dict[tuple[int, int], list[FaultAction]] = {}
+        first_shard: int | None = None
+        for _ in range(kills):
+            shard = int(rng.integers(0, num_workers))
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            point = "reply" if kind == "garble" else points[int(rng.integers(0, len(points)))]
+            command = int(rng.integers(window[0], window[1]))
+            plans.setdefault((shard, 0), []).append(
+                FaultAction(kind=kind, point=point, command=command)
+            )
+            if first_shard is None:
+                first_shard = shard
+        if storm and first_shard is not None:
+            for incarnation in range(1, storm + 1):
+                command = int(rng.integers(window[0], window[1]))
+                plans.setdefault((first_shard, incarnation), []).append(
+                    FaultAction(kind="kill", point="recv", command=command)
+                )
+        return cls({key: FaultPlan(tuple(actions)) for key, actions in plans.items()})
+
+    def to_json(self) -> str:
+        """Serialize for the ``REPRO_FAULTS`` environment variable."""
+        entries = [
+            {"shard": shard, "incarnation": incarnation, **plan.to_dict()}
+            for (shard, incarnation), plan in sorted(self.plans.items())
+        ]
+        return json.dumps({"plans": entries})
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        data = json.loads(text)
+        plans = {}
+        for entry in data.get("plans", ()):
+            key = (int(entry["shard"]), int(entry.get("incarnation", 0)))
+            plans[key] = FaultPlan.from_dict(entry)
+        return cls(plans)
+
+
+# ------------------------------------------------------------------ activation
+_ACTIVE_SCHEDULE: FaultSchedule | None = None
+
+
+def schedule_from_env(environ=os.environ) -> FaultSchedule | None:
+    """Parse ``REPRO_FAULTS`` (JSON from :meth:`FaultSchedule.to_json`)."""
+    text = environ.get("REPRO_FAULTS")
+    if not text:
+        return None
+    return FaultSchedule.from_json(text)
+
+
+def active_schedule() -> FaultSchedule | None:
+    """The ambient schedule: :func:`inject` context first, then the env var."""
+    if _ACTIVE_SCHEDULE is not None:
+        return _ACTIVE_SCHEDULE
+    return schedule_from_env()
+
+
+@contextlib.contextmanager
+def inject(schedule: FaultSchedule):
+    """Make *schedule* ambient for shard pools built inside the block."""
+    global _ACTIVE_SCHEDULE
+    previous = _ACTIVE_SCHEDULE
+    _ACTIVE_SCHEDULE = schedule
+    try:
+        yield schedule
+    finally:
+        _ACTIVE_SCHEDULE = previous
+
+
+# -------------------------------------------------------------------- injector
+class FaultInjector:
+    """Fires one incarnation's :class:`FaultPlan` inside a shard transport.
+
+    ``mode="process"`` runs inside a real worker process: ``kill`` exits the
+    process with :data:`KILLED_EXIT_CODE`, ``hang``/``slow`` sleep.
+    ``mode="local"`` runs inside the parent (serial pool): ``kill`` and
+    ``hang`` raise :class:`SimulatedWorkerDeath` instead (a local transport
+    cannot block the parent), ``slow`` sleeps briefly.  Each action fires at
+    most once.
+    """
+
+    def __init__(self, plan: FaultPlan | None, mode: str = "process"):
+        if mode not in ("process", "local"):
+            raise ValueError(f"mode must be 'process' or 'local', got {mode!r}")
+        self._plan = plan
+        self._mode = mode
+        self._command = 0
+        self._fired: set[int] = set()
+
+    def begin(self) -> int:
+        """Start handling the next command; returns its index."""
+        index = self._command
+        self._command += 1
+        return index
+
+    def _take(self, command: int, point: str, garble: bool) -> FaultAction | None:
+        if self._plan is None:
+            return None
+        for action in self._plan.actions:
+            if action.command != command or action.point != point:
+                continue
+            if (action.kind == "garble") != garble or id(action) in self._fired:
+                continue
+            self._fired.add(id(action))
+            return action
+        return None
+
+    def trip(self, command: int, point: str) -> None:
+        """Fire a scheduled kill/hang/slow at (*command*, *point*), if any."""
+        action = self._take(command, point, garble=False)
+        if action is None:
+            return
+        if action.kind == "kill":
+            if self._mode == "process":
+                os._exit(KILLED_EXIT_CODE)
+            raise SimulatedWorkerDeath("killed")
+        if action.kind == "hang":
+            if self._mode == "process":
+                time.sleep(action.seconds or _DEFAULT_HANG_SECONDS)
+                return
+            raise SimulatedWorkerDeath("hung")
+        # slow: stall but eventually answer — the supervisor must NOT recover.
+        time.sleep(action.seconds or _DEFAULT_SLOW_SECONDS)
+
+    def garbled(self, command: int) -> bool:
+        """True when this command's reply should be replaced with garbage."""
+        return self._take(command, "reply", garble=True) is not None

@@ -58,6 +58,7 @@ _EXPORTS = {
     "JobQueued": "repro.service.events",
     "JobStarted": "repro.service.events",
     "JobResumed": "repro.service.events",
+    "JobRetrying": "repro.service.events",
     "JobCancelled": "repro.service.events",
     "JobCompleted": "repro.service.events",
     "JobFailed": "repro.service.events",

@@ -19,10 +19,16 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Iterator
 from urllib.parse import urlsplit
 
 from repro.api.events import ProgressEvent, event_from_dict
+from repro.service.events import TERMINAL_EVENT_KINDS
+
+#: Transport-level failures worth retrying on a fresh socket: dropped
+#: keep-alive connections, wedged (timed-out) reads, refused reconnects.
+_TRANSPORT_ERRORS = (http.client.HTTPException, ConnectionError, TimeoutError, OSError)
 
 
 class ServiceClientError(Exception):
@@ -41,15 +47,40 @@ class ServiceClient:
     with status >= 400 raise :class:`ServiceClientError` carrying the status
     code and the server's error message.  A client instance is **not**
     thread-safe — create one per thread.
+
+    Every socket carries a read *timeout*, so a wedged server surfaces as a
+    ``TimeoutError`` within bounded time instead of blocking forever.
+    Idempotent requests (GET/HEAD) and the SSE stream retry transport
+    failures up to *retries* times with *retry_backoff* exponential backoff
+    (the stream reconnects from the last seen sequence number, so no
+    envelope is lost or duplicated); non-idempotent requests keep the single
+    reconnect-once behaviour for dropped keep-alive sockets.
     """
 
-    def __init__(self, url: str = "http://127.0.0.1:8642", timeout: float = 60.0):
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8642",
+        timeout: float = 60.0,
+        retries: int = 2,
+        retry_backoff: float = 0.2,
+        sse_read_timeout: float | None = None,
+    ):
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff < 0.0:
+            raise ValueError("retry_backoff must be non-negative")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 8642
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        # SSE reads sit idle between heartbeats; the server heartbeats every
+        # ~15 s, so the request timeout is a safe idle bound here too unless
+        # the caller picks a different one.
+        self.sse_read_timeout = timeout if sse_read_timeout is None else sse_read_timeout
         self._connection: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------- transport
@@ -78,18 +109,23 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
+        # Idempotent requests retry transport failures with backoff; others
+        # (submit, cancel) only get the single fresh-socket reconnect for
+        # dropped idle keep-alive connections — re-sending them after an
+        # ambiguous failure could duplicate the action.
+        attempts = (self.retries if method in ("GET", "HEAD") else 1) + 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
             connection = self._connect()
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
                 break
-            except (http.client.HTTPException, ConnectionError, OSError):
-                # The server closes idle keep-alive connections; retry once on
-                # a fresh socket before giving up.
+            except _TRANSPORT_ERRORS:
                 self.close()
-                if attempt:
+                if attempt == attempts - 1:
                     raise
         try:
             data = json.loads(raw.decode("utf-8")) if raw else None
@@ -140,14 +176,11 @@ class ServiceClient:
         return self._request("POST", f"/jobs/{job_id}/resume")
 
     # ---------------------------------------------------------------- events
-    def events(self, job_id: str, from_seq: int = 0) -> Iterator[dict[str, Any]]:
-        """Stream the job's event envelopes over SSE, starting at *from_seq*.
-
-        Yields envelope dicts ``{"seq", "job", "time", "event"}`` in seq
-        order and returns once the server closes the stream after the
-        terminal event.  Heartbeat comments are consumed silently.
-        """
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+    def _events_once(self, job_id: str, from_seq: int) -> Iterator[dict[str, Any]]:
+        """One SSE connection's worth of envelopes, starting at *from_seq*."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.sse_read_timeout
+        )
         try:
             connection.request("GET", f"/jobs/{job_id}/events?from={from_seq}")
             response = connection.getresponse()
@@ -171,6 +204,49 @@ class ServiceClient:
                     data_lines = []
         finally:
             connection.close()
+
+    def events(self, job_id: str, from_seq: int = 0) -> Iterator[dict[str, Any]]:
+        """Stream the job's event envelopes over SSE, starting at *from_seq*.
+
+        Yields envelope dicts ``{"seq", "job", "time", "event"}`` in seq
+        order and returns once the stream reaches a terminal event.
+        Heartbeat comments are consumed silently.  Transport failures (a
+        wedged read hitting the socket timeout, a dropped connection, a
+        brief server restart) are retried up to ``self.retries`` times with
+        exponential backoff, reconnecting from the next unseen sequence
+        number so the merged stream stays gap-free and duplicate-free; the
+        retry budget resets whenever a reconnect makes progress.
+        """
+        next_seq = from_seq
+        terminal_seen = False
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for envelope in self._events_once(job_id, next_seq):
+                    if envelope["seq"] < next_seq:
+                        continue  # replayed after reconnect; already yielded
+                    next_seq = envelope["seq"] + 1
+                    progressed = True
+                    kind = envelope.get("event", {}).get("kind")
+                    terminal_seen = kind in TERMINAL_EVENT_KINDS
+                    yield envelope
+            except _TRANSPORT_ERRORS:
+                pass  # reconnect below (budget permitting)
+            else:
+                if terminal_seen:
+                    return
+                # Stream ended without a terminal event — the server went
+                # away mid-job; reconnect and pick up where we left off.
+            if progressed:
+                failures = 0
+            failures += 1
+            if failures > self.retries:
+                raise TimeoutError(
+                    f"event stream for job {job_id!r} failed after "
+                    f"{failures} attempts (last seq seen: {next_seq - 1})"
+                )
+            time.sleep(self.retry_backoff * (2 ** (failures - 1)))
 
     def typed_events(self, job_id: str, from_seq: int = 0) -> Iterator[ProgressEvent]:
         """Like :meth:`events`, but yields typed :class:`ProgressEvent` objects."""

@@ -40,6 +40,7 @@ from repro.service.events import (
     JobFailed,
     JobQueued,
     JobResumed,
+    JobRetrying,
     JobStarted,
 )
 from repro.service.store import ResultStore
@@ -57,6 +58,10 @@ RESUMABLE_STATUSES = frozenset({"cancelled", "interrupted"})
 #: Top-level keys accepted in a submitted spec payload; anything else is a
 #: client error (the library's ``from_dict`` is lenient, the service is not).
 _SPEC_KEYS = frozenset({"circuit", "estimator", "stimulus", "config", "seed", "params", "label"})
+
+#: Keys accepted in the ``{"spec": ..., ...}`` wrapper form: the spec plus
+#: per-job service policy.
+_WRAPPER_KEYS = frozenset({"spec", "max_retries"})
 
 
 class ServiceError(Exception):
@@ -82,7 +87,9 @@ class JobStateError(ServiceError):
 def validate_job_payload(payload: Any) -> JobSpec:
     """Parse and fully validate a submitted job payload at the service boundary.
 
-    Accepts the spec dict directly or wrapped as ``{"spec": {...}}``.  Beyond
+    Accepts the spec dict directly or wrapped as ``{"spec": {...}}`` — the
+    wrapper form may also carry per-job service policy
+    (``"max_retries"``, validated by :func:`validate_retry_policy`).  Beyond
     :meth:`JobSpec.from_dict` (which validates the config through the plugin
     registries), this rejects unknown top-level keys, unknown estimator and
     stimulus names, unresolvable circuits and unbuildable stimulus parameters
@@ -90,7 +97,13 @@ def validate_job_payload(payload: Any) -> JobSpec:
     never crash a pool worker.  Raises :class:`InvalidJobError` with a
     client-presentable message.
     """
-    if isinstance(payload, dict) and set(payload) == {"spec"}:
+    if isinstance(payload, dict) and "spec" in payload:
+        unknown = set(payload) - _WRAPPER_KEYS
+        if unknown:
+            raise InvalidJobError(
+                f"unknown wrapper fields {sorted(unknown)}; allowed: {sorted(_WRAPPER_KEYS)}"
+            )
+        validate_retry_policy(payload.get("max_retries", 0))
         payload = payload["spec"]
     if not isinstance(payload, dict):
         raise InvalidJobError(
@@ -130,6 +143,21 @@ def validate_job_payload(payload: Any) -> JobSpec:
     return spec
 
 
+def validate_retry_policy(value: Any) -> int:
+    """Validate a ``max_retries`` value; returns it as a plain int.
+
+    Raises :class:`InvalidJobError` for anything but a non-negative integer
+    (booleans included — ``True`` is not a retry count).
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidJobError(
+            f"'max_retries' must be a non-negative integer, got {value!r}"
+        )
+    if value < 0:
+        raise InvalidJobError(f"'max_retries' must be non-negative, got {value}")
+    return value
+
+
 class JobRecord:
     """One job's full in-memory state: spec, status, event log, result.
 
@@ -140,13 +168,15 @@ class JobRecord:
     awaits (replaced on every publish, set exactly once).
     """
 
-    def __init__(self, job_id: str, spec: JobSpec, submitted_at: float):
+    def __init__(self, job_id: str, spec: JobSpec, submitted_at: float, max_retries: int = 0):
         self.id = job_id
         self.spec = spec
         self.status = "queued"
         self.error: str | None = None
         self.result_payload: dict[str, Any] | None = None
         self.checkpoint_available = False
+        self.max_retries = max_retries
+        self.retries = 0
         self.events: list[dict[str, Any]] = []
         self.next_seq = 0
         self.submitted_at = submitted_at
@@ -188,6 +218,8 @@ class JobRecord:
             "cycles_simulated": cycles,
             "num_events": len(self.events),
             "resumed": self.resumed,
+            "max_retries": self.max_retries,
+            "retries": self.retries,
             "checkpoint_available": self.checkpoint_available,
             "error": self.error,
         }
@@ -218,6 +250,19 @@ class EstimationService:
     max_pending:
         Bound on jobs waiting in the queue; submissions beyond it raise
         :class:`ServiceFullError` (HTTP 429) instead of growing unboundedly.
+    max_retries:
+        Default per-job retry budget: a job whose attempt raises is
+        re-queued (emitting ``job-retrying``) up to this many times before
+        it is marked ``failed``.  Retried jobs resume from their
+        auto-snapshot checkpoint when one exists.  Submissions can override
+        it per job via the ``{"spec": ..., "max_retries": n}`` wrapper.
+        Jobs found ``interrupted`` during rehydration are auto-requeued
+        while their budget allows (they count a retry).
+    auto_checkpoint_events:
+        Snapshot a resumable checkpoint every this many estimator progress
+        events while a job runs (0 disables).  The snapshots are what
+        retries and restart-rehydration resume from, so interrupted work is
+        bounded instead of lost.
     """
 
     def __init__(
@@ -225,14 +270,22 @@ class EstimationService:
         store: ResultStore | str | None = None,
         num_workers: int = 2,
         max_pending: int = 1024,
+        max_retries: int = 0,
+        auto_checkpoint_events: int = 32,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if auto_checkpoint_events < 0:
+            raise ValueError("auto_checkpoint_events must be non-negative")
         self.store = ResultStore(store) if isinstance(store, (str, bytes)) else store
         self.num_workers = num_workers
         self.max_pending = max_pending
+        self.max_retries = max_retries
+        self.auto_checkpoint_events = auto_checkpoint_events
         self.started_at = time.time()
         self._records: dict[str, JobRecord] = {}
         self._order: list[str] = []
@@ -288,18 +341,30 @@ class EstimationService:
 
     # ------------------------------------------------------------ rehydration
     def _rehydrate(self) -> None:
-        """Reload every stored job; mark a dead server's in-flight jobs."""
+        """Reload every stored job; mark a dead server's in-flight jobs.
+
+        Jobs found mid-flight become ``interrupted``; those with a
+        checkpoint and retry budget left are auto-requeued immediately
+        (consuming one retry), so a restarted server picks interrupted work
+        back up from the auto-snapshot instead of leaving it dead.
+        """
         for job_id, meta, spec_dict in self.store.scan():
             try:
                 spec = JobSpec.from_dict(spec_dict)
             except (TypeError, ValueError, KeyError):
                 continue  # stored by an incompatible version; leave on disk
-            record = JobRecord(job_id, spec, meta.get("submitted_at") or self.started_at)
+            record = JobRecord(
+                job_id,
+                spec,
+                meta.get("submitted_at") or self.started_at,
+                max_retries=int(meta.get("max_retries", 0)),
+            )
             record.status = meta.get("status", "interrupted")
             record.started_at = meta.get("started_at")
             record.finished_at = meta.get("finished_at")
             record.error = meta.get("error")
             record.resumed = int(meta.get("resumed", 0))
+            record.retries = int(meta.get("retries", 0))
             record.events = self.store.read_events(job_id)
             record.next_seq = (record.events[-1]["seq"] + 1) if record.events else 0
             record.progress = (
@@ -315,6 +380,24 @@ class EstimationService:
             with self._records_lock:
                 self._records[job_id] = record
                 self._order.append(job_id)
+        for record in self.jobs():
+            if (
+                record.status == "interrupted"
+                and record.checkpoint_available
+                and record.retries < record.max_retries
+            ):
+                with record._lock:
+                    record.status = "queued"
+                    record.finished_at = None
+                    record.resumed += 1
+                    record.retries += 1
+                with self._records_lock:
+                    self._pending += 1
+                self._publish(
+                    record, self._lifecycle(record, JobResumed, from_checkpoint=True)
+                )
+                self._persist_meta(record)
+                self._queue.put(record.id)
 
     # ------------------------------------------------------------- submission
     def submit(self, payload: Any) -> JobRecord:
@@ -324,6 +407,9 @@ class EstimationService:
         :class:`ServiceFullError` when the pending queue is at capacity.
         """
         spec = validate_job_payload(payload)
+        max_retries = self.max_retries
+        if isinstance(payload, dict) and "spec" in payload and "max_retries" in payload:
+            max_retries = validate_retry_policy(payload["max_retries"])
         now = time.time()
         with self._records_lock:
             if self._pending >= self.max_pending:
@@ -332,7 +418,7 @@ class EstimationService:
                     f"max_pending={self.max_pending}); retry later"
                 )
             job_id = self._new_job_id()
-            record = JobRecord(job_id, spec, now)
+            record = JobRecord(job_id, spec, now, max_retries=max_retries)
             self._records[job_id] = record
             self._order.append(job_id)
             self._pending += 1
@@ -378,6 +464,7 @@ class EstimationService:
         return {
             "jobs": counts,
             "num_jobs": sum(counts.values()),
+            "retries_scheduled": sum(record.retries for record in self.jobs()),
             "pending": self._pending,
             "max_pending": self.max_pending,
             "num_workers": self.num_workers,
@@ -473,7 +560,9 @@ class EstimationService:
         self._pending_done()
         self._persist_meta(record)
         try:
-            checkpoint = self._load_checkpoint(record) if record.resumed else None
+            checkpoint = (
+                self._load_checkpoint(record) if (record.resumed or record.retries) else None
+            )
             self._warm_circuit(record.spec.circuit)
             estimator = record.spec.build_estimator()
             self._publish(
@@ -484,6 +573,7 @@ class EstimationService:
             )
             stream = estimator.run(resume_from=checkpoint)
             final: EstimateCompleted | None = None
+            events_since_snapshot = 0
             for event in stream:
                 self._publish(record, event)
                 if isinstance(event, EstimateCompleted):
@@ -492,11 +582,19 @@ class EstimationService:
                 if record.cancel_requested.is_set():
                     self._cancel_in_flight(record, estimator, stream)
                     return
+                events_since_snapshot += 1
+                if (
+                    self.auto_checkpoint_events
+                    and events_since_snapshot >= self.auto_checkpoint_events
+                ):
+                    events_since_snapshot = 0
+                    self._snapshot_checkpoint(record, estimator)
             if final is None:
                 raise RuntimeError("estimator stream ended without an EstimateCompleted event")
             result = JobResult(spec=record.spec, result=final.estimate)
             payload = result.to_dict()
             record.result_payload = payload
+            record.error = None
             if self.store is not None:
                 self.store.save_result(record.id, payload)
             elapsed = time.time() - (record.started_at or time.time())
@@ -509,7 +607,50 @@ class EstimationService:
             )
         except Exception as exc:  # noqa: BLE001 — job errors must not kill the worker
             record.error = f"{type(exc).__name__}: {exc}"
-            self._finish(record, "failed", self._lifecycle(record, JobFailed, error=record.error))
+            if record.retries < record.max_retries and not self._stop.is_set():
+                self._retry_job(record, record.error)
+            else:
+                self._finish(
+                    record, "failed", self._lifecycle(record, JobFailed, error=record.error)
+                )
+
+    def _snapshot_checkpoint(self, record: JobRecord, estimator: Any) -> None:
+        """Best-effort auto-snapshot so a crashed or retried job resumes mid-run."""
+        try:
+            checkpoint = estimator.make_checkpoint()
+        except Exception:  # noqa: BLE001 — e.g. before sampling began
+            return
+        if checkpoint is None:
+            return
+        record._memory_checkpoint = checkpoint
+        if self.store is not None:
+            self.store.save_checkpoint(record.id, checkpoint)
+        if not record.checkpoint_available:
+            record.checkpoint_available = True
+            self._persist_meta(record)
+
+    def _retry_job(self, record: JobRecord, error: str) -> None:
+        """Re-queue a failed attempt that still has retry budget."""
+        with record._lock:
+            record.retries += 1
+            record.status = "queued"
+            attempt = record.retries
+        with self._records_lock:
+            self._pending += 1
+        self._publish(
+            record,
+            self._lifecycle(
+                record,
+                JobRetrying,
+                error=error,
+                attempt=attempt,
+                max_retries=record.max_retries,
+                from_checkpoint=record.checkpoint_available,
+            ),
+        )
+        self._persist_meta(record)
+        self._notify(record)
+        self._queue.put(record.id)
 
     def _cancel_in_flight(self, record: JobRecord, estimator: Any, stream: Any) -> None:
         """Snapshot a checkpoint (when possible) and finish as cancelled."""

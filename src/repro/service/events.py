@@ -65,6 +65,25 @@ class JobResumed(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class JobRetrying(ProgressEvent):
+    """The job's attempt failed but retry budget remains; it was re-queued.
+
+    Not terminal: the stream continues with a fresh ``job-started`` segment.
+    ``attempt`` is the retry about to run (1-based), ``from_checkpoint``
+    whether it resumes from the job's auto-snapshot checkpoint or restarts
+    from scratch.
+    """
+
+    kind: ClassVar[str] = "job-retrying"
+
+    job_id: str = ""
+    error: str = ""
+    attempt: int = 0
+    max_retries: int = 0
+    from_checkpoint: bool = False
+
+
+@dataclass(frozen=True)
 class JobCancelled(ProgressEvent):
     """Terminal: the job was cancelled.
 

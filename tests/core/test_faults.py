@@ -1,0 +1,393 @@
+"""Chaos suite: injected worker faults never change a single merged sample.
+
+Every test here drives :class:`ShardedPowerSampler` with a
+:class:`~repro.faults.FaultSchedule` that kills, hangs, slows or garbles
+workers at deterministic command positions, and asserts the merged stream is
+bit-identical to a fault-free :class:`BatchPowerSampler` with the same seed.
+The schedules are seed-deterministic, so a failing case replays exactly.
+
+Command-index guide for the windows used below (every parent→worker message
+counts): 0 build, 1 latch feed, 2 warmup pattern feed, 3 prepare, then each
+sampling round costs 2 (pattern feed + sample_block).  Test workloads run
+four rounds, so indices 2..11 are guaranteed to be reached.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.batch_sampler import BatchPowerSampler
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.core.sharded_sampler import ShardedPowerSampler, ShardWorkerError
+from repro.faults import (
+    FaultAction,
+    FaultPlan,
+    FaultSchedule,
+    active_schedule,
+    inject,
+    schedule_from_env,
+)
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+
+def _chaos_config(**overrides):
+    """Fast supervision knobs so injected faults recover in milliseconds."""
+    defaults = dict(
+        warmup_cycles=8,
+        worker_retry_backoff=0.01,
+        worker_hang_timeout=0.5,
+    )
+    defaults.update(overrides)
+    return EstimationConfig(**defaults)
+
+
+def _pair(circuit, chains, workers, schedule, config=None, rng=7, start_method="fork"):
+    """(fault-free reference, fault-injected sharded) sampler pair."""
+    config = config or _chaos_config()
+    reference = BatchPowerSampler(
+        circuit,
+        BernoulliStimulus(circuit.num_inputs, 0.5),
+        config,
+        rng=rng,
+        num_chains=chains,
+    )
+    sharded = ShardedPowerSampler(
+        circuit,
+        BernoulliStimulus(circuit.num_inputs, 0.5),
+        config,
+        rng=rng,
+        num_chains=chains,
+        num_workers=workers,
+        start_method=start_method,
+        fault_schedule=schedule,
+    )
+    return reference, sharded
+
+
+def _assert_rounds_identical(reference, sharded, chains, rounds=4):
+    """Draw *rounds* sample blocks from both samplers; all must match exactly."""
+    for _ in range(rounds):
+        assert np.array_equal(
+            reference.sample_block(1, 2 * chains), sharded.sample_block(1, 2 * chains)
+        )
+    assert reference.cycles_simulated == sharded.cycles_simulated
+
+
+class TestScheduleModel:
+    def test_action_validation(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="explode")
+        with pytest.raises(ValueError):
+            FaultAction(kind="kill", point="midair")
+        with pytest.raises(ValueError):
+            FaultAction(kind="garble", point="handle")  # garble replaces the reply
+        with pytest.raises(ValueError):
+            FaultAction(kind="kill", command=-1)
+        with pytest.raises(ValueError):
+            FaultAction(kind="hang", seconds=-0.1)
+
+    def test_seeded_is_deterministic(self):
+        a = FaultSchedule.seeded(42, num_workers=3, kills=4, storm=2)
+        b = FaultSchedule.seeded(42, num_workers=3, kills=4, storm=2)
+        assert a == b
+        assert a.total_actions == 6  # 4 kills + 2 storm respawn kills
+        assert a != FaultSchedule.seeded(43, num_workers=3, kills=4, storm=2)
+
+    def test_json_roundtrip(self):
+        schedule = FaultSchedule.seeded(7, num_workers=4, kills=5, kinds=("kill", "garble"))
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        assert json.loads(schedule.to_json())["plans"]  # stable wire shape
+
+    def test_single(self):
+        schedule = FaultSchedule.single(1, "hang", point="recv", command=5, seconds=0.2)
+        plan = schedule.plan_for(1, 0)
+        assert plan.at(5, "recv") == FaultAction("hang", "recv", 5, 0.2)
+        assert schedule.plan_for(0, 0) is None
+        assert schedule.plan_for(1, 1) is None
+
+    def test_env_and_context_activation(self, monkeypatch):
+        schedule = FaultSchedule.single(0, "kill", command=3)
+        monkeypatch.setenv("REPRO_FAULTS", schedule.to_json())
+        assert schedule_from_env() == schedule
+        assert active_schedule() == schedule
+        override = FaultSchedule.single(1, "slow", command=2)
+        with inject(override):
+            assert active_schedule() == override
+        assert active_schedule() == schedule
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert active_schedule() is None
+
+
+class TestKillRecovery:
+    """Killed workers are respawned and replayed without changing the stream."""
+
+    @pytest.mark.parametrize("point", ["recv", "handle", "reply"])
+    def test_kill_at_each_injection_point(self, s298_circuit, point):
+        schedule = FaultSchedule.single(1, "kill", point=point, command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 1
+
+    def test_incidents_are_typed_and_drained(self, s298_circuit):
+        schedule = FaultSchedule.single(0, "kill", point="handle", command=4)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128, rounds=1)
+            incidents = sharded.take_fault_incidents()
+            assert [incident["kind"] for incident in incidents] == ["lost", "recovered"]
+            lost, recovered = incidents
+            assert lost["worker"] == 0
+            assert lost["reason"] == "died"
+            assert lost["exitcode"] == faults.KILLED_EXIT_CODE
+            assert recovered["worker"] == 0
+            assert recovered["respawns"] == 1
+            assert recovered["replayed"] >= 1
+            assert recovered["seconds"] >= 0.0
+            assert recovered["degraded"] is False
+            assert sharded.take_fault_incidents() == []  # drained
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_kill_property(self, s298_circuit, seed):
+        """Random kills at random points never change the merged stream."""
+        schedule = FaultSchedule.seeded(
+            seed, num_workers=2, kills=2, window=(2, 12), points=("recv", "handle")
+        )
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule, rng=seed + 11)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts >= 1
+
+    def test_respawn_storm(self, s298_circuit):
+        """Killing the replacements too still converges bit-identically."""
+        schedule = FaultSchedule(
+            {
+                (0, 0): FaultPlan((FaultAction("kill", "handle", 5),)),
+                (0, 1): FaultPlan((FaultAction("kill", "recv", 4),)),
+                (0, 2): FaultPlan((FaultAction("kill", "recv", 3),)),
+            }
+        )
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 3
+            assert not any(seat.degraded for seat in sharded._handles)
+
+    def test_kill_during_checkpoint_roundtrip(self, s298_circuit):
+        """A kill interleaved with get_state still checkpoints bit-identically."""
+        schedule = FaultSchedule.single(1, "kill", point="recv", command=7)
+        reference, sharded = _pair(s298_circuit, 100, 2, schedule, rng=19)
+        with sharded:
+            reference.prepare()
+            sharded.prepare()
+            assert np.array_equal(reference.next_samples(1), sharded.next_samples(1))
+            snapshot = sharded.get_state()
+            expected = reference.next_samples(1)
+            assert np.array_equal(expected, sharded.next_samples(1))
+            # The snapshot restores into a fresh in-process sampler exactly.
+            target = BatchPowerSampler(
+                s298_circuit,
+                BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                _chaos_config(),
+                rng=0,
+                num_chains=100,
+            )
+            target.set_state(snapshot)
+            assert np.array_equal(target.next_samples(1), expected)
+
+
+class TestHangAndGarble:
+    def test_hang_is_detected_and_recovered(self, s298_circuit):
+        schedule = FaultSchedule.single(1, "hang", point="handle", command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 1
+            reasons = [i["reason"] for i in sharded.take_fault_incidents() if i["kind"] == "lost"]
+            assert reasons == ["hung"]
+
+    def test_garbled_reply_triggers_replay(self, s298_circuit):
+        schedule = FaultSchedule.single(0, "garble", point="reply", command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 1
+            reasons = [i["reason"] for i in sharded.take_fault_incidents() if i["kind"] == "lost"]
+            assert reasons == ["garbled"]
+
+    def test_slow_worker_is_not_recovered(self, s298_circuit):
+        """A slow-but-alive worker must not be declared dead."""
+        schedule = FaultSchedule.single(1, "slow", point="handle", command=5, seconds=0.1)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 0
+            assert sharded.take_fault_incidents() == []
+
+
+class TestDegradation:
+    def test_exhausted_budget_degrades_then_heals(self, s298_circuit):
+        """Past the restart budget the seat degrades; the pool re-partitions."""
+        config = _chaos_config(worker_max_restarts=0)
+        schedule = FaultSchedule.single(1, "kill", point="handle", command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule, config=config)
+        with sharded:
+            # Round with the kill: finishes on the clean in-process fallback.
+            assert np.array_equal(
+                reference.sample_block(1, 256), sharded.sample_block(1, 256)
+            )
+            incidents = sharded.take_fault_incidents()
+            assert incidents[-1]["kind"] == "recovered"
+            assert incidents[-1]["degraded"] is True
+            # Next round boundary folds the seat out onto the survivors.
+            _assert_rounds_identical(reference, sharded, 128, rounds=2)
+            assert sharded.num_workers == 1
+            assert len(sharded._handles) == 1
+            assert not sharded._handles[0].degraded
+
+    def test_all_seats_degraded_keeps_pool(self, s27_circuit):
+        """When every seat degrades there is nowhere to heal to — keep running."""
+        config = _chaos_config(worker_max_restarts=0)
+        schedule = FaultSchedule(
+            {
+                (0, 0): FaultPlan((FaultAction("kill", "handle", 4),)),
+                (1, 0): FaultPlan((FaultAction("kill", "handle", 4),)),
+            }
+        )
+        reference, sharded = _pair(s27_circuit, 128, 2, schedule, config=config)
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.num_workers == 2
+            assert all(seat.degraded for seat in sharded._handles)
+
+
+class TestSerialTransport:
+    """The in-process pool exercises the same supervisor via simulated deaths."""
+
+    @pytest.mark.parametrize("kind", ["kill", "hang"])
+    def test_simulated_death_recovers(self, s298_circuit, kind):
+        schedule = FaultSchedule.single(1, kind, point="handle", command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule, start_method="serial")
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 1
+            lost = [i for i in sharded.take_fault_incidents() if i["kind"] == "lost"]
+            assert lost[0]["pid"] is None  # no process behind the serial seat
+
+    def test_serial_garble(self, s298_circuit):
+        schedule = FaultSchedule.single(0, "garble", point="reply", command=5)
+        reference, sharded = _pair(s298_circuit, 128, 2, schedule, start_method="serial")
+        with sharded:
+            _assert_rounds_identical(reference, sharded, 128)
+            assert sharded.worker_restarts == 1
+
+
+class TestShardWorkerError:
+    """Deterministic worker errors surface typed, not retried forever."""
+
+    def test_remote_error_fields_process(self, s27_circuit):
+        _, sharded = _pair(s27_circuit, 64, 2, None)
+        with sharded:
+            sharded.sample_block(1, 64)  # drain construction traffic
+            seat = sharded._handles[0]
+            seat.send("no_such_command")
+            with pytest.raises(ShardWorkerError) as excinfo:
+                seat.collect()
+            error = excinfo.value
+            assert error.shard_index == 0
+            assert error.pid is not None
+            assert error.exitcode is None  # the worker survives its own error
+            assert "unknown shard command" in error.remote_traceback
+            assert error.reason == "remote-error"
+            assert "shard 0" in str(error)
+
+    def test_remote_error_fields_serial(self, s27_circuit):
+        _, sharded = _pair(s27_circuit, 64, 2, None, start_method="serial")
+        with sharded:
+            sharded.sample_block(1, 64)
+            seat = sharded._handles[1]
+            seat.send("no_such_command")
+            with pytest.raises(ShardWorkerError) as excinfo:
+                seat.collect()
+            assert excinfo.value.shard_index == 1
+            assert excinfo.value.pid is None
+            assert sharded.worker_restarts == 0  # errors are not respawned
+
+
+class TestEstimatorIntegration:
+    """Faults during a full DIPE run: identical estimate + worker events."""
+
+    def test_dipe_run_with_ambient_kills_emits_events(self, s27_circuit):
+        from repro.api.events import WorkerLost, WorkerRecovered
+
+        kwargs = dict(
+            randomness_sequence_length=64,
+            min_samples=64,
+            check_interval=32,
+            max_samples=2000,
+            warmup_cycles=16,
+            max_independence_interval=8,
+            num_chains=128,  # both shards own lanes, so both kills fire
+            worker_retry_backoff=0.01,
+        )
+        baseline = DipeEstimator(
+            s27_circuit, config=EstimationConfig(**kwargs), rng=9
+        ).estimate()
+        schedule = FaultSchedule(
+            {
+                (0, 0): FaultPlan((FaultAction("kill", "handle", 5),)),
+                (1, 0): FaultPlan((FaultAction("kill", "recv", 8),)),
+            }
+        )
+        with inject(schedule):
+            events = list(
+                DipeEstimator(
+                    s27_circuit, config=EstimationConfig(num_workers=2, **kwargs), rng=9
+                ).run()
+            )
+        lost = [e for e in events if isinstance(e, WorkerLost)]
+        recovered = [e for e in events if isinstance(e, WorkerRecovered)]
+        assert len(lost) == 2 and len(recovered) == 2
+        assert {e.worker for e in lost} == {0, 1}
+        for event in recovered:
+            assert event.respawns >= 1
+            assert event.replayed_commands >= 1
+            assert event.recovery_seconds >= 0.0
+        estimate = events[-1].estimate
+        assert estimate.average_power_w == baseline.average_power_w
+        assert (
+            estimate.samples_switched_capacitance_f
+            == baseline.samples_switched_capacitance_f
+        )
+        assert estimate.cycles_simulated == baseline.cycles_simulated
+
+    def test_worker_events_serialize(self):
+        from repro.api.events import WorkerLost, WorkerRecovered, event_from_dict
+
+        common = dict(circuit="s27", method="dipe", samples_drawn=10, cycles_simulated=100)
+        lost = WorkerLost(**common, worker=1, pid=1234, exitcode=87, reason="died")
+        assert event_from_dict(lost.to_dict()) == lost
+        recovered = WorkerRecovered(**common, worker=1, respawns=2, replayed_commands=7)
+        assert event_from_dict(recovered.to_dict()) == recovered
+
+
+class TestConfigKnobs:
+    def test_supervision_knob_validation(self):
+        with pytest.raises(ValueError):
+            EstimationConfig(worker_max_restarts=-1)
+        with pytest.raises(ValueError):
+            EstimationConfig(worker_hang_timeout=0.0)
+        with pytest.raises(ValueError):
+            EstimationConfig(worker_retry_backoff=-0.1)
+        with pytest.raises(ValueError):
+            EstimationConfig(shard_sync_interval=0)
+
+    def test_knobs_roundtrip_config_dict(self):
+        config = EstimationConfig(
+            worker_max_restarts=5, worker_hang_timeout=9.0, shard_sync_interval=4
+        )
+        assert EstimationConfig.from_dict(config.to_dict()) == config

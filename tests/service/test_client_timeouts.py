@@ -1,0 +1,265 @@
+"""ServiceClient transport robustness: timeouts, bounded retries, SSE resume.
+
+These tests run the client against scripted raw sockets — a server that
+wedges (accepts, never replies), drops connections, or cuts an SSE stream
+mid-job — and assert the client fails in bounded time, retries idempotent
+requests only, and resumes event streams gap- and duplicate-free.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceClientError
+
+
+class ScriptedServer:
+    """A raw TCP server whose per-connection behaviour is a list of callables.
+
+    Connection *i* is handled by ``script[min(i, len(script) - 1)]``; each
+    handler gets the accepted socket (with the request already readable) and
+    is responsible for any reply.  Connections are counted.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.connections = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.05)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._open: list[socket.socket] = []
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                break
+            index = self.connections
+            self.connections += 1
+            self._open.append(conn)
+            handler = self.script[min(index, len(self.script) - 1)]
+            try:
+                handler(conn)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._listener.close()
+        for conn in self._open:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=2.0)
+
+
+def _read_request(conn) -> str:
+    conn.settimeout(2.0)
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = conn.recv(4096)
+        if not chunk:
+            break
+        data += chunk
+    return data.decode("utf-8", "replace")
+
+
+def wedge(conn) -> None:
+    """Read the request, then never answer (until the test tears down)."""
+    _read_request(conn)
+
+
+def drop(conn) -> None:
+    """Read the request, then slam the connection shut with no reply."""
+    _read_request(conn)
+    conn.close()
+
+
+def reply_json(payload):
+    body = json.dumps(payload).encode()
+
+    def handler(conn):
+        _read_request(conn)
+        conn.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        conn.close()
+
+    return handler
+
+
+def _envelope(seq, kind, **fields):
+    event = {"kind": kind, "circuit": "s27", "method": "dipe",
+             "samples_drawn": 0, "cycles_simulated": 0, "job_id": "j1", **fields}
+    return {"seq": seq, "job": "j1", "time": 0.0, "event": event}
+
+
+def sse(envelopes, *, finish):
+    """An SSE handler: send *envelopes*, then close (cleanly if *finish*)."""
+
+    def handler(conn):
+        request = _read_request(conn)
+        assert "/events" in request
+        conn.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        for envelope in envelopes:
+            conn.sendall(f"data: {json.dumps(envelope)}\n\n".encode())
+        if finish:
+            conn.sendall(b": stream-end\n\n")
+        conn.close()
+
+    return handler
+
+
+@pytest.fixture
+def server_factory():
+    servers = []
+
+    def make(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+class TestBoundedTime:
+    def test_wedged_server_times_out(self, server_factory):
+        server = server_factory([wedge])
+        client = ServiceClient(server.url, timeout=0.2, retries=1, retry_backoff=0.01)
+        began = time.monotonic()
+        with pytest.raises(OSError):  # socket.timeout is a TimeoutError/OSError
+            client.health()
+        elapsed = time.monotonic() - began
+        assert elapsed < 5.0  # two bounded attempts, not a forever-block
+        assert server.connections == 2  # original + one retry
+
+    def test_wedged_sse_stream_times_out(self, server_factory):
+        server = server_factory([wedge])
+        client = ServiceClient(
+            server.url, timeout=0.2, retries=1, retry_backoff=0.01
+        )
+        began = time.monotonic()
+        with pytest.raises(TimeoutError):
+            list(client.events("j1"))
+        assert time.monotonic() - began < 5.0
+
+
+class TestIdempotentRetry:
+    def test_get_retries_past_dropped_connections(self, server_factory):
+        server = server_factory([drop, drop, reply_json({"status": "ok"})])
+        client = ServiceClient(server.url, timeout=1.0, retries=2, retry_backoff=0.01)
+        assert client.health() == {"status": "ok"}
+        assert server.connections == 3
+
+    def test_get_exhausts_retry_budget(self, server_factory):
+        server = server_factory([drop])
+        client = ServiceClient(server.url, timeout=1.0, retries=2, retry_backoff=0.01)
+        with pytest.raises(OSError):
+            client.health()
+        assert server.connections == 3  # 1 + retries
+
+    def test_post_reconnects_only_once(self, server_factory):
+        """Non-idempotent verbs must not be retried into duplicates."""
+        server = server_factory([drop])
+        client = ServiceClient(server.url, timeout=1.0, retries=5, retry_backoff=0.01)
+        with pytest.raises(OSError):
+            client.submit({"circuit": "s27"})
+        assert server.connections == 2  # dropped keep-alive reconnect only
+
+    def test_http_errors_are_not_retried(self, server_factory):
+        # A 4xx is a server answer, not a transport failure; ServiceClientError
+        # must surface immediately.
+        body = json.dumps({"error": "no such job"}).encode()
+
+        def not_found(conn):
+            _read_request(conn)
+            conn.sendall(
+                b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            conn.close()
+
+        server = server_factory([not_found])
+        client = ServiceClient(server.url, timeout=1.0, retries=3, retry_backoff=0.01)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.job("jnope")
+        assert excinfo.value.status == 404
+        assert server.connections == 1
+
+
+class TestSSEResume:
+    def test_stream_resumes_after_mid_job_disconnect(self, server_factory):
+        first = [_envelope(0, "job-queued"), _envelope(1, "job-started")]
+        rest = [
+            _envelope(2, "sample-progress"),
+            _envelope(3, "job-completed", result=None),
+        ]
+        server = server_factory([sse(first, finish=False), sse(rest, finish=True)])
+        client = ServiceClient(server.url, timeout=1.0, retries=2, retry_backoff=0.01)
+        envelopes = list(client.events("j1"))
+        assert [e["seq"] for e in envelopes] == [0, 1, 2, 3]  # gap- and dup-free
+        assert envelopes[-1]["event"]["kind"] == "job-completed"
+        assert server.connections == 2
+
+    def test_resume_skips_replayed_envelopes(self, server_factory):
+        first = [_envelope(0, "job-queued"), _envelope(1, "job-started")]
+        # The second connection replays an already-seen envelope (a server
+        # that ignores ?from=); the client must drop it.
+        rest = [_envelope(1, "job-started"), _envelope(2, "job-completed", result=None)]
+        server = server_factory([sse(first, finish=False), sse(rest, finish=True)])
+        client = ServiceClient(server.url, timeout=1.0, retries=2, retry_backoff=0.01)
+        envelopes = list(client.events("j1"))
+        assert [e["seq"] for e in envelopes] == [0, 1, 2]
+
+    def test_stream_without_terminal_exhausts_budget(self, server_factory):
+        server = server_factory([sse([_envelope(0, "job-queued")], finish=False)])
+        client = ServiceClient(server.url, timeout=0.5, retries=1, retry_backoff=0.01)
+        with pytest.raises(TimeoutError):
+            list(client.events("j1"))
+
+    def test_sse_http_error_propagates(self, server_factory):
+        body = json.dumps({"error": "unknown job"}).encode()
+
+        def not_found(conn):
+            _read_request(conn)
+            conn.sendall(
+                b"HTTP/1.1 404 Not Found\r\nContent-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            conn.close()
+
+        server = server_factory([not_found])
+        client = ServiceClient(server.url, timeout=1.0, retries=2, retry_backoff=0.01)
+        with pytest.raises(ServiceClientError):
+            list(client.events("jnope"))
+
+    def test_client_validation(self):
+        with pytest.raises(ValueError):
+            ServiceClient(retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient(retry_backoff=-0.5)

@@ -1,0 +1,225 @@
+"""Per-job retry policy: transient failures retry from the auto-checkpoint.
+
+A registered ``flaky-dipe`` estimator fails on demand partway through its
+event stream, which exercises the whole retry loop: auto-checkpoint while
+running, ``job-retrying`` (not terminal), resume from the snapshot, and a
+final result byte-identical to a never-failed run.  Restart rehydration is
+covered too: interrupted jobs with a checkpoint and budget left are
+auto-requeued when a new service opens the store.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import JobSpec
+from repro.api.jobs import run_job
+from repro.api.registry import register_estimator
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.service import EstimationService
+from repro.service.core import InvalidJobError, validate_retry_policy
+from repro.service.store import ResultStore
+
+LONG = EstimationConfig(
+    randomness_sequence_length=32,
+    max_independence_interval=4,
+    min_samples=64,
+    check_interval=16,
+    max_samples=1536,
+    warmup_cycles=4,
+)
+
+#: Mutable failure plan the flaky estimator consults: ``remaining`` attempts
+#: still to fail, each at its ``after_progress``-th sample-progress event (so
+#: the failure lands mid-sampling, after auto-checkpoints exist).  Safe for
+#: single-worker services (one attempt runs at a time).
+_FAIL_PLAN = {"remaining": 0, "after_progress": 2}
+
+
+class _FlakyDipe(DipeEstimator):
+    """DIPE whose run() raises mid-stream while the failure plan says so."""
+
+    def run(self, resume_from=None):
+        progressed = 0
+        for event in super().run(resume_from=resume_from):
+            yield event
+            if getattr(type(event), "kind", "") == "sample-progress":
+                progressed += 1
+                if _FAIL_PLAN["remaining"] > 0 and progressed >= _FAIL_PLAN["after_progress"]:
+                    _FAIL_PLAN["remaining"] -= 1
+                    raise RuntimeError("injected transient estimator failure")
+
+
+register_estimator("flaky-dipe", _FlakyDipe)
+
+
+@pytest.fixture(autouse=True)
+def _reset_fail_plan():
+    _FAIL_PLAN["remaining"] = 0
+    _FAIL_PLAN["after_progress"] = 2
+    yield
+    _FAIL_PLAN["remaining"] = 0
+
+
+def _canon(payload):
+    def strip(node):
+        if isinstance(node, dict):
+            return {k: strip(v) for k, v in node.items() if k != "elapsed_seconds"}
+        if isinstance(node, list):
+            return [strip(v) for v in node]
+        return node
+
+    return json.dumps(strip(payload), sort_keys=True)
+
+
+def _spec(seed=90125):
+    return JobSpec(circuit="s27", estimator="flaky-dipe", config=LONG, seed=seed)
+
+
+def _wait_for_progress(record, timeout=30.0):
+    """Block until the job published a sample-progress event (checkpointable)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(e["event"]["kind"] == "sample-progress" for e in record.events):
+            return
+        time.sleep(0.001)
+    raise AssertionError("no sample-progress event within the deadline")
+
+
+class TestRetryPolicy:
+    def test_transient_failure_retries_from_checkpoint_bit_identical(self):
+        uninterrupted = _canon(run_job(_spec()).to_dict())  # plan inactive: clean
+        _FAIL_PLAN["remaining"] = 1
+        with EstimationService(
+            num_workers=1, max_retries=2, auto_checkpoint_events=1
+        ) as service:
+            record = service.submit(_spec().to_dict())
+            assert record.wait_finished(timeout=120)
+            assert record.status == "completed"
+            assert record.retries == 1
+            assert _canon(record.result_payload) == uninterrupted
+            assert service.stats()["retries_scheduled"] == 1
+        kinds = [e["event"]["kind"] for e in record.events]
+        assert kinds.count("job-retrying") == 1
+        assert kinds.count("job-started") == 2
+        assert kinds[-1] == "job-completed"
+        retrying = next(
+            e["event"] for e in record.events if e["event"]["kind"] == "job-retrying"
+        )
+        assert retrying["attempt"] == 1
+        assert retrying["max_retries"] == 2
+        assert retrying["from_checkpoint"] is True
+        assert "injected transient" in retrying["error"]
+
+    def test_budget_exhausted_fails_terminally(self):
+        _FAIL_PLAN["remaining"] = 5  # more failures than budget
+        with EstimationService(num_workers=1, max_retries=1) as service:
+            record = service.submit(_spec(seed=3).to_dict())
+            assert record.wait_finished(timeout=120)
+            assert record.status == "failed"
+            assert record.retries == 1
+            assert "injected transient" in record.error
+        kinds = [e["event"]["kind"] for e in record.events]
+        assert kinds.count("job-retrying") == 1
+        assert kinds[-1] == "job-failed"
+
+    def test_wrapper_payload_overrides_server_default(self):
+        _FAIL_PLAN["remaining"] = 1
+        with EstimationService(num_workers=1, auto_checkpoint_events=1) as service:
+            # Server default is max_retries=0; the wrapper grants budget.
+            record = service.submit({"spec": _spec(seed=5).to_dict(), "max_retries": 2})
+            assert record.max_retries == 2
+            assert record.wait_finished(timeout=120)
+            assert record.status == "completed"
+            assert record.retries == 1
+
+    def test_zero_budget_fails_on_first_error(self):
+        _FAIL_PLAN["remaining"] = 1
+        with EstimationService(num_workers=1) as service:
+            record = service.submit(_spec(seed=7).to_dict())
+            assert record.wait_finished(timeout=120)
+            assert record.status == "failed"
+            assert record.retries == 0
+            assert "job-retrying" not in [e["event"]["kind"] for e in record.events]
+
+
+class TestValidation:
+    def test_validate_retry_policy(self):
+        assert validate_retry_policy(0) == 0
+        assert validate_retry_policy(7) == 7
+        for bad in (-1, True, 1.5, "2", None):
+            with pytest.raises(InvalidJobError):
+                validate_retry_policy(bad)
+
+    def test_wrapper_rejects_unknown_keys(self):
+        with EstimationService(num_workers=1) as service:
+            with pytest.raises(InvalidJobError):
+                service.submit({"spec": _spec().to_dict(), "max_rerties": 1})
+            with pytest.raises(InvalidJobError):
+                service.submit({"spec": _spec().to_dict(), "max_retries": -2})
+
+    def test_service_constructor_validation(self):
+        with pytest.raises(ValueError):
+            EstimationService(max_retries=-1)
+        with pytest.raises(ValueError):
+            EstimationService(auto_checkpoint_events=-1)
+
+
+class TestRestartRehydration:
+    def test_interrupted_job_with_checkpoint_auto_requeues(self, tmp_path):
+        spec = _spec()
+        uninterrupted = _canon(run_job(spec).to_dict())
+        with EstimationService(
+            store=str(tmp_path), num_workers=1, auto_checkpoint_events=1
+        ) as service:
+            record = service.submit({"spec": spec.to_dict(), "max_retries": 1})
+            # Cancel mid-sampling: snapshots a genuine resumable checkpoint.
+            _wait_for_progress(record)
+            service.cancel(record.id)
+            assert record.wait_finished(timeout=60)
+            assert record.checkpoint_available
+            job_id = record.id
+            meta = record.meta_dict()
+
+        # Simulate a server crash: the stored meta says the job was still
+        # running when the process died.
+        store = ResultStore(str(tmp_path))
+        meta["status"] = "running"
+        meta["finished_at"] = None
+        store.write_meta(job_id, meta)
+        store.close()
+
+        with EstimationService(store=str(tmp_path), num_workers=1) as reborn:
+            revived = reborn.get(job_id)
+            assert revived.retries == 1  # the auto-requeue consumed one retry
+            assert revived.wait_finished(timeout=120)
+            assert revived.status == "completed"
+            assert _canon(revived.result_payload) == uninterrupted
+        kinds = [e["event"]["kind"] for e in revived.events]
+        assert kinds.count("job-resumed") == 1
+        assert kinds[-1] == "job-completed"
+
+    def test_interrupted_job_without_budget_stays_interrupted(self, tmp_path):
+        with EstimationService(
+            store=str(tmp_path), num_workers=1, auto_checkpoint_events=1
+        ) as service:
+            record = service.submit(_spec(seed=11).to_dict())  # max_retries=0
+            _wait_for_progress(record)
+            service.cancel(record.id)
+            record.wait_finished(timeout=60)
+            job_id = record.id
+            meta = record.meta_dict()
+
+        store = ResultStore(str(tmp_path))
+        meta["status"] = "running"
+        store.write_meta(job_id, meta)
+        store.close()
+
+        reborn = EstimationService(store=str(tmp_path), num_workers=1)
+        assert reborn.get(job_id).status == "interrupted"
+        reborn.shutdown()
