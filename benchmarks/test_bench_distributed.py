@@ -1,0 +1,298 @@
+"""Distributed chaos benchmark: network faults must not change the estimate.
+
+The cross-host contract is the same absolute gate as the in-process chaos
+benchmark, now over real TCP: a :class:`DipeEstimator` run whose shard pool
+lives behind a :class:`~repro.core.transport.ShardCoordinator` with real
+``run_shard_worker`` processes on localhost must produce an estimate
+draw-for-draw identical to the fault-free single-process run — samples,
+sample size, cycles, power — for every network failure mode in the matrix
+(connection drops, partitions, slow links, truncated frames, stale-epoch
+reconnects) and for elastic membership changes (a worker joining and a
+worker leaving mid-run), on **both** power engines.  There is no timing
+floor to soften; the measured recovery cost per scenario is recorded to
+``benchmarks/results/BENCH_distributed.json`` and ``distributed.txt`` so
+the overhead of distribution can be tracked across commits.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import socket
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_bench_json, write_report
+from repro.api.events import (
+    EstimateCompleted,
+    WorkerJoined,
+    WorkerLeft,
+    WorkerLost,
+    WorkerRecovered,
+)
+from repro.circuits.iscas89 import build_circuit
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.faults import KILLED_EXIT_CODE, FaultSchedule, inject
+from repro.utils.tables import TextTable
+
+_CIRCUIT = "s298"
+_TOKEN = "bench-secret"
+
+#: First sampling-round commands: 0 build, 1 latch feed, 2 warmup feed,
+#: 3 prepare, then (feed, sample) per round — 5 is the first sample command.
+_MID_RUN_COMMAND = 5
+
+_CONFIG_KW = dict(
+    randomness_sequence_length=64,
+    min_samples=64,
+    check_interval=32,
+    max_samples=600,
+    warmup_cycles=16,
+    max_independence_interval=8,
+    num_chains=128,
+    worker_retry_backoff=0.01,
+)
+
+
+def _worker_main(port: int, token: str) -> None:
+    from repro.core.transport import run_shard_worker
+
+    run_shard_worker(
+        f"127.0.0.1:{port}", token, max_reconnects=400, reconnect_backoff=0.05
+    )
+
+
+def _start_workers(port: int, count: int) -> list:
+    ctx = mp.get_context("fork")
+    workers = [
+        ctx.Process(target=_worker_main, args=(port, _TOKEN), daemon=True)
+        for _ in range(count)
+    ]
+    for worker in workers:
+        worker.start()
+    return workers
+
+
+def _reap(workers: list) -> list:
+    codes = []
+    for worker in workers:
+        worker.join(timeout=15.0)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+        codes.append(worker.exitcode)
+    return codes
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+#: The network failure matrix.  Each scenario runs a two-worker (one-worker
+#: for the elastic join) TCP pool against the fault-free workers=1 baseline.
+_SCENARIOS = [
+    {
+        "name": "drop-connection",
+        "schedule": lambda: FaultSchedule.single(
+            0, "drop-connection", point="handle", command=_MID_RUN_COMMAND
+        ),
+    },
+    {
+        "name": "partition",
+        "schedule": lambda: FaultSchedule.single(
+            0, "partition", point="handle", command=_MID_RUN_COMMAND, seconds=2.0
+        ),
+        "config": {"worker_hang_timeout": 0.5},
+    },
+    {
+        "name": "slow-link",
+        "schedule": lambda: FaultSchedule.single(
+            0, "slow-link", point="handle", command=_MID_RUN_COMMAND, seconds=0.01
+        ),
+    },
+    {
+        "name": "truncated-frame",
+        "schedule": lambda: FaultSchedule.single(
+            0, "truncated-frame", point="handle", command=_MID_RUN_COMMAND
+        ),
+    },
+    # A dropped worker resumes with its stale epoch, is fenced, and rejoins
+    # fresh — the later recv-point drop exercises the reconnect race after
+    # the coordinator has already reassigned the seat.
+    {
+        "name": "stale-reconnect",
+        "schedule": lambda: FaultSchedule.single(
+            0, "drop-connection", point="recv", command=_MID_RUN_COMMAND + 2
+        ),
+    },
+    {"name": "mid-run-join", "workers": 1, "late_join": True},
+    {
+        "name": "mid-run-leave",
+        "schedule": lambda: FaultSchedule.single(
+            0, "kill", point="recv", command=_MID_RUN_COMMAND
+        ),
+        "config": {"worker_join_timeout": 0.75},
+    },
+]
+
+
+def _run_baseline(circuit, engine: str):
+    config = EstimationConfig(power_simulator=engine, num_workers=1, **_CONFIG_KW)
+    start = time.perf_counter()
+    events = list(DipeEstimator(circuit, config=config, rng=11).run())
+    elapsed = time.perf_counter() - start
+    estimate = next(
+        e for e in reversed(events) if isinstance(e, EstimateCompleted)
+    ).estimate
+    return estimate, elapsed
+
+
+def _run_scenario(circuit, engine: str, scenario: dict):
+    """One distributed run; returns (estimate, events, elapsed, exit_codes)."""
+    workers = scenario.get("workers", 2)
+    port = _free_port()
+    procs = _start_workers(port, workers)
+    late: list = []
+    try:
+        settings = dict(_CONFIG_KW, worker_join_timeout=15.0)
+        settings.update(scenario.get("config", {}))
+        config = EstimationConfig(
+            power_simulator=engine,
+            num_workers=workers,
+            worker_hosts=f"127.0.0.1:{port}",
+            worker_auth_token=_TOKEN,
+            **settings,
+        )
+        schedule = scenario["schedule"]() if "schedule" in scenario else None
+        events: list = []
+        start = time.perf_counter()
+        # The estimator builds its shard pool at construction, so the schedule
+        # must be ambient before DipeEstimator() runs, not just around run().
+        if schedule is not None:
+            with inject(schedule):
+                events = list(DipeEstimator(circuit, config=config, rng=11).run())
+        else:
+            stream = DipeEstimator(circuit, config=config, rng=11).run()
+            for event in stream:
+                events.append(event)
+                if scenario.get("late_join") and not late:
+                    late = _start_workers(port, 1)
+                    time.sleep(0.5)  # let the late member authenticate
+        # The estimator's sampler releases its workers (and closes the
+        # coordinator it owns) from a weakref finalizer — force it now so
+        # the released workers exit instead of waiting on a dead socket.
+        gc.collect()
+        elapsed = time.perf_counter() - start
+    finally:
+        exit_codes = _reap(procs + late)
+    estimate = next(
+        e for e in reversed(events) if isinstance(e, EstimateCompleted)
+    ).estimate
+    return estimate, events, elapsed, exit_codes
+
+
+def _check_scenario(name: str, events: list, exit_codes: list) -> None:
+    """Every scenario must actually exercise its advertised failure mode."""
+    lost = [e for e in events if isinstance(e, WorkerLost)]
+    recovered = [e for e in events if isinstance(e, WorkerRecovered)]
+    joined = [e for e in events if isinstance(e, WorkerJoined)]
+    if name in ("drop-connection", "partition", "truncated-frame"):
+        assert lost, f"{name}: the injected fault was never observed"
+        assert recovered, f"{name}: the lost seat never recovered"
+    if name == "truncated-frame":
+        assert any(e.reason == "truncated" for e in lost)
+    if name == "partition":
+        assert any(e.reason in ("hung", "partitioned") for e in lost)
+    if name == "slow-link":
+        # A slow link is degraded, not dead: supervision must NOT respawn.
+        assert not lost, "slow-link: a slow reply was misdiagnosed as a death"
+    if name == "stale-reconnect":
+        # The dropped worker was fenced on its stale epoch and rejoined as a
+        # fresh member: strictly more joins than the two initial seats.
+        assert lost and recovered
+        assert len(joined) >= 3, "stale-reconnect: no fresh rejoin observed"
+    if name == "mid-run-join":
+        assert len(joined) >= 2, "mid-run-join: the late worker never joined"
+        assert not lost
+    if name == "mid-run-leave":
+        assert any(e.degraded for e in recovered)
+        assert any(
+            isinstance(e, WorkerLeft) and e.reason == "exhausted-restarts"
+            for e in events
+        )
+        assert KILLED_EXIT_CODE in exit_codes
+    if name != "mid-run-leave":
+        assert all(code == 0 for code in exit_codes), (
+            f"{name}: released workers must exit cleanly, got {exit_codes}"
+        )
+
+
+def test_bench_distributed_chaos(results_dir):
+    """Network failure matrix over real TCP: bit-identical on both engines."""
+    circuit = build_circuit(_CIRCUIT)
+    table = TextTable(
+        headers=["Scenario", "Engine", "Lost", "Recovered", "Joined", "Overhead s"],
+        precision=3,
+    )
+    scenarios_out: dict[str, dict] = {}
+
+    for engine in ("zero-delay", "event-driven"):
+        baseline, baseline_elapsed = _run_baseline(circuit, engine)
+        for scenario in _SCENARIOS:
+            name = scenario["name"]
+            estimate, events, elapsed, exit_codes = _run_scenario(
+                circuit, engine, scenario
+            )
+            # The hard gate: no network fault may perturb a single drawn sample.
+            assert np.array_equal(
+                estimate.samples_switched_capacitance_f,
+                baseline.samples_switched_capacitance_f,
+            ), f"{name}/{engine}: sample stream diverged over TCP"
+            assert estimate.average_power_w == baseline.average_power_w
+            assert estimate.sample_size == baseline.sample_size
+            assert estimate.cycles_simulated == baseline.cycles_simulated
+            _check_scenario(name, events, exit_codes)
+
+            lost = [e for e in events if isinstance(e, WorkerLost)]
+            recovered = [e for e in events if isinstance(e, WorkerRecovered)]
+            joined = [e for e in events if isinstance(e, WorkerJoined)]
+            overhead = elapsed - baseline_elapsed
+            table.add_row(
+                [name, engine, len(lost), len(recovered), len(joined), overhead]
+            )
+            scenarios_out.setdefault(name, {})[engine] = {
+                "workers_lost": len(lost),
+                "workers_recovered": len(recovered),
+                "workers_joined": len(joined),
+                "replayed_commands": sum(e.replayed_commands for e in recovered),
+                "degraded_seats": sum(1 for e in recovered if e.degraded),
+                "worker_exit_codes": exit_codes,
+                "baseline_elapsed_seconds": baseline_elapsed,
+                "distributed_elapsed_seconds": elapsed,
+                "overhead_seconds": overhead,
+                "estimate_bit_identical": True,
+            }
+
+    lines = [
+        f"Cross-host distributed sampling on {_CIRCUIT} over localhost TCP "
+        f"({len(_SCENARIOS)} network-fault scenarios, both power engines)",
+        "Estimates are bit-identical to the fault-free single-process run.",
+        "",
+        table.render(),
+    ]
+    write_report(results_dir, "distributed", "\n".join(lines))
+    write_bench_json(
+        results_dir,
+        "distributed",
+        {
+            "circuit": _CIRCUIT,
+            "transport": "tcp",
+            "scenarios": scenarios_out,
+        },
+    )

@@ -234,6 +234,47 @@ class WorkerRecovered(ProgressEvent):
 
 
 @dataclass(frozen=True)
+class WorkerJoined(ProgressEvent):
+    """A remote shard worker joined the pool's coordinator.
+
+    Emitted when a ``repro shard-worker`` process authenticates against the
+    run's :class:`~repro.core.transport.ShardCoordinator`.  ``worker`` is
+    the worker's self-reported name (not a pool seat index — the member may
+    still be pending), ``epoch`` its coordinator-assigned membership epoch
+    (strictly monotone; also the fencing token), and ``host`` the address
+    it connected from.  Pending members are adopted as pool seats at the
+    next round boundary; joining never changes results.
+    """
+
+    kind: ClassVar[str] = "worker-joined"
+
+    worker: str = ""
+    pid: int | None = None
+    epoch: int = 0
+    host: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerLeft(ProgressEvent):
+    """A shard pool member left: disconnected, timed out, or was folded off.
+
+    ``reason`` is ``"disconnected"`` or ``"timed-out"`` for pending remote
+    members the coordinator pruned, and ``"exhausted-restarts"`` for a pool
+    seat that ran out of restart budget and was re-partitioned away at a
+    round boundary (``epoch`` then carries the seat's last incarnation
+    number).  Leaving never changes results — the remaining pool re-covers
+    the full ensemble bit-identically.
+    """
+
+    kind: ClassVar[str] = "worker-left"
+
+    worker: str = ""
+    pid: int | None = None
+    epoch: int = 0
+    reason: str = "disconnected"
+
+
+@dataclass(frozen=True)
 class SampleProgress(ProgressEvent):
     """Stopping-criterion verdict after a batch of new samples.
 

@@ -20,6 +20,9 @@ executes it through :func:`~repro.api.run_job`:
 * ``repro submit s298 --watch`` / ``repro watch <job-id>`` / ``repro jobs``
   — the matching client verbs: submit a spec to a running server, follow a
   job's event stream, list the server's jobs.
+* ``repro shard-worker --connect HOST:PORT`` — join a distributed estimation
+  run (one started with ``--shard-hosts``) as a remote TCP shard worker and
+  serve sampling commands until released (see ``docs/distributed.md``).
 * ``repro table1`` / ``table2`` / ``figure3`` — regenerate the paper's
   tables and figure with configurable budgets (``--workers`` shards the
   estimation jobs; results are identical for any worker count).
@@ -32,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Sequence
 
@@ -72,6 +76,8 @@ def _estimation_config(args: argparse.Namespace, num_workers: int = 1) -> Estima
         adaptive_chains=args.adaptive_chains,
         max_chains=args.max_chains,
         num_workers=num_workers,
+        worker_hosts=getattr(args, "shard_hosts", None),
+        worker_auth_token=getattr(args, "shard_token", None) or "",
         simulation_backend=args.backend,
     )
 
@@ -127,6 +133,17 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="probability of 1 at every primary input (paper: 0.5); "
                              "forwarded to stimuli that accept a probability")
     parser.add_argument("--seed", type=int, default=2025, help="random seed")
+
+
+def _add_shard_host_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shard-hosts", default=None, metavar="HOST:PORT",
+                        help="listen address for remote TCP shard workers; the run "
+                             "coordinates 'repro shard-worker --connect' processes "
+                             "instead of spawning local ones (env: REPRO_SHARD_HOSTS; "
+                             "results are identical for any topology)")
+    parser.add_argument("--shard-token", default=None,
+                        help="shared secret remote shard workers must present "
+                             "(env: REPRO_SHARD_TOKEN)")
 
 
 def _add_json_argument(parser: argparse.ArgumentParser) -> None:
@@ -381,6 +398,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.core.transport import parse_address, run_shard_worker
+    from repro.faults import schedule_from_env
+
+    try:
+        parse_address(args.connect)
+    except ValueError as error:
+        raise SystemExit(f"invalid --connect address: {error}") from None
+    try:
+        schedule = schedule_from_env()
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    summary = run_shard_worker(
+        args.connect,
+        args.token,
+        worker_id=args.worker_id,
+        fault_schedule=schedule,
+        heartbeat_interval=args.heartbeat_interval,
+        max_reconnects=args.max_reconnects,
+        reconnect_backoff=args.reconnect_backoff,
+    )
+    if args.json:
+        _print_json(summary)
+    else:
+        print(f"worker {summary['worker']} done: {summary['sessions']} sessions, "
+              f"{summary['assignments']} assignments, {summary['handled']} commands handled, "
+              f"{summary['fenced']} fenced rejects")
+    return 0
+
+
 def _service_client(args: argparse.Namespace):
     from repro.service.client import ServiceClient
 
@@ -578,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes the chain ensemble is sharded across "
                                "(results are identical for any count; composes with "
                                "'repro batch --workers', which parallelises whole jobs)")
+    _add_shard_host_arguments(estimate)
     _add_config_arguments(estimate)
     _add_json_argument(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
@@ -623,6 +671,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "restarts; omit for in-memory only)")
     serve.set_defaults(handler=_cmd_serve)
 
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="run a remote TCP shard worker for a distributed estimation run",
+        description="Connect to a run's shard coordinator (an estimation "
+                    "started with --shard-hosts or REPRO_SHARD_HOSTS), "
+                    "authenticate with the shared token, and serve sampling "
+                    "commands until the run releases the worker. Workers are "
+                    "deterministic executors: adding, losing, or moving them "
+                    "never changes results. See docs/distributed.md.",
+    )
+    shard_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                              help="coordinator address of the estimation run")
+    shard_worker.add_argument("--token", default=os.environ.get("REPRO_SHARD_TOKEN", ""),
+                              help="shared auth token (env: REPRO_SHARD_TOKEN)")
+    shard_worker.add_argument("--worker-id", default=None,
+                              help="self-reported worker name (default: host-pid)")
+    shard_worker.add_argument("--heartbeat-interval", type=float, default=0.5,
+                              help="seconds between liveness heartbeats")
+    shard_worker.add_argument("--max-reconnects", type=int, default=64,
+                              help="consecutive failed connection attempts before giving up")
+    shard_worker.add_argument("--reconnect-backoff", type=float, default=0.2,
+                              help="base delay between reconnection attempts")
+    _add_json_argument(shard_worker)
+    shard_worker.set_defaults(handler=_cmd_shard_worker)
+
     submit = subparsers.add_parser(
         "submit", help="submit one estimation job to a running service"
     )
@@ -638,6 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--watch", action="store_true",
                         help="stream the job's events to stderr and wait for the result "
                              "(exit code reflects the job's final status)")
+    _add_shard_host_arguments(submit)
     _add_config_arguments(submit)
     _add_json_argument(submit)
     submit.set_defaults(handler=_cmd_submit)

@@ -66,14 +66,16 @@ def make_sampler(
 ) -> "PowerSampler | BatchPowerSampler":
     """Build the sampler the configuration asks for.
 
-    ``num_workers > 1`` selects the process-sharded sampler (which produces
-    results draw-for-draw identical to the in-process one); ``num_chains > 1``
-    (or adaptive chain scaling, which needs a resizable ensemble) selects the
-    multi-chain batch sampler; otherwise the single-chain two-phase sampler
-    is used.  Every estimator dispatches through this single point so the
-    selection rule cannot drift between them.
+    ``num_workers > 1`` — or ``worker_hosts`` naming a coordinator address
+    for remote TCP shard workers — selects the sharded sampler (which
+    produces results draw-for-draw identical to the in-process one);
+    ``num_chains > 1`` (or adaptive chain scaling, which needs a resizable
+    ensemble) selects the multi-chain batch sampler; otherwise the
+    single-chain two-phase sampler is used.  Every estimator dispatches
+    through this single point so the selection rule cannot drift between
+    them.
     """
-    if config.num_workers > 1:
+    if config.num_workers > 1 or config.worker_hosts:
         # Imported lazily: the sharded sampler builds on this module.
         from repro.core.sharded_sampler import ShardedPowerSampler
 

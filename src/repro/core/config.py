@@ -125,8 +125,31 @@ class EstimationConfig:
         command; the heartbeat only advances between commands.
     worker_retry_backoff:
         Base of the exponential backoff (seconds) between consecutive
-        respawns of the same worker seat: attempt *n* waits
-        ``worker_retry_backoff * 2**(n-1)``, capped at 2 s.
+        respawns of the same worker seat: attempt *n* waits a full-jitter
+        draw from ``[0, worker_retry_backoff * 2**(n-1)]``, capped at 2 s.
+        The jitter comes from a dedicated parent-owned RNG stream (never
+        the run RNG), so seeded runs stay reproducible while simultaneous
+        seat deaths stop respawning in lockstep.
+    worker_hosts:
+        ``"host:port"`` address the shard pool's
+        :class:`~repro.core.transport.ShardCoordinator` listens on for
+        remote TCP shard workers (started with ``repro shard-worker
+        --connect``).  ``None`` (the default) keeps the pool on local
+        process pipes.  The ``REPRO_SHARD_HOSTS`` environment variable
+        provides the same address ambiently.  Results are draw-for-draw
+        identical for any topology — local, remote, or a mid-run mix.
+    worker_auth_token:
+        Shared secret remote workers must present in their join handshake
+        (compared with ``hmac.compare_digest``).  Falls back to the
+        ``REPRO_SHARD_TOKEN`` environment variable when empty.  The
+        post-handshake wire format is pickle, so treat the token as a
+        secret and only deploy on trusted networks.
+    worker_join_timeout:
+        Seconds the pool waits for remote workers: at construction, for
+        ``num_workers`` members to join; during recovery, for a
+        replacement member to acquire a failed seat (past it the seat
+        degrades to a clean in-process replica, like a failed process
+        spawn).
     shard_sync_interval:
         The supervisor truncates each shard's replay log to a fresh state
         snapshot every this many collect rounds (checkpoints truncate for
@@ -163,6 +186,9 @@ class EstimationConfig:
     worker_max_restarts: int = 3
     worker_hang_timeout: float = 120.0
     worker_retry_backoff: float = 0.05
+    worker_hosts: str | None = None
+    worker_auth_token: str = ""
+    worker_join_timeout: float = 30.0
     shard_sync_interval: int = 16
     simulation_backend: str = "auto"
     power_model: PowerModel = field(default_factory=PowerModel)
@@ -219,6 +245,17 @@ class EstimationConfig:
             raise ValueError("worker_hang_timeout must be positive")
         if self.worker_retry_backoff < 0.0:
             raise ValueError("worker_retry_backoff must be non-negative")
+        if self.worker_hosts is not None:
+            # Imported lazily like the registries above (transport sits under
+            # repro.core, but keep config import-light regardless).
+            from repro.core.transport import parse_address
+
+            try:
+                parse_address(self.worker_hosts)
+            except ValueError as error:
+                raise ValueError(f"worker_hosts must be 'host:port': {error}") from None
+        if self.worker_join_timeout <= 0.0:
+            raise ValueError("worker_join_timeout must be positive")
         if self.shard_sync_interval < 1:
             raise ValueError("shard_sync_interval must be at least 1")
         if self.num_chains < 1:

@@ -39,6 +39,8 @@ from repro.api.events import (
     ProgressEvent,
     RunStarted,
     SampleProgress,
+    WorkerJoined,
+    WorkerLeft,
     WorkerLost,
     WorkerRecovered,
 )
@@ -76,19 +78,32 @@ def _drain_worker_events(sampler, circuit_name, method, samples_drawn):
             worker=incident.get("worker", 0),
             pid=incident.get("pid"),
         )
-        if incident.get("kind") == "lost":
+        kind = incident.get("kind")
+        if kind == "lost":
             yield WorkerLost(
                 exitcode=incident.get("exitcode"),
                 reason=incident.get("reason", "died"),
                 **common,
             )
-        else:
+        elif kind == "recovered":
             yield WorkerRecovered(
                 respawns=incident.get("respawns", 1),
                 replayed_commands=incident.get("replayed", 0),
                 recovery_seconds=incident.get("seconds", 0.0),
                 degraded=incident.get("degraded", False),
                 **common,
+            )
+        elif kind == "joined":
+            yield WorkerJoined(
+                epoch=incident.get("epoch", 0),
+                host=incident.get("host", ""),
+                **{**common, "worker": str(incident.get("worker", ""))},
+            )
+        elif kind == "left":
+            yield WorkerLeft(
+                epoch=incident.get("epoch", 0),
+                reason=incident.get("reason", "disconnected"),
+                **{**common, "worker": str(incident.get("worker", ""))},
             )
 
 

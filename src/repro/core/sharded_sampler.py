@@ -54,8 +54,10 @@ without multiprocessing support — results are identical either way, only
 wall-clock time changes.
 
 **Fault tolerance.**  Every pool seat is a :class:`_SupervisedShard`: a
-replay log wrapped around a raw transport (:class:`_ProcessShard` process or
-:class:`_LocalShard` in-process).  Workers are deterministic functions of
+replay log wrapped around a raw transport (:class:`_ProcessShard` process,
+:class:`_LocalShard` in-process, or
+:class:`~repro.core.transport._SocketShard` remote TCP).  Workers are
+deterministic functions of
 the message stream they were fed — they own no RNG — so the supervisor
 recovers a dead, hung or garbled worker by respawning the process and
 replaying the logged messages since the last synchronized shard state,
@@ -76,6 +78,26 @@ as :class:`~repro.api.events.WorkerLost` /
 *errors* (as opposed to transport failures) raise a typed
 :class:`ShardWorkerError` carrying the shard index, pid, exit code and
 remote traceback.
+
+**Cross-host distribution.**  With ``EstimationConfig(worker_hosts=...)``
+(or ``REPRO_SHARD_HOSTS``, or an explicit ``coordinator=``) the pool draws
+its seats from remote ``repro shard-worker`` processes through a
+:class:`~repro.core.transport.ShardCoordinator` instead of spawning local
+processes.  The supervised contract is unchanged — remote workers consume
+the same message stream over length-prefixed framed TCP, so connection
+loss, partitions, slow links and truncated frames recover through the
+identical destroy → backoff → reacquire → replay path (a failed seat
+acquires a *fresh* member; the old worker, if it reconnects, is fenced by
+its stale epoch and rejoins as new).  Membership is elastic: workers that
+join mid-run are adopted — and seats whose restart budget is exhausted are
+folded off — at the next round boundary via the same gather-checkpoint →
+re-partition → restore path ``_heal_pool`` uses locally, surfacing as
+:class:`~repro.api.events.WorkerJoined` /
+:class:`~repro.api.events.WorkerLeft` events.  Merged samples stay
+draw-for-draw identical to :class:`BatchPowerSampler` for any topology,
+including runs where workers die and join mid-flight (pinned by
+``tests/core/test_distributed.py`` and
+``benchmarks/test_bench_distributed.py``).  See ``docs/distributed.md``.
 """
 
 from __future__ import annotations
@@ -94,7 +116,9 @@ import numpy as np
 from repro.circuits.program import CircuitProgram
 from repro.core.batch_sampler import BatchPowerSampler
 from repro.core.config import EstimationConfig
-from repro.faults import FaultInjector, FaultPlan, FaultSchedule, SimulatedWorkerDeath
+from repro.core.transport import ShardCoordinator
+from repro.core.transport import WorkerDown as _WorkerDown
+from repro.faults import FaultInjector, FaultSchedule, SimulatedWorkerDeath
 from repro.faults import active_schedule as _ambient_fault_schedule
 from repro.simulation.zero_delay import resolve_backend
 from repro.stimulus.base import Stimulus
@@ -161,16 +185,6 @@ class ShardWorkerError(RuntimeError):
         self.exitcode = exitcode
         self.remote_traceback = remote_traceback
         self.reason = reason
-
-
-class _WorkerDown(Exception):
-    """Internal: the transport failed (recoverable by respawn-and-replay)."""
-
-    def __init__(self, reason: str, pid: int | None = None, exitcode: int | None = None):
-        super().__init__(reason)
-        self.reason = reason
-        self.pid = pid
-        self.exitcode = exitcode
 
 
 def partition_chains(num_chains: int, num_workers: int) -> list[tuple[int, int]]:
@@ -611,6 +625,11 @@ class _SupervisedShard:
         self.incarnation = 0
         self.respawns = 0
         self.degraded = False
+        # Respawn-backoff jitter comes from a dedicated parent-owned stream
+        # (seeded per seat, never the run RNG): simultaneous seat deaths must
+        # not respawn in lockstep, and seeded fault tests must not see their
+        # sample streams perturbed by supervision randomness.
+        self._jitter_rng = np.random.default_rng((0xB0FF, shard_index))
         self._history: list[tuple] = []
         self._received: list = []
         self._delivered = 0
@@ -733,7 +752,12 @@ class _SupervisedShard:
             self.degraded = True
             transport = self._fallback()
         else:
-            time.sleep(min(self.backoff * (2 ** (self._failures - 1)), 2.0))
+            # Full jitter: a uniform draw from [0, base * 2**(n-1)] (capped).
+            # Deterministic exponential backoff makes seats that died
+            # together retry together forever; jitter de-synchronises them.
+            ceiling = min(self.backoff * (2 ** (self._failures - 1)), 2.0)
+            if ceiling > 0.0:
+                time.sleep(float(self._jitter_rng.uniform(0.0, ceiling)))
             self.incarnation += 1
             try:
                 transport = self._spawn(self.incarnation)
@@ -770,12 +794,17 @@ class _SupervisedShard:
             pass
 
 
-def _shutdown_pool(handles: list) -> None:
+def _shutdown_pool(handles: list, coordinator: ShardCoordinator | None = None) -> None:
     """Stop every shard handle; never raises (runs from weakref.finalize)."""
     for handle in handles:
         try:
             handle.stop()
         except Exception:  # noqa: BLE001 — one bad handle must not strand the rest
+            pass
+    if coordinator is not None:
+        try:
+            coordinator.close()
+        except Exception:  # noqa: BLE001
             pass
 
 
@@ -806,6 +835,12 @@ class ShardedPowerSampler(BatchPowerSampler):
         Optional :class:`~repro.faults.FaultSchedule` injected into the
         worker pool (testing/chaos only); defaults to the ambient schedule
         from :func:`repro.faults.inject` or ``REPRO_FAULTS``.
+    coordinator:
+        An externally-owned :class:`~repro.core.transport.ShardCoordinator`
+        to draw remote TCP workers from.  Defaults to ``None``, in which
+        case ``config.worker_hosts`` (or ``REPRO_SHARD_HOSTS``) makes the
+        sampler bind and own a coordinator of its own; with neither, the
+        pool runs on local process pipes.
     """
 
     def __init__(
@@ -819,6 +854,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         num_workers: int | None = None,
         start_method: str | None = None,
         fault_schedule: FaultSchedule | None = None,
+        coordinator: ShardCoordinator | None = None,
     ):
         config = config or EstimationConfig()
         self.num_workers = config.num_workers if num_workers is None else num_workers
@@ -832,7 +868,13 @@ class ShardedPowerSampler(BatchPowerSampler):
         self._fault_schedule = (
             fault_schedule if fault_schedule is not None else _ambient_fault_schedule()
         )
-        self._fault_incidents: list[dict] = []
+        # A deque because the coordinator's membership thread appends
+        # join/leave incidents concurrently with the parent draining them.
+        self._fault_incidents: deque[dict] = deque()
+        self._coordinator = coordinator
+        self._owns_coordinator = False
+        self._listen_address = config.worker_hosts or os.environ.get("REPRO_SHARD_HOSTS") or None
+        self._next_seat = 0
         self._rounds_since_sync = 0
         self._syncing = False
         self._healing = False
@@ -843,37 +885,113 @@ class ShardedPowerSampler(BatchPowerSampler):
         )
 
     # ------------------------------------------------------------------- pool
-    def _fault_plan(self, index: int, incarnation: int) -> FaultPlan | None:
-        if self._fault_schedule is None:
-            return None
-        return self._fault_schedule.plan_for(index, incarnation)
-
     def _supervise(self, index: int, spawn) -> _SupervisedShard:
-        """Wrap a raw-transport factory in a supervised pool seat."""
+        """Wrap a raw-transport factory in a supervised pool seat.
+
+        Seat closures (here and in the spawn factories) deliberately capture
+        program/config/transport objects, never ``self``: the seats are held
+        alive by the ``weakref.finalize`` shutdown callback's arguments, so a
+        closure back-reference to the sampler would root it and reduce the
+        finalizer to an interpreter-exit hook — remote workers would never be
+        released when an estimator drops its sampler without closing it.
+        """
+        program, config, backend = self.program, self.config, self._backend_request
         return _SupervisedShard(
             spawn,
             index,
             # The degradation fallback is a clean local replica: never
             # injected with faults, so an exhausted retry budget cannot loop.
-            fallback=lambda: _LocalShard(self.program, self.config, self._backend_request),
-            max_restarts=self.config.worker_max_restarts,
-            hang_timeout=self.config.worker_hang_timeout,
-            backoff=self.config.worker_retry_backoff,
+            fallback=lambda: _LocalShard(program, config, backend),
+            max_restarts=config.worker_max_restarts,
+            hang_timeout=config.worker_hang_timeout,
+            backoff=config.worker_retry_backoff,
             on_incident=self._fault_incidents.append,
         )
 
     def _local_seat(self, index: int) -> _SupervisedShard:
+        program, config, backend = self.program, self.config, self._backend_request
+        schedule = self._fault_schedule
         return self._supervise(
             index,
             lambda incarnation, index=index: _LocalShard(
-                self.program,
-                self.config,
-                self._backend_request,
-                self._fault_plan(index, incarnation),
+                program,
+                config,
+                backend,
+                schedule.plan_for(index, incarnation) if schedule is not None else None,
             ),
         )
 
+    def _socket_seat(self, index: int) -> _SupervisedShard:
+        """A supervised seat whose transports are acquired from the coordinator.
+
+        Every (re)spawn acquires the oldest pending remote member and ships
+        it the program/config and the seat's fault plan in the ``assign``
+        frame; a recovery therefore replays onto a *fresh* member (the
+        failed one, if it reconnects, is fenced and rejoins as new).  An
+        acquire timeout raises ``RuntimeError``, which the supervisor treats
+        like a failed process spawn: the seat degrades to a clean local
+        replica and the pool re-partitions at the next round boundary.
+        """
+        coordinator = self._coordinator
+        program, config, backend = self.program, self.config, self._backend_request
+        schedule = self._fault_schedule
+
+        def spawn(incarnation: int, index: int = index):
+            return coordinator.acquire(
+                index,
+                incarnation,
+                program,
+                config,
+                backend,
+                fault_plan=(
+                    schedule.plan_for(index, incarnation) if schedule is not None else None
+                ),
+                timeout=config.worker_join_timeout,
+            )
+
+        return self._supervise(index, spawn)
+
+    def _take_seat_index(self) -> int:
+        # Seat indices are never reused across elastic joins, so fault plans
+        # and incident streams stay unambiguous about which seat they mean.
+        index = self._next_seat
+        self._next_seat += 1
+        return index
+
+    def _spawn_socket_pool(self) -> list:
+        if self._coordinator is None:
+            token = self.config.worker_auth_token or os.environ.get("REPRO_SHARD_TOKEN", "")
+            self._coordinator = ShardCoordinator(
+                self._listen_address,
+                token,
+                on_incident=self._fault_incidents.append,
+            )
+            self._owns_coordinator = True
+        elif self._coordinator.on_incident is None:
+            # Workers may have joined the pre-started coordinator already;
+            # attach_observer replays their buffered join incidents.
+            self._coordinator.attach_observer(self._fault_incidents.append)
+        joined = self._coordinator.wait_for_members(
+            self.num_workers, timeout=self.config.worker_join_timeout
+        )
+        if joined == 0:
+            if self._owns_coordinator:
+                self._coordinator.close()
+            raise RuntimeError(
+                f"no shard workers joined {self._coordinator.address} within "
+                f"{self.config.worker_join_timeout:.1f}s; start them with "
+                f"'repro shard-worker --connect {self._coordinator.address}'"
+            )
+        # Elastic membership: start on whoever showed up.  Fewer members than
+        # requested shrinks the pool; extra members stay pending and are
+        # adopted at the first round boundary.  Either way the merged samples
+        # are pinned equal to the in-process engine.
+        self.num_workers = min(self.num_workers, joined)
+        return [self._socket_seat(self._take_seat_index()) for _ in range(self.num_workers)]
+
     def _spawn_pool(self) -> list:
+        if self._coordinator is not None or self._listen_address:
+            return self._spawn_socket_pool()
         if self._start_method == "serial":
             return [self._local_seat(index) for index in range(self.num_workers)]
         if self._start_method is not None:
@@ -886,6 +1004,8 @@ class ShardedPowerSampler(BatchPowerSampler):
             ctx = mp.get_context("fork")
         else:
             ctx = mp.get_context()
+        program, config, backend = self.program, self.config, self._backend_request
+        schedule = self._fault_schedule
         handles: list = []
         try:
             for index in range(self.num_workers):
@@ -894,10 +1014,12 @@ class ShardedPowerSampler(BatchPowerSampler):
                         index,
                         lambda incarnation, index=index: _ProcessShard(
                             ctx,
-                            self.program,
-                            self.config,
-                            self._backend_request,
-                            self._fault_plan(index, incarnation),
+                            program,
+                            config,
+                            backend,
+                            schedule.plan_for(index, incarnation)
+                            if schedule is not None
+                            else None,
                         ),
                     )
                 )
@@ -917,7 +1039,12 @@ class ShardedPowerSampler(BatchPowerSampler):
                 # deserialize the quantization instead of each repeating it.
                 self.program.delay_schedule(self.config.delay_model)
             self._handles = self._spawn_pool()
-            self._finalizer = weakref.finalize(self, _shutdown_pool, self._handles)
+            self._finalizer = weakref.finalize(
+                self,
+                _shutdown_pool,
+                self._handles,
+                self._coordinator if self._owns_coordinator else None,
+            )
         self._shards = partition_chains(self.num_chains, self.num_workers)
         self._num_words = words_per_width(self.num_chains)
         # No in-process engines: every engine-facing base-class method is
@@ -1001,32 +1128,55 @@ class ShardedPowerSampler(BatchPowerSampler):
             self._rounds_since_sync = 0
 
     def _heal_pool(self) -> None:
-        """Re-partition the ensemble off permanently-degraded seats.
+        """Re-partition the ensemble at a round boundary when membership changed.
 
-        A seat that exhausted its restart budget finished its round on a
-        clean in-process replica; at the next round boundary this folds its
-        chains onto the surviving worker processes through the ordinary
-        checkpoint machinery (state gather → re-partition → restore), which
-        is bit-identical because the merged state is lane-ordered regardless
-        of the partitioning and ``get_state``/``set_state`` consume no RNG.
+        Two triggers, one mechanism: a seat that exhausted its restart
+        budget finished its round on a clean in-process replica and must be
+        folded off; a remote worker that joined the coordinator since the
+        last boundary is waiting for a seat.  Both re-partition through the
+        ordinary checkpoint machinery (state gather → re-partition →
+        restore), which is bit-identical because the merged state is
+        lane-ordered regardless of the partitioning and
+        ``get_state``/``set_state`` consume no RNG.
         """
         if self._handles is None or self._healing:
             return
+        pending = self._coordinator.pending_count() if self._coordinator is not None else 0
         degraded = [seat for seat in self._handles if seat.degraded]
-        if not degraded or len(degraded) == len(self._handles):
-            # Nothing to heal — or nowhere to go (every seat degraded means
-            # the pool already runs fully in-process; keep it).
+        if not degraded and not pending:
+            return
+        if degraded and len(degraded) == len(self._handles) and not pending:
+            # Nowhere to go: every seat already runs in-process and no remote
+            # member is waiting.  Keep the degraded pool.
             return
         self._healing = True
         try:
             state = self.get_state()
             survivors = [seat for seat in self._handles if not seat.degraded]
+            adopted: list[_SupervisedShard] = []
+            if self._coordinator is not None:
+                while self._coordinator.pending_count() > 0:
+                    try:
+                        adopted.append(self._socket_seat(self._take_seat_index()))
+                    except RuntimeError:
+                        break  # the pending member vanished mid-adoption
+            if not survivors and not adopted:
+                return  # adoption failed after all; keep the degraded pool
             for seat in degraded:
                 seat.stop()
+                self._fault_incidents.append(
+                    {
+                        "kind": "left",
+                        "worker": f"seat-{seat.shard_index}",
+                        "pid": getattr(seat.transport, "pid", None),
+                        "epoch": seat.incarnation,
+                        "reason": "exhausted-restarts",
+                    }
+                )
             # In-place: the weakref.finalize shutdown callback holds this
             # exact list object.
-            self._handles[:] = survivors
-            self.num_workers = len(survivors)
+            self._handles[:] = survivors + adopted
+            self.num_workers = len(self._handles)
             self._build_engines()
             self.set_state(state)
         finally:
@@ -1035,14 +1185,22 @@ class ShardedPowerSampler(BatchPowerSampler):
     def take_fault_incidents(self) -> list[dict]:
         """Drain supervision incidents (worker losses/recoveries) since last call.
 
-        Each incident is a dict with ``kind`` ``"lost"`` or ``"recovered"``
-        plus context fields; :class:`~repro.core.dipe.DipeEstimator` turns
-        them into :class:`~repro.api.events.WorkerLost` /
-        :class:`~repro.api.events.WorkerRecovered` progress events.
+        Each incident is a dict whose ``kind`` is ``"lost"``,
+        ``"recovered"``, ``"joined"`` or ``"left"`` plus context fields;
+        :class:`~repro.core.dipe.DipeEstimator` turns them into
+        :class:`~repro.api.events.WorkerLost` /
+        :class:`~repro.api.events.WorkerRecovered` /
+        :class:`~repro.api.events.WorkerJoined` /
+        :class:`~repro.api.events.WorkerLeft` progress events.  Drained
+        with ``popleft`` because the coordinator's membership thread may
+        append concurrently.
         """
-        incidents = list(self._fault_incidents)
-        self._fault_incidents.clear()
-        return incidents
+        incidents: list[dict] = []
+        while True:
+            try:
+                incidents.append(self._fault_incidents.popleft())
+            except IndexError:
+                return incidents
 
     @property
     def worker_restarts(self) -> int:

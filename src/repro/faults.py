@@ -8,7 +8,9 @@ harness.
 
 A :class:`FaultSchedule` maps ``(shard_index, incarnation)`` to a
 :class:`FaultPlan`, a sequence of :class:`FaultAction` entries.  Each action
-names a *kind* (``kill``, ``hang``, ``slow``, ``garble``), an *injection
+names a *kind* (``kill``, ``hang``, ``slow``, ``garble``, or — aimed at the
+TCP transport — ``drop-connection``, ``partition``, ``slow-link``,
+``truncated-frame``), an *injection
 point* relative to one handled command (``recv`` — after the command is
 received but before it runs; ``handle`` — after it ran but before the reply
 is sent; ``reply`` — after the reply went out), and the zero-based *command
@@ -44,10 +46,12 @@ __all__ = [
     "FAULT_KINDS",
     "INJECTION_POINTS",
     "KILLED_EXIT_CODE",
+    "NETWORK_FAULT_KINDS",
     "FaultAction",
     "FaultPlan",
     "FaultSchedule",
     "FaultInjector",
+    "InjectedNetworkFault",
     "SimulatedWorkerDeath",
     "active_schedule",
     "inject",
@@ -57,8 +61,24 @@ __all__ = [
 #: Injection points relative to one handled worker command.
 INJECTION_POINTS = ("recv", "handle", "reply")
 
+#: Network failure modes, meaningful on the TCP shard transport
+#: (``mode="socket"``).  On the process/serial transports each degrades to
+#: its closest process-level analogue (see ``_NETWORK_EQUIVALENT``), so one
+#: schedule exercises every transport.
+NETWORK_FAULT_KINDS = ("drop-connection", "partition", "slow-link", "truncated-frame")
+
 #: Supported failure modes.
-FAULT_KINDS = ("kill", "hang", "slow", "garble")
+FAULT_KINDS = ("kill", "hang", "slow", "garble") + NETWORK_FAULT_KINDS
+
+#: What a network fault means to a transport without a network: an abrupt
+#: connection loss is a death, a partition is an open-ended stall, a slow
+#: link is a slow worker.
+_NETWORK_EQUIVALENT = {
+    "drop-connection": "kill",
+    "truncated-frame": "kill",
+    "partition": "hang",
+    "slow-link": "slow",
+}
 
 #: Exit code of a worker process killed by an injected ``kill`` action, so
 #: tests (and :class:`ShardWorkerError` messages) can tell injected deaths
@@ -85,6 +105,22 @@ class SimulatedWorkerDeath(RuntimeError):
     def __init__(self, reason: str):
         super().__init__(f"injected worker fault: {reason}")
         self.reason = reason
+
+
+class InjectedNetworkFault(RuntimeError):
+    """Raised by a socket-mode :class:`FaultInjector` when a network action fires.
+
+    The transport layer (the worker session loop in
+    :mod:`repro.core.transport`) catches it and performs the wire-level
+    effect — dropping the connection, blackholing the link for ``seconds``,
+    delaying every subsequent reply, or emitting a truncated frame — since
+    only the transport owns the socket.
+    """
+
+    def __init__(self, kind: str, seconds: float = 0.0):
+        super().__init__(f"injected network fault: {kind}")
+        self.kind = kind
+        self.seconds = seconds
 
 
 @dataclass(frozen=True)
@@ -247,11 +283,22 @@ _ACTIVE_SCHEDULE: FaultSchedule | None = None
 
 
 def schedule_from_env(environ=os.environ) -> FaultSchedule | None:
-    """Parse ``REPRO_FAULTS`` (JSON from :meth:`FaultSchedule.to_json`)."""
+    """Parse ``REPRO_FAULTS`` (JSON from :meth:`FaultSchedule.to_json`).
+
+    A malformed value is reported as a named-field ``ValueError`` (matching
+    the service validator's ``invalid '<field>': ...`` style) instead of a
+    raw decode error escaping from deep inside pool construction.
+    """
     text = environ.get("REPRO_FAULTS")
     if not text:
         return None
-    return FaultSchedule.from_json(text)
+    try:
+        return FaultSchedule.from_json(text)
+    except (AttributeError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        raise ValueError(
+            f"invalid 'REPRO_FAULTS': not a fault schedule "
+            f"(expected FaultSchedule.to_json output): {error}"
+        ) from error
 
 
 def active_schedule() -> FaultSchedule | None:
@@ -281,13 +328,20 @@ class FaultInjector:
     process with :data:`KILLED_EXIT_CODE`, ``hang``/``slow`` sleep.
     ``mode="local"`` runs inside the parent (serial pool): ``kill`` and
     ``hang`` raise :class:`SimulatedWorkerDeath` instead (a local transport
-    cannot block the parent), ``slow`` sleeps briefly.  Each action fires at
-    most once.
+    cannot block the parent), ``slow`` sleeps briefly.  ``mode="socket"``
+    runs inside a remote TCP worker: ``kill`` exits the process (the remote
+    analogue of a host loss), ``hang``/``slow`` sleep, and the network kinds
+    (:data:`NETWORK_FAULT_KINDS`) raise :class:`InjectedNetworkFault` for
+    the transport layer to act on.  On the non-socket transports the network
+    kinds degrade to their process-level analogues
+    (``drop-connection``/``truncated-frame`` → ``kill``, ``partition`` →
+    ``hang``, ``slow-link`` → ``slow``), so one schedule drives every
+    transport.  Each action fires at most once.
     """
 
     def __init__(self, plan: FaultPlan | None, mode: str = "process"):
-        if mode not in ("process", "local"):
-            raise ValueError(f"mode must be 'process' or 'local', got {mode!r}")
+        if mode not in ("process", "local", "socket"):
+            raise ValueError(f"mode must be 'process', 'local' or 'socket', got {mode!r}")
         self._plan = plan
         self._mode = mode
         self._command = 0
@@ -312,16 +366,21 @@ class FaultInjector:
         return None
 
     def trip(self, command: int, point: str) -> None:
-        """Fire a scheduled kill/hang/slow at (*command*, *point*), if any."""
+        """Fire a scheduled fault at (*command*, *point*), if any is due."""
         action = self._take(command, point, garble=False)
         if action is None:
             return
-        if action.kind == "kill":
-            if self._mode == "process":
+        kind = action.kind
+        if kind in NETWORK_FAULT_KINDS:
+            if self._mode == "socket":
+                raise InjectedNetworkFault(kind, action.seconds)
+            kind = _NETWORK_EQUIVALENT[kind]
+        if kind == "kill":
+            if self._mode in ("process", "socket"):
                 os._exit(KILLED_EXIT_CODE)
             raise SimulatedWorkerDeath("killed")
-        if action.kind == "hang":
-            if self._mode == "process":
+        if kind == "hang":
+            if self._mode in ("process", "socket"):
                 time.sleep(action.seconds or _DEFAULT_HANG_SECONDS)
                 return
             raise SimulatedWorkerDeath("hung")

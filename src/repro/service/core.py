@@ -116,6 +116,14 @@ def validate_job_payload(payload: Any) -> JobSpec:
         )
     if "circuit" not in payload:
         raise InvalidJobError("spec is missing the required 'circuit' field")
+    config_payload = payload.get("config")
+    if isinstance(config_payload, dict) and config_payload.get("worker_hosts"):
+        from repro.core.transport import parse_address
+
+        try:
+            parse_address(str(config_payload["worker_hosts"]))
+        except ValueError as error:
+            raise InvalidJobError(f"invalid 'config.worker_hosts': {error}") from None
     try:
         spec = JobSpec.from_dict(payload)
     except (TypeError, ValueError, KeyError) as error:

@@ -237,3 +237,25 @@ class TestFigure3Stream:
         assert events[-1].estimate.points[0].interval == 0
         counts = [event.samples_drawn for event in events]
         assert counts == sorted(counts)
+
+
+class TestMembershipEvents:
+    """Worker-joined / worker-left events share the wire format and defaults."""
+
+    def test_roundtrip(self):
+        from repro.api.events import WorkerJoined, WorkerLeft, event_from_dict
+
+        common = dict(circuit="s298", method="dipe", samples_drawn=3, cycles_simulated=96)
+        joined = WorkerJoined(**common, worker="vm-17", pid=17, epoch=4, host="10.0.0.2")
+        assert event_from_dict(joined.to_dict()) == joined
+        assert joined.to_dict()["kind"] == "worker-joined"
+        left = WorkerLeft(**common, worker="seat-1", epoch=2, reason="exhausted-restarts")
+        assert event_from_dict(left.to_dict()) == left
+        assert left.to_dict()["kind"] == "worker-left"
+        assert left.pid is None  # default survives the wire
+
+    def test_kinds_registered(self):
+        from repro.api.events import event_kinds
+
+        assert "worker-joined" in event_kinds()
+        assert "worker-left" in event_kinds()

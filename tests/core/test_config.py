@@ -89,3 +89,28 @@ class TestEstimationConfig:
         config = EstimationConfig()
         with pytest.raises(AttributeError):
             config.confidence = 0.5
+
+    @pytest.mark.parametrize(
+        "hosts", ["nohost", ":8642", "host:", "host:words", "host:70000"]
+    )
+    def test_invalid_worker_hosts_rejected(self, hosts):
+        with pytest.raises(ValueError, match="worker_hosts"):
+            EstimationConfig(worker_hosts=hosts)
+
+    def test_invalid_worker_join_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            EstimationConfig(worker_join_timeout=0.0)
+
+    def test_distributed_fields_round_trip(self):
+        import json
+
+        config = EstimationConfig(
+            worker_hosts="127.0.0.1:9750",
+            worker_auth_token="secret",
+            worker_join_timeout=5.0,
+            num_workers=3,
+        )
+        restored = EstimationConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.worker_hosts == "127.0.0.1:9750"
+        assert restored.worker_auth_token == "secret"

@@ -1,0 +1,429 @@
+"""Cross-host distributed sampling over localhost TCP: chaos and bit-identity.
+
+Every test spins up real ``run_shard_worker`` processes against a
+:class:`ShardCoordinator` on an ephemeral loopback port and pins the one
+contract that matters: the merged sample stream is **draw-for-draw
+identical** to the single-process :class:`BatchPowerSampler` for any
+topology and any injected network failure — connection drops, partitions,
+slow links, truncated frames, stale-epoch reconnects, and elastic
+membership changes (workers joining and leaving mid-run).
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import os
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.events import EstimateCompleted, WorkerJoined
+from repro.core.batch_sampler import BatchPowerSampler, make_sampler
+from repro.core.config import EstimationConfig
+from repro.core.dipe import DipeEstimator
+from repro.core.sharded_sampler import ShardedPowerSampler
+from repro.core.transport import ShardCoordinator
+from repro.faults import KILLED_EXIT_CODE, FaultSchedule
+from repro.stimulus.random_inputs import BernoulliStimulus
+
+_TOKEN = "test-secret"
+_CHAINS = 128
+_ROUNDS = 4
+_DRAW = 3
+
+#: First sampling-round commands: 0 build, 1 latch feed, 2 warmup feed,
+#: 3 prepare, then (feed, sample) per round — 5 is the first sample command.
+_MID_RUN_COMMAND = 5
+
+
+def _worker_main(port: int, token: str) -> None:
+    from repro.core.transport import run_shard_worker
+
+    run_shard_worker(
+        f"127.0.0.1:{port}",
+        token,
+        max_reconnects=400,
+        reconnect_backoff=0.05,
+    )
+
+
+def _start_workers(port: int, count: int) -> list:
+    ctx = mp.get_context("fork")
+    workers = [
+        ctx.Process(target=_worker_main, args=(port, _TOKEN), daemon=True)
+        for _ in range(count)
+    ]
+    for worker in workers:
+        worker.start()
+    return workers
+
+
+def _reap(workers: list) -> list:
+    """Join every worker (terminating stragglers); return their exit codes."""
+    codes = []
+    for worker in workers:
+        worker.join(timeout=10.0)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+        codes.append(worker.exitcode)
+    return codes
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _config(**overrides) -> EstimationConfig:
+    settings = dict(
+        warmup_cycles=8,
+        worker_retry_backoff=0.01,
+        worker_join_timeout=15.0,
+    )
+    settings.update(overrides)
+    return EstimationConfig(**settings)
+
+
+def _reference(circuit, config) -> list[np.ndarray]:
+    sampler = BatchPowerSampler(
+        circuit,
+        BernoulliStimulus(circuit.num_inputs, 0.5),
+        config,
+        rng=7,
+        num_chains=_CHAINS,
+    )
+    return [sampler.next_samples(_DRAW) for _ in range(_ROUNDS)]
+
+
+def _run_distributed(circuit, config, workers=2, schedule=None, rounds=_ROUNDS):
+    """One distributed run; returns (blocks, incidents, coordinator-stats)."""
+    coordinator = ShardCoordinator(token=_TOKEN)
+    procs = _start_workers(coordinator.port, workers)
+    stats: dict = {}
+    try:
+        sampler = ShardedPowerSampler(
+            circuit,
+            BernoulliStimulus(circuit.num_inputs, 0.5),
+            config,
+            rng=7,
+            num_chains=_CHAINS,
+            num_workers=workers,
+            fault_schedule=schedule,
+            coordinator=coordinator,
+        )
+        with sampler:
+            blocks = [sampler.next_samples(_DRAW) for _ in range(rounds)]
+            incidents = sampler.take_fault_incidents()
+            stats.update(
+                fenced_rejects=coordinator.fenced_rejects,
+                num_workers=sampler.num_workers,
+                restarts=sampler.worker_restarts,
+            )
+        return blocks, incidents, stats
+    finally:
+        coordinator.close()
+        stats["exit_codes"] = _reap(procs)
+
+
+def _assert_identical(expected, got):
+    assert len(expected) == len(got)
+    for reference_block, merged_block in zip(expected, got):
+        np.testing.assert_array_equal(reference_block, merged_block)
+
+
+class TestDistributedMerge:
+    @pytest.mark.parametrize("engine", ["zero-delay", "event-driven"])
+    def test_bit_identical_to_in_process(self, s298_circuit, engine):
+        config = _config(power_simulator=engine)
+        expected = _reference(s298_circuit, config)
+        got, incidents, stats = _run_distributed(s298_circuit, config)
+        _assert_identical(expected, got)
+        assert stats["restarts"] == 0
+        joined = [i for i in incidents if i["kind"] == "joined"]
+        assert len(joined) >= 2
+        assert stats["exit_codes"] == [0, 0]  # released workers exit cleanly
+
+    def test_three_workers_same_stream(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        got, _, stats = _run_distributed(s298_circuit, config, workers=3)
+        _assert_identical(expected, got)
+        assert stats["num_workers"] == 3
+
+
+class TestNetworkChaos:
+    def test_drop_connection_recovers_and_fences(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        schedule = FaultSchedule.single(
+            0, "drop-connection", point="handle", command=_MID_RUN_COMMAND
+        )
+        got, incidents, stats = _run_distributed(s298_circuit, config, schedule=schedule)
+        _assert_identical(expected, got)
+        lost = [i for i in incidents if i["kind"] == "lost"]
+        assert lost and lost[0]["worker"] == 0
+        assert any(i["kind"] == "recovered" and not i["degraded"] for i in incidents)
+        # The dropped worker tried to resume with its stale epoch and was
+        # fenced before rejoining as a fresh member.
+        assert stats["fenced_rejects"] >= 1
+        assert stats["num_workers"] == 2
+
+    def test_truncated_frame_detected_and_recovered(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        schedule = FaultSchedule.single(
+            0, "truncated-frame", point="handle", command=_MID_RUN_COMMAND
+        )
+        got, incidents, stats = _run_distributed(s298_circuit, config, schedule=schedule)
+        _assert_identical(expected, got)
+        lost = [i for i in incidents if i["kind"] == "lost"]
+        assert lost and lost[0]["reason"] == "truncated"
+        assert stats["restarts"] >= 1
+
+    def test_partition_heals_after_hang_detection(self, s298_circuit):
+        config = _config(worker_hang_timeout=0.5)
+        expected = _reference(s298_circuit, config)
+        schedule = FaultSchedule.single(
+            0, "partition", point="handle", command=_MID_RUN_COMMAND, seconds=2.0
+        )
+        got, incidents, stats = _run_distributed(s298_circuit, config, schedule=schedule)
+        _assert_identical(expected, got)
+        lost = [i for i in incidents if i["kind"] == "lost"]
+        assert lost and lost[0]["reason"] in ("hung", "partitioned")
+        assert stats["restarts"] >= 1
+
+    def test_slow_link_degrades_without_recovery(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        schedule = FaultSchedule.single(
+            0, "slow-link", point="handle", command=_MID_RUN_COMMAND, seconds=0.01
+        )
+        got, incidents, stats = _run_distributed(s298_circuit, config, schedule=schedule)
+        _assert_identical(expected, got)
+        # A slow link is degraded, not dead: the supervisor must NOT respawn.
+        assert stats["restarts"] == 0
+        assert not any(i["kind"] == "lost" for i in incidents)
+
+
+class TestElasticMembership:
+    def test_mid_run_join_grows_pool(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        coordinator = ShardCoordinator(token=_TOKEN)
+        first = _start_workers(coordinator.port, 1)
+        late = []
+        try:
+            sampler = ShardedPowerSampler(
+                s298_circuit,
+                BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                config,
+                rng=7,
+                num_chains=_CHAINS,
+                num_workers=1,
+                coordinator=coordinator,
+            )
+            with sampler:
+                blocks = [sampler.next_samples(_DRAW)]
+                late = _start_workers(coordinator.port, 1)
+                deadline = time.monotonic() + 10.0
+                while coordinator.pending_count() == 0 and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                blocks.extend(sampler.next_samples(_DRAW) for _ in range(_ROUNDS - 1))
+                incidents = sampler.take_fault_incidents()
+                grown = sampler.num_workers
+            _assert_identical(expected, blocks)
+            assert grown == 2
+            assert sum(1 for i in incidents if i["kind"] == "joined") >= 2
+        finally:
+            coordinator.close()
+            assert _reap(first + late) == [0, 0]
+
+    def test_mid_run_leave_shrinks_pool(self, s298_circuit):
+        # A socket-mode kill is a permanent host loss: no pending member is
+        # left to re-acquire, the seat degrades to a local replica, and the
+        # next round boundary folds it off the partition.
+        config = _config(worker_join_timeout=0.75)
+        expected = _reference(s298_circuit, config)
+        schedule = FaultSchedule.single(0, "kill", point="recv", command=_MID_RUN_COMMAND)
+        got, incidents, stats = _run_distributed(s298_circuit, config, schedule=schedule)
+        _assert_identical(expected, got)
+        assert stats["num_workers"] == 1
+        assert any(i["kind"] == "recovered" and i["degraded"] for i in incidents)
+        left = [i for i in incidents if i["kind"] == "left"]
+        assert any(i["reason"] == "exhausted-restarts" for i in left)
+        assert KILLED_EXIT_CODE in stats["exit_codes"]
+
+    def test_fewer_members_than_requested_shrinks_at_start(self, s298_circuit):
+        config = _config(worker_join_timeout=1.0)
+        expected = _reference(s298_circuit, config)
+        got, _, stats = _run_distributed(s298_circuit, config, workers=1)
+        _assert_identical(expected, got)
+        assert stats["num_workers"] == 1
+
+    def test_no_members_is_a_clear_error(self, s298_circuit):
+        coordinator = ShardCoordinator(token=_TOKEN)
+        try:
+            with pytest.raises(RuntimeError, match="repro shard-worker --connect"):
+                ShardedPowerSampler(
+                    s298_circuit,
+                    BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                    _config(worker_join_timeout=0.2),
+                    rng=7,
+                    num_chains=_CHAINS,
+                    num_workers=2,
+                    coordinator=coordinator,
+                )
+        finally:
+            coordinator.close()
+
+
+class TestCheckpointInterchange:
+    def test_distributed_checkpoint_resumes_in_process(self, s298_circuit):
+        config = _config()
+        reference = BatchPowerSampler(
+            s298_circuit,
+            BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+            config,
+            rng=7,
+            num_chains=_CHAINS,
+        )
+        expected = [reference.next_samples(_DRAW) for _ in range(_ROUNDS)]
+
+        coordinator = ShardCoordinator(token=_TOKEN)
+        procs = _start_workers(coordinator.port, 2)
+        try:
+            sampler = ShardedPowerSampler(
+                s298_circuit,
+                BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                config,
+                rng=7,
+                num_chains=_CHAINS,
+                num_workers=2,
+                coordinator=coordinator,
+            )
+            with sampler:
+                first_half = [sampler.next_samples(_DRAW) for _ in range(2)]
+                state = sampler.get_state()
+        finally:
+            coordinator.close()
+            _reap(procs)
+
+        resumed = BatchPowerSampler(
+            s298_circuit,
+            BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+            config,
+            rng=0,
+            num_chains=_CHAINS,
+        )
+        resumed.set_state(state)
+        second_half = [resumed.next_samples(_DRAW) for _ in range(2)]
+        _assert_identical(expected, first_half + second_half)
+
+
+class TestConfigActivation:
+    def test_env_hosts_select_distributed_pool(self, s298_circuit, monkeypatch):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        port = _free_port()
+        procs = _start_workers(port, 2)
+        try:
+            monkeypatch.setenv("REPRO_SHARD_HOSTS", f"127.0.0.1:{port}")
+            monkeypatch.setenv("REPRO_SHARD_TOKEN", _TOKEN)
+            sampler = make_sampler(
+                s298_circuit,
+                BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                _config(num_workers=2, num_chains=_CHAINS),
+                rng=7,
+            )
+            assert isinstance(sampler, ShardedPowerSampler)
+            with sampler:
+                got = [sampler.next_samples(_DRAW) for _ in range(_ROUNDS)]
+                assert all(h.transport.kind == "socket" for h in sampler._handles)
+            _assert_identical(expected, got)
+        finally:
+            assert _reap(procs) == [0, 0]
+
+    def test_worker_hosts_config_field(self, s298_circuit):
+        config = _config()
+        expected = _reference(s298_circuit, config)
+        port = _free_port()
+        procs = _start_workers(port, 2)
+        try:
+            distributed_config = _config(
+                num_workers=2,
+                num_chains=_CHAINS,
+                worker_hosts=f"127.0.0.1:{port}",
+                worker_auth_token=_TOKEN,
+            )
+            sampler = make_sampler(
+                s298_circuit,
+                BernoulliStimulus(s298_circuit.num_inputs, 0.5),
+                distributed_config,
+                rng=7,
+            )
+            assert isinstance(sampler, ShardedPowerSampler)
+            with sampler:
+                got = [sampler.next_samples(_DRAW) for _ in range(_ROUNDS)]
+            _assert_identical(expected, got)
+        finally:
+            assert _reap(procs) == [0, 0]
+
+
+class TestEstimatorIntegration:
+    def test_dipe_estimate_and_events_over_tcp(self, s298_circuit):
+        config_kw = dict(
+            randomness_sequence_length=64,
+            min_samples=64,
+            check_interval=32,
+            max_samples=600,
+            warmup_cycles=16,
+            max_independence_interval=8,
+            num_chains=_CHAINS,
+        )
+        local = DipeEstimator(
+            s298_circuit, config=EstimationConfig(**config_kw, num_workers=1), rng=11
+        )
+        local_events = list(local.run())
+        baseline = next(
+            e for e in reversed(local_events) if isinstance(e, EstimateCompleted)
+        ).estimate
+
+        port = _free_port()
+        procs = _start_workers(port, 2)
+        try:
+            config = _config(
+                **config_kw,
+                num_workers=2,
+                worker_hosts=f"127.0.0.1:{port}",
+                worker_auth_token=_TOKEN,
+            )
+            events = list(DipeEstimator(s298_circuit, config=config, rng=11).run())
+            # The estimator's sampler releases its workers (and closes the
+            # coordinator it owns) from a weakref finalizer — force it now.
+            gc.collect()
+        finally:
+            assert _reap(procs) == [0, 0]
+        estimate = next(
+            e for e in reversed(events) if isinstance(e, EstimateCompleted)
+        ).estimate
+        assert np.array_equal(
+            estimate.samples_switched_capacitance_f, baseline.samples_switched_capacitance_f
+        )
+        assert estimate.average_power_w == baseline.average_power_w
+        assert estimate.sample_size == baseline.sample_size
+        assert estimate.cycles_simulated == baseline.cycles_simulated
+        joins = [e for e in events if isinstance(e, WorkerJoined)]
+        assert len(joins) >= 2
+        assert all(event.epoch > 0 and event.host for event in joins)
+
+
+def test_module_guard_for_fork_platform():
+    """These tests assume a fork-capable platform (as the suite's CI is)."""
+    assert "fork" in mp.get_all_start_methods() or os.name == "nt"

@@ -487,3 +487,67 @@ class TestPoolComposition:
             parallel.results[1].estimate.samples_switched_capacitance_f
             == serial.results[0].estimate.samples_switched_capacitance_f
         )
+
+
+class TestPartitionDegenerateCases:
+    """Edge topologies of the word-aligned partition: the elastic-membership
+    paths (mid-run joins and folds) re-partition through exactly this
+    function, so its degenerate shapes must all stay covering and aligned."""
+
+    def test_single_chain_many_workers(self):
+        shards = partition_chains(1, 8)
+        assert shards[0] == (0, 1)
+        assert all(width == 0 for _, width in shards[1:])
+        assert len(shards) == 8
+
+    def test_exactly_one_word_split_many_ways(self):
+        # 64 chains is one lane word: indivisible, the first seat owns it all.
+        for workers in (2, 3, 64):
+            shards = partition_chains(64, workers)
+            assert shards[0][1] == 64
+            assert all(width == 0 for _, width in shards[1:])
+
+    def test_more_workers_than_words(self):
+        # 129 chains span 3 words; 5 workers leave two zero-width seats.
+        shards = partition_chains(129, 5)
+        assert sum(width for _, width in shards) == 129
+        assert sum(1 for _, width in shards if width == 0) == 2
+        assert all(offset % 64 == 0 for offset, _ in shards)
+
+    def test_word_multiple_is_balanced(self):
+        shards = partition_chains(64 * 6, 3)
+        assert [width for _, width in shards] == [128, 128, 128]
+        assert [offset for offset, _ in shards] == [0, 128, 256]
+
+    def test_offsets_are_strictly_increasing_for_live_seats(self):
+        for chains in (65, 127, 128, 1000):
+            for workers in (2, 3, 7):
+                live = [s for s in partition_chains(chains, workers) if s[1] > 0]
+                offsets = [offset for offset, _ in live]
+                assert offsets == sorted(set(offsets))
+                # Live seats tile the ensemble without gaps or overlap.
+                covered = []
+                for offset, width in live:
+                    covered.extend(range(offset, offset + width))
+                assert covered == list(range(chains))
+
+    def test_degenerate_resize_through_zero_width_seats(self, s298_circuit):
+        # Shrink to a single chain (3 of 4 seats go zero-width), sample, then
+        # grow back past every word boundary — bit-identical throughout.
+        reference, sharded = _pair(s298_circuit, 128, 4, rng=3)
+        with sharded:
+            assert np.array_equal(
+                reference.sample_block(1, 128), sharded.sample_block(1, 128)
+            )
+            reference.resize(1)
+            sharded.resize(1)
+            assert [width for _, width in sharded._shards] == [1, 0, 0, 0]
+            assert np.array_equal(
+                reference.sample_block(1, 4), sharded.sample_block(1, 4)
+            )
+            reference.resize(256)
+            sharded.resize(256)
+            assert np.array_equal(
+                reference.sample_block(1, 256), sharded.sample_block(1, 256)
+            )
+            assert reference.cycles_simulated == sharded.cycles_simulated

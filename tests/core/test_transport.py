@@ -1,0 +1,379 @@
+"""Unit tests of the framed-TCP shard transport: framing, handshake, membership.
+
+Everything here runs against in-process sockets (``socketpair`` or a real
+:class:`ShardCoordinator` on a loopback ephemeral port) with hand-rolled
+client handshakes — no worker processes.  The full distributed integration
+matrix (real ``run_shard_worker`` processes, chaos, bit-identity) lives in
+``tests/core/test_distributed.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.config import EstimationConfig
+from repro.core.transport import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    ShardCoordinator,
+    WorkerDown,
+    _FrameBuffer,
+    _recv_json_frame,
+    _send_json_frame,
+    parse_address,
+    recv_frame,
+    run_shard_worker,
+    send_frame,
+)
+
+_HEADER = struct.Struct(">I")
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        left, right = _pair()
+        payload = {"arrays": [1, 2, 3], "nested": ("a", b"bytes")}
+        send_frame(left, "cmd", payload)
+        kind, received = recv_frame(right)
+        assert kind == "cmd"
+        assert received == payload
+        left.close(), right.close()
+
+    def test_multiple_frames_preserve_order(self):
+        left, right = _pair()
+        for index in range(5):
+            send_frame(left, "cmd", index)
+        assert [recv_frame(right)[1] for _ in range(5)] == list(range(5))
+        left.close(), right.close()
+
+    def test_closed_stream(self):
+        left, right = _pair()
+        left.close()
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(right)
+        assert excinfo.value.reason == "closed"
+        right.close()
+
+    def test_truncated_frame(self):
+        left, right = _pair()
+        left.sendall(_HEADER.pack(1 << 20) + b"only a sliver")
+        left.close()
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(right)
+        assert excinfo.value.reason == "truncated"
+        right.close()
+
+    def test_oversized_header_rejected(self):
+        left, right = _pair()
+        left.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(right)
+        assert excinfo.value.reason == "oversized"
+        left.close(), right.close()
+
+    def test_garbled_body(self):
+        left, right = _pair()
+        body = b"not a pickle at all"
+        left.sendall(_HEADER.pack(len(body)) + body)
+        with pytest.raises(FrameError) as excinfo:
+            recv_frame(right)
+        assert excinfo.value.reason == "garbled"
+        left.close(), right.close()
+
+    def test_json_handshake_frames(self):
+        left, right = _pair()
+        _send_json_frame(left, {"token": "t", "epoch": None})
+        assert _recv_json_frame(right) == {"token": "t", "epoch": None}
+        # Non-object JSON is garbling, not a crash.
+        body = b"[1, 2, 3]"
+        left.sendall(_HEADER.pack(len(body)) + body)
+        with pytest.raises(FrameError) as excinfo:
+            _recv_json_frame(right)
+        assert excinfo.value.reason == "garbled"
+        left.close(), right.close()
+
+
+class TestFrameBuffer:
+    def test_byte_at_a_time(self):
+        wire = b""
+        for index in range(3):
+            body = pickle.dumps(("reply", index))
+            wire += _HEADER.pack(len(body)) + body
+        buffer = _FrameBuffer()
+        bodies = []
+        for offset in range(len(wire)):
+            bodies.extend(buffer.feed(wire[offset : offset + 1]))
+        assert [pickle.loads(body)[1] for body in bodies] == [0, 1, 2]
+        assert buffer.pending == 0
+
+    def test_many_frames_in_one_chunk(self):
+        body = pickle.dumps(("reply", "x"))
+        chunk = (_HEADER.pack(len(body)) + body) * 4
+        assert len(_FrameBuffer().feed(chunk)) == 4
+
+    def test_partial_frame_stays_pending(self):
+        body = pickle.dumps(("reply", "x"))
+        buffer = _FrameBuffer()
+        assert buffer.feed(_HEADER.pack(len(body)) + body[:3]) == []
+        assert buffer.pending > 0
+        assert len(buffer.feed(body[3:])) == 1
+        assert buffer.pending == 0
+
+    def test_oversized_length_raises(self):
+        with pytest.raises(FrameError) as excinfo:
+            _FrameBuffer().feed(_HEADER.pack(MAX_FRAME_BYTES + 1))
+        assert excinfo.value.reason == "oversized"
+
+
+class TestParseAddress:
+    def test_valid(self):
+        assert parse_address("127.0.0.1:8642") == ("127.0.0.1", 8642)
+        assert parse_address("host.example:0") == ("host.example", 0)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "nohost", ":8642", "host:", "host:notaport", "host:-1", "host:70000"]
+    )
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+def _handshake(port: int, token: str = "secret", worker: str = "w", epoch=None):
+    """One raw client handshake; returns (sock, answer-dict)."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    sock.settimeout(5.0)
+    _send_json_frame(sock, {"token": token, "worker": worker, "pid": 4242, "epoch": epoch})
+    return sock, _recv_json_frame(sock)
+
+
+class TestCoordinator:
+    def test_join_assigns_monotone_epochs(self):
+        incidents = []
+        coordinator = ShardCoordinator(token="secret", on_incident=incidents.append)
+        try:
+            first, welcome_a = _handshake(coordinator.port, worker="a")
+            second, welcome_b = _handshake(coordinator.port, worker="b")
+            assert welcome_a["kind"] == welcome_b["kind"] == "welcome"
+            assert welcome_b["epoch"] > welcome_a["epoch"]
+            assert coordinator.wait_for_members(2, timeout=5.0) == 2
+            assert coordinator.pending_count() == 2
+            joined = [i for i in incidents if i["kind"] == "joined"]
+            assert {i["worker"] for i in joined} == {"a", "b"}
+            assert all(i["pid"] == 4242 for i in joined)
+            first.close(), second.close()
+        finally:
+            coordinator.close()
+
+    def test_attach_observer_replays_unobserved_joins(self):
+        # Workers racing a pre-started coordinator can authenticate before
+        # the pool attaches its incident sink; their joins must not be lost.
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            first, _ = _handshake(coordinator.port, worker="early-a")
+            second, _ = _handshake(coordinator.port, worker="early-b")
+            assert coordinator.wait_for_members(2, timeout=5.0) == 2
+            incidents = []
+            coordinator.attach_observer(incidents.append)
+            joined = [i for i in incidents if i["kind"] == "joined"]
+            assert {i["worker"] for i in joined} == {"early-a", "early-b"}
+            # Later incidents flow straight through the attached sink.
+            third, _ = _handshake(coordinator.port, worker="late-c")
+            assert coordinator.wait_for_members(3, timeout=5.0) == 3
+            assert any(i["worker"] == "late-c" for i in incidents)
+            first.close(), second.close(), third.close()
+        finally:
+            coordinator.close()
+
+    def test_bad_token_rejected(self):
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            sock, answer = _handshake(coordinator.port, token="wrong")
+            assert answer == {"kind": "reject", "reason": "bad-token"}
+            sock.close()
+            assert coordinator.wait_for_members(1, timeout=0.2) == 0
+        finally:
+            coordinator.close()
+
+    def test_stale_epoch_fenced(self):
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            sock, answer = _handshake(coordinator.port, epoch=3)
+            assert answer == {"kind": "reject", "reason": "fenced"}
+            assert coordinator.fenced_rejects == 1
+            sock.close()
+            # A fresh (epoch-less) rejoin of the same worker is welcome.
+            sock, answer = _handshake(coordinator.port)
+            assert answer["kind"] == "welcome"
+            sock.close()
+        finally:
+            coordinator.close()
+
+    def test_acquire_is_fifo_by_epoch(self, s27_circuit):
+        coordinator = ShardCoordinator(token="secret")
+        config = EstimationConfig()
+        clients = []
+        try:
+            for name in ("first", "second"):
+                sock, _ = _handshake(coordinator.port, worker=name)
+                clients.append(sock)
+            coordinator.wait_for_members(2, timeout=5.0)
+            shard = coordinator.acquire(0, 0, "program-blob", config, "auto", timeout=5.0)
+            assert shard.worker == "first"
+            # The assign frame shipped the seat spec to the oldest member.
+            kind, spec = recv_frame(clients[0])
+            assert kind == "assign"
+            assert spec["seat"] == 0 and spec["incarnation"] == 0
+            assert spec["program"] == "program-blob"
+            assert spec["backend"] == "auto"
+            assert coordinator.pending_count() == 1
+            shard.destroy()
+        finally:
+            for sock in clients:
+                sock.close()
+            coordinator.close()
+
+    def test_acquire_times_out_without_members(self):
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            with pytest.raises(RuntimeError, match="no shard worker joined"):
+                coordinator.acquire(0, 0, None, EstimationConfig(), "auto", timeout=0.2)
+        finally:
+            coordinator.close()
+
+    def test_silent_member_pruned(self):
+        incidents = []
+        coordinator = ShardCoordinator(
+            token="secret",
+            heartbeat_interval=0.05,
+            member_timeout=0.3,
+            on_incident=incidents.append,
+        )
+        try:
+            sock, _ = _handshake(coordinator.port, worker="mute")
+            coordinator.wait_for_members(1, timeout=5.0)
+            deadline = time.monotonic() + 5.0
+            while coordinator.pending_count() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert coordinator.pending_count() == 0
+            left = [i for i in incidents if i["kind"] == "left"]
+            assert left and left[0]["worker"] == "mute"
+            assert left[0]["reason"] in ("timed-out", "disconnected")
+            sock.close()
+        finally:
+            coordinator.close()
+
+    def test_disconnected_member_dropped(self):
+        incidents = []
+        coordinator = ShardCoordinator(token="secret", on_incident=incidents.append)
+        try:
+            sock, _ = _handshake(coordinator.port, worker="brief")
+            coordinator.wait_for_members(1, timeout=5.0)
+            sock.close()
+            deadline = time.monotonic() + 5.0
+            while coordinator.pending_count() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert coordinator.pending_count() == 0
+            assert any(i["kind"] == "left" and i["worker"] == "brief" for i in incidents)
+        finally:
+            coordinator.close()
+
+    def test_close_is_idempotent_and_wakes_waiters(self):
+        coordinator = ShardCoordinator(token="secret")
+        results = []
+
+        def waiter():
+            results.append(coordinator.wait_for_members(1, timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        coordinator.close()
+        coordinator.close()
+        thread.join(timeout=5.0)
+        assert results == [0]
+
+    def test_incident_observer_errors_are_swallowed(self):
+        def explode(_incident):
+            raise RuntimeError("observer bug")
+
+        coordinator = ShardCoordinator(token="secret", on_incident=explode)
+        try:
+            sock, answer = _handshake(coordinator.port)
+            assert answer["kind"] == "welcome"
+            assert coordinator.wait_for_members(1, timeout=5.0) == 1
+            sock.close()
+        finally:
+            coordinator.close()
+
+
+class TestSocketShardFailures:
+    def test_peer_close_with_partial_frame_is_truncated(self):
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            sock, _ = _handshake(coordinator.port)
+            coordinator.wait_for_members(1, timeout=5.0)
+            shard = coordinator.acquire(0, 0, None, EstimationConfig(), "auto", timeout=5.0)
+            recv_frame(sock)  # drain the assign
+            sock.sendall(_HEADER.pack(1 << 16) + b"cut")
+            sock.close()
+            deadline = time.monotonic() + 5.0
+            while shard.is_alive() and time.monotonic() < deadline:
+                shard.poll(0.05)
+            with pytest.raises(WorkerDown) as excinfo:
+                shard.send_raw(("noop",))
+            assert excinfo.value.reason == "truncated"
+        finally:
+            coordinator.close()
+
+    def test_heartbeats_advance_progress(self):
+        coordinator = ShardCoordinator(token="secret")
+        try:
+            sock, _ = _handshake(coordinator.port)
+            coordinator.wait_for_members(1, timeout=5.0)
+            shard = coordinator.acquire(0, 0, None, EstimationConfig(), "auto", timeout=5.0)
+            recv_frame(sock)  # drain the assign
+            assert shard.heartbeat_count() == 0
+            send_frame(sock, "heartbeat", {"handled": 1})
+            send_frame(sock, "heartbeat", {"handled": 1})  # no new progress
+            send_frame(sock, "reply", ("ok", "payload"))
+            deadline = time.monotonic() + 5.0
+            while not shard.poll(0.05) and time.monotonic() < deadline:
+                pass
+            assert shard.recv_raw() == ("ok", "payload")
+            assert shard.heartbeat_count() == 2  # one beat with progress + one reply
+            shard.destroy()
+            sock.close()
+        finally:
+            coordinator.close()
+
+
+class TestRunShardWorker:
+    def test_gives_up_when_coordinator_unreachable(self):
+        # A port nothing listens on: the join loop must bound its retries.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        summary = run_shard_worker(
+            f"127.0.0.1:{port}",
+            "token",
+            worker_id="lonely",
+            max_reconnects=2,
+            reconnect_backoff=0.01,
+        )
+        assert summary["worker"] == "lonely"
+        assert summary["sessions"] == 0
+        assert summary["assignments"] == 0

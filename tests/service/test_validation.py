@@ -59,6 +59,10 @@ REJECTED_PAYLOADS = [
      "invalid stimulus"),
     (_tiny_payload(seed="not-an-int"), "invalid job spec"),
     (_tiny_payload(config="not-a-config-dict"), "invalid job spec"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], worker_hosts="nohost")),
+     "invalid 'config.worker_hosts'"),
+    (_tiny_payload(config=dict(_tiny_payload()["config"], worker_hosts="host:70000")),
+     "invalid 'config.worker_hosts'"),
 ]
 
 
