@@ -141,8 +141,8 @@ class BatchPowerSampler:
         Number of independent chains advanced per gate sweep; defaults to
         ``config.num_chains``.
     backend:
-        Zero-delay simulator backend (``"auto"``, ``"bigint"`` or
-        ``"numpy"``); defaults to ``config.simulation_backend``.  The
+        Zero-delay simulator backend (``"auto"``, ``"bigint"``, ``"numpy"``
+        or ``"compiled"``); defaults to ``config.simulation_backend``.  The
         event-driven engine picks scalar/numpy from the chain count.
     """
 
@@ -173,6 +173,16 @@ class BatchPowerSampler:
         self._backend_request = (
             self.config.simulation_backend if backend is None else backend
         )
+        if self._backend_request == "auto":
+            # Registered simulators may pin the state-engine backend (the
+            # "compiled"/"event-driven-compiled" engines route the shared
+            # state sweeps through the codegen kernel); an explicit user
+            # backend always wins over the engine's preference.
+            override = getattr(
+                get_simulator(self.config.power_simulator), "state_backend", None
+            )
+            if override is not None:
+                self._backend_request = override
         self._build_engines()
 
         self.cycles_simulated = 0
@@ -191,7 +201,7 @@ class BatchPowerSampler:
             node_capacitance=self._node_caps,
             backend=self._backend_request,
         )
-        self._use_words = self._engine.backend == "numpy"
+        self._use_words = self._engine.backend != "bigint"
         # The power engine comes from the simulator registry, so any
         # registered measurement engine composes with the chain ensemble.
         self._power = get_simulator(self.config.power_simulator)(
@@ -205,7 +215,7 @@ class BatchPowerSampler:
 
     @property
     def backend(self) -> str:
-        """Resolved zero-delay simulator backend ("bigint" or "numpy")."""
+        """Resolved zero-delay simulator backend ("bigint", "numpy" or "compiled")."""
         return self._engine.backend
 
     @property

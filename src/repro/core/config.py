@@ -24,8 +24,11 @@ POWER_SIMULATORS = ("zero-delay", "event-driven")
 #: :mod:`repro.api.registry`, so names registered by plugins are accepted too.
 STOPPING_CRITERIA = ("order-statistic", "clt", "ks")
 
-#: Simulator backends accepted by :class:`EstimationConfig`.
-SIMULATION_BACKENDS = ("auto", "bigint", "numpy")
+#: Simulator backends accepted by :class:`EstimationConfig`.  "compiled" is
+#: the numpy engine driving per-circuit generated C sweeps
+#: (:mod:`repro.simulation.codegen`), bit-identical to "numpy" and degrading
+#: to it when no C compiler is available.
+SIMULATION_BACKENDS = ("auto", "bigint", "numpy", "compiled")
 
 
 @dataclass(frozen=True)
@@ -157,9 +160,10 @@ class EstimationConfig:
         tighter at the cost of more ``get_state`` round trips.
     simulation_backend:
         Lane-storage backend of the zero-delay simulator: ``"bigint"``
-        (Python integers), ``"numpy"`` (word-sliced uint64 arrays) or
-        ``"auto"`` (pick by ensemble width).  The event-driven power engine
-        picks its scalar or vectorized backend from the chain count.
+        (Python integers), ``"numpy"`` (word-sliced uint64 arrays),
+        ``"compiled"`` (numpy storage with per-circuit generated C sweeps)
+        or ``"auto"`` (pick by ensemble width).  The event-driven power
+        engine picks its scalar or vectorized backend from the chain count.
     power_model / capacitance_model:
         Electrical models; defaults are the paper's 5 V / 20 MHz operating
         point and the default standard-cell capacitance values.

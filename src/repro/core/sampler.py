@@ -65,11 +65,20 @@ class PowerSampler:
             )
 
         node_caps = self.program.capacitances(self.config.capacitance_model)
+        backend = self.config.simulation_backend
+        if backend == "auto":
+            # Same state-backend pinning as the batch sampler: registered
+            # simulators (the compiled engines) may route the state sweeps
+            # through the codegen kernel unless the user chose explicitly.
+            backend = (
+                getattr(get_simulator(self.config.power_simulator), "state_backend", None)
+                or backend
+            )
         self._state_engine = ZeroDelaySimulator(
             self.program,
             width=1,
             node_capacitance=node_caps,
-            backend=self.config.simulation_backend,
+            backend=backend,
         )
         self._power = get_simulator(self.config.power_simulator)(
             self.program,

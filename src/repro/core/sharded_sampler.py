@@ -1399,7 +1399,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         words = np.concatenate(columns, axis=1)
         settled = states[0]["settled"]
         cycles = states[0]["cycles"]
-        if self.backend == "numpy":
+        if self.backend != "bigint":
             return {"backend": "numpy", "words": words, "settled": settled, "cycles": cycles}
         return {
             "backend": "bigint",
@@ -1424,7 +1424,7 @@ class ShardedPowerSampler(BatchPowerSampler):
         shard_states = []
         for _, worker, _, width, word_offset, word_count in self._active():
             shard_words = np.ascontiguousarray(words[:, word_offset : word_offset + word_count])
-            if self._shard_backends[worker] == "numpy":
+            if self._shard_backends[worker] != "bigint":
                 shard_states.append(
                     {"backend": "numpy", "words": shard_words, "settled": settled, "cycles": cycles}
                 )

@@ -13,9 +13,21 @@ The kernel is strictly optional:
 * if no C compiler is available, compilation fails, or the environment
   variable ``REPRO_NATIVE=0`` is set, :func:`load_kernel` returns ``None``
   and the engine silently falls back to the grouped-numpy sweep;
-* the compiled shared object lives in a temporary directory that is removed
-  immediately after loading (the mapping stays valid on POSIX), so no build
-  artefacts are left behind.
+* with ``REPRO_PROGRAM_CACHE`` set, the compiled shared object is memoized
+  on disk next to the pickled program cache (source-hash-versioned file
+  name, atomic rename), so fresh processes — spawn-mode shard workers,
+  ``repro batch`` subprocesses — dlopen the cached object instead of paying
+  a compiler invocation each; corrupt or stale objects are silently
+  recompiled.  Without a cache directory the object lives in a temporary
+  directory that is removed immediately after loading (the mapping stays
+  valid on POSIX), so no build artefacts are left behind.
+
+:func:`compile_and_load` is the shared compile-or-reuse machinery; the
+per-circuit code generator (:mod:`repro.simulation.codegen`) drives the same
+path with its generated translation units.  This module reads the cache
+directory straight from the environment instead of importing
+:mod:`repro.circuits.program` (which imports the opcodes below — the import
+must stay one-directional).
 
 Both sweeps are exercised against each other in the test suite.
 """
@@ -23,6 +35,8 @@ Both sweeps are exercised against each other in the test suite.
 from __future__ import annotations
 
 import ctypes
+import glob
+import hashlib
 import os
 import shutil
 import subprocess
@@ -173,8 +187,13 @@ OP_OR = 1
 OP_XOR = 2
 OP_INVERT = 4
 
+#: Bumped whenever the on-disk shared-object naming/ABI conventions change;
+#: cached objects with an older version in their file name are never loaded.
+KERNEL_CACHE_VERSION = 1
+
 _kernel: ctypes.CDLL | None = None
 _kernel_failed = False
+_compiler_invocations = 0
 
 
 def native_enabled() -> bool:
@@ -182,28 +201,134 @@ def native_enabled() -> bool:
     return os.environ.get("REPRO_NATIVE", "1") not in ("", "0", "false", "no")
 
 
-def _compile_kernel() -> ctypes.CDLL | None:
-    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+def find_compiler() -> str | None:
+    """Path of the first available C compiler (``cc``/``gcc``/``clang``), or ``None``."""
+    return shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+
+
+def compiler_invocations() -> int:
+    """Number of C-compiler subprocesses this process has launched.
+
+    The codegen benchmark asserts on this: a warm-cache run must build every
+    engine it needs with **zero** compiler invocations (in-process memo plus
+    on-disk shared objects cover them all).
+    """
+    return _compiler_invocations
+
+
+def source_digest(source: str) -> str:
+    """Stable short hash of a C translation unit (versions the cached object)."""
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def _kernel_cache_dir() -> str | None:
+    """The shared-object cache directory, from ``REPRO_PROGRAM_CACHE``.
+
+    Same directory as the pickled program cache (see
+    :func:`repro.circuits.program.program_cache_dir` — duplicated here
+    because the import must stay one-directional).
+    """
+    value = os.environ.get("REPRO_PROGRAM_CACHE", "").strip()
+    return value or None
+
+
+def _invoke_compiler(source: str, library_path: str, optimize: str = "-O2") -> bool:
+    """Compile *source* into *library_path*; False on any failure."""
+    global _compiler_invocations
+    compiler = find_compiler()
     if compiler is None:
-        return None
-    workdir = tempfile.mkdtemp(prefix="repro-zd-kernel-")
+        return False
+    workdir = tempfile.mkdtemp(prefix="repro-kernel-")
     try:
-        source_path = os.path.join(workdir, "zd_kernel.c")
-        library_path = os.path.join(workdir, "zd_kernel.so")
+        source_path = os.path.join(workdir, "kernel.c")
         with open(source_path, "w") as handle:
-            handle.write(_KERNEL_SOURCE)
+            handle.write(source)
+        _compiler_invocations += 1
         result = subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", library_path, source_path],
+            [compiler, optimize, "-shared", "-fPIC", "-o", library_path, source_path],
             capture_output=True,
-            timeout=120,
+            timeout=300,
         )
-        if result.returncode != 0:
-            return None
-        library = ctypes.CDLL(library_path)
+        return result.returncode == 0
     except (OSError, subprocess.SubprocessError):
-        return None
+        return False
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _load_library(path: str) -> ctypes.CDLL | None:
+    try:
+        return ctypes.CDLL(path)
+    except OSError:
+        return None
+
+
+def compile_and_load(source: str, tag: str, optimize: str = "-O2") -> ctypes.CDLL | None:
+    """Compile *source* (or reuse its disk-cached object) and ``dlopen`` it.
+
+    With ``REPRO_PROGRAM_CACHE`` set, the object is cached as
+    ``{tag}.k{KERNEL_CACHE_VERSION}.{source_digest}.so`` — the digest in the
+    file name makes stale objects (older source) simply miss, and a corrupt
+    cached file is unlinked and recompiled.  Writes go through a unique
+    temporary name in the same directory plus ``os.replace``, so concurrent
+    processes never observe a half-written object.  Without a cache
+    directory the object is built in a temporary directory that is removed
+    right after loading.  Returns ``None`` when no compiler is available
+    (and no cached object exists) or compilation fails.
+    """
+    directory = _kernel_cache_dir()
+    if directory is None:
+        return _compile_in_tempdir(source, optimize)
+    digest = source_digest(source)
+    path = os.path.join(directory, f"{tag}.k{KERNEL_CACHE_VERSION}.{digest}.so")
+    if os.path.exists(path):
+        library = _load_library(path)
+        if library is not None:
+            return library
+        try:
+            os.unlink(path)  # corrupt (e.g. truncated by a crash): recompile
+        except OSError:
+            pass
+    temp = f"{path}.tmp{os.getpid()}"
+    try:
+        os.makedirs(directory, exist_ok=True)
+        if not _invoke_compiler(source, temp, optimize):
+            return _cleanup_temp(temp)
+        os.replace(temp, path)
+    except OSError:
+        return _cleanup_temp(temp)
+    for stale in glob.glob(os.path.join(directory, f"{tag}.k*.so")):
+        if stale != path:
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+    return _load_library(path)
+
+
+def _cleanup_temp(temp: str) -> None:
+    try:
+        os.unlink(temp)
+    except OSError:
+        pass
+    return None
+
+
+def _compile_in_tempdir(source: str, optimize: str = "-O2") -> ctypes.CDLL | None:
+    workdir = tempfile.mkdtemp(prefix="repro-kernel-")
+    try:
+        library_path = os.path.join(workdir, "kernel.so")
+        if not _invoke_compiler(source, library_path, optimize):
+            return None
+        return _load_library(library_path)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _compile_kernel() -> ctypes.CDLL | None:
+    library = compile_and_load(_KERNEL_SOURCE, "generic")
+    if library is None:
+        return None
 
     uint64_p = np.ctypeslib.ndpointer(dtype=np.uint64, flags="C_CONTIGUOUS")
     uint8_p = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
@@ -295,6 +420,13 @@ def load_kernel() -> ctypes.CDLL | None:
         _kernel = _compile_kernel()
         _kernel_failed = _kernel is None
     return _kernel
+
+
+def clear_kernel_memo() -> None:
+    """Forget the loaded generic kernel so the next load retries (testing support)."""
+    global _kernel, _kernel_failed
+    _kernel = None
+    _kernel_failed = False
 
 
 def native_kernel_available() -> bool:

@@ -50,8 +50,12 @@ from repro.simulation.backends import resolve_backend_choice
 from repro.simulation.delay_models import DelayModel, FanoutDelay
 from repro.utils.rng import RandomSource, spawn_rng
 
-#: Backends accepted by :class:`EventDrivenSimulator`.
-EVENT_BACKENDS = ("auto", "scalar", "numpy")
+#: Backends accepted by :class:`EventDrivenSimulator`.  ``"compiled"`` is the
+#: numpy engine evaluating gate frontiers through the per-program codegen
+#: kernel (:mod:`repro.simulation.codegen`); it degrades to the generic
+#: kernel / grouped numpy when no compiler is available, so its results are
+#: always bit-identical to ``"numpy"``.
+EVENT_BACKENDS = ("auto", "scalar", "numpy", "compiled")
 
 
 def resolve_event_backend(backend: str, width: int) -> str:
@@ -83,9 +87,10 @@ class EventDrivenSimulator:
     width:
         Number of independent simulation chains (lanes) advanced per cycle.
     backend:
-        ``"scalar"``, ``"numpy"`` or ``"auto"`` (scalar at width 1, numpy
-        otherwise).  Both backends count identical transitions for identical
-        stimuli, lane for lane.
+        ``"scalar"``, ``"numpy"``, ``"compiled"`` or ``"auto"`` (scalar at
+        width 1, numpy otherwise).  All backends count identical transitions
+        for identical stimuli, lane for lane; ``"compiled"`` only differs
+        from ``"numpy"`` in how gate frontiers are evaluated.
     """
 
     def __init__(
@@ -116,7 +121,7 @@ class EventDrivenSimulator:
         self.node_capacitance = node_capacitance_array(self.program, node_capacitance)
 
         self._vec = None
-        if self.backend == "numpy":
+        if self.backend in ("numpy", "compiled"):
             from repro.simulation.vectorized_timing import VectorizedEventDrivenSimulator
 
             self._vec = VectorizedEventDrivenSimulator(
@@ -126,6 +131,7 @@ class EventDrivenSimulator:
                 width=width,
                 schedule=schedule,
                 wavefront_compaction=wavefront_compaction,
+                codegen=self.backend == "compiled",
             )
             return
 

@@ -48,7 +48,12 @@ from repro.api.registry import register_simulator
 from repro.simulation.delay_models import DelayModel, make_delay_model
 from repro.simulation.event_driven import EventDrivenSimulator
 
-__all__ = ["EventDrivenPowerEngine", "ZeroDelayPowerEngine"]
+__all__ = [
+    "CompiledEventDrivenPowerEngine",
+    "CompiledZeroDelayPowerEngine",
+    "EventDrivenPowerEngine",
+    "ZeroDelayPowerEngine",
+]
 
 
 @register_simulator("zero-delay")
@@ -57,6 +62,11 @@ class ZeroDelayPowerEngine:
 
     #: No engine of its own — the state engine is the measurement engine.
     engine = None
+
+    #: Simulator classes may pin the *state engine's* backend: the samplers
+    #: honour this when the configured backend is "auto" (an explicit user
+    #: choice always wins).  ``None`` keeps the width-based auto pick.
+    state_backend = None
 
     def __init__(
         self,
@@ -88,6 +98,8 @@ class ZeroDelayPowerEngine:
 class EventDrivenPowerEngine:
     """General-delay re-simulation of the sampled cycle (glitches included)."""
 
+    state_backend = None
+
     def __init__(
         self,
         program,
@@ -113,7 +125,7 @@ class EventDrivenPowerEngine:
 
     def _settled_state(self, state_engine):
         """The state engine's settled network, in the cheapest shared form."""
-        if self.engine.backend == "numpy":
+        if self.engine.backend != "scalar":
             words = state_engine.words_view()
             if words is not None:
                 return words
@@ -145,3 +157,53 @@ class EventDrivenPowerEngine:
         switched = self.engine.cycle_lanes(pattern)
         control = state_engine.step_and_measure_lanes(pattern)
         return switched, control
+
+
+@register_simulator("compiled", aliases=("zero-delay-compiled",))
+class CompiledZeroDelayPowerEngine(ZeroDelayPowerEngine):
+    """Zero-delay measurement on the per-program codegen sweep.
+
+    Identical measurement semantics (and bit-identical samples) to
+    ``"zero-delay"`` — the only difference is that the samplers build the
+    shared state engine with ``backend="compiled"``, so every sweep runs the
+    straight-line C generated for this circuit
+    (:mod:`repro.simulation.codegen`) instead of the interpreted tables.
+    Environments without a C compiler (or with ``REPRO_NATIVE=0``) degrade
+    to the ordinary numpy sweep transparently.
+    """
+
+    state_backend = "compiled"
+
+
+@register_simulator("event-driven-compiled")
+class CompiledEventDrivenPowerEngine(EventDrivenPowerEngine):
+    """Event-driven measurement with codegen frontier evaluation.
+
+    Same glitch-aware cycle re-simulation as ``"event-driven"``, but both
+    the shared zero-delay state engine and the event-driven measurement
+    engine ask for the per-program codegen kernel, with the same transparent
+    fallback chain as the zero-delay variant.
+    """
+
+    state_backend = "compiled"
+
+    def __init__(
+        self,
+        program,
+        width: int = 1,
+        node_capacitance: Sequence[float] | np.ndarray | None = None,
+        delay_model: DelayModel | str | None = None,
+        backend: str = "auto",
+    ):
+        # "auto"/"numpy" would resolve to the plain numpy engine; this
+        # simulator exists to pin the codegen path.  An explicit "scalar"
+        # (width-1 state restore paths) is preserved.
+        if backend in ("auto", "numpy"):
+            backend = "compiled"
+        super().__init__(
+            program,
+            width=width,
+            node_capacitance=node_capacitance,
+            delay_model=delay_model,
+            backend=backend,
+        )

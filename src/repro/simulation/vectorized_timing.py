@@ -95,6 +95,7 @@ class VectorizedEventDrivenSimulator:
         width: int = 1,
         schedule=None,
         wavefront_compaction: bool = True,
+        codegen: bool = False,
     ):
         # Imported lazily: the program module imports from repro.simulation.
         from repro.circuits.program import CircuitProgram, node_capacitance_array
@@ -136,7 +137,18 @@ class VectorizedEventDrivenSimulator:
         self._input_rows = np.asarray(circuit.primary_inputs, dtype=np.intp)
 
         self._adopt_program_tables(schedule)
-        self._native_eval = self._build_native_eval()
+        #: How gate frontiers evaluate: "codegen" (per-program generated C),
+        #: "native" (generic C kernel) or "groups" (pure numpy); requesting
+        #: codegen degrades down this chain when kernels are unavailable.
+        self.eval_mode = "groups"
+        self._cg_sweep = None
+        self._native_eval = None
+        if codegen:
+            self._native_eval = self._build_codegen_eval()
+        if self._native_eval is None:
+            self._native_eval = self._build_native_eval()
+            if self._native_eval is not None:
+                self.eval_mode = "native"
 
         self._counts = np.zeros(num_nets, dtype=np.int64)
         # Per-(net, lane) transition counts of the cycle in flight.  uint16
@@ -187,6 +199,34 @@ class VectorizedEventDrivenSimulator:
         self._levels_all = program.levels_all
         self._fanout_ptr = program.fanout_ptr
         self._fanout_idx = program.fanout_idx
+
+    def _build_codegen_eval(self):
+        # Imported lazily: codegen imports from this package at module scope.
+        from repro.simulation import codegen
+
+        kernel = codegen.load_program_kernel(self.program)
+        if kernel is None:
+            return None
+        self.eval_mode = "codegen"
+        # settle()'s full sweep can skip the frontier machinery entirely and
+        # run the straight-line level schedule baked into the kernel.
+        self._cg_sweep = codegen.bind_sweep(
+            kernel, self._flat, int(self.num_words), self._mask_words
+        )
+        flat = self._flat
+        num_words = int(self.num_words)
+        mask = self._mask_words
+
+        def evaluate(gate_ids: np.ndarray, out: np.ndarray, cols: np.ndarray | None) -> bool:
+            if cols is None:
+                kernel.cg_ed_eval(flat, num_words, gate_ids, gate_ids.size, mask, out)
+            else:
+                kernel.cg_ed_eval_cols(
+                    flat, num_words, gate_ids, gate_ids.size, mask, cols, cols.size, out
+                )
+            return True
+
+        return evaluate
 
     def _build_native_eval(self):
         kernel = _native.load_kernel()
@@ -401,6 +441,9 @@ class VectorizedEventDrivenSimulator:
         self.words[self._input_rows] = words
 
     def _full_sweep(self) -> None:
+        if self._cg_sweep is not None:
+            self._cg_sweep()
+            return
         for level_gates in self._levels_all:
             outs = self._evaluate_gates(level_gates)
             self.words[self._gate_out[level_gates]] = outs

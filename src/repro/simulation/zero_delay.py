@@ -41,8 +41,12 @@ import numpy as np
 from repro.simulation.backends import resolve_backend_choice
 from repro.utils.rng import RandomSource, spawn_rng
 
-#: Backends accepted by :class:`ZeroDelaySimulator`.
-BACKENDS = ("auto", "bigint", "numpy")
+#: Backends accepted by :class:`ZeroDelaySimulator`.  ``"compiled"`` is the
+#: numpy engine driving the per-program codegen kernel
+#: (:mod:`repro.simulation.codegen`); it degrades to the generic kernel /
+#: grouped numpy when no compiler is available, so its results are always
+#: bit-identical to ``"numpy"``.
+BACKENDS = ("auto", "bigint", "numpy", "compiled")
 
 #: ``backend="auto"`` switches to the numpy engine at this width when the
 #: compiled sweep kernel is available ...
@@ -86,9 +90,11 @@ class ZeroDelaySimulator:
         measuring switched capacitance.  When omitted, every net weighs 1.0
         (the simulator then reports toggle counts instead of farads).
     backend:
-        ``"bigint"``, ``"numpy"`` or ``"auto"`` (pick by width; see module
-        docstring).  Both backends are reproducible from the same seed and
-        produce identical net values and transition counts.
+        ``"bigint"``, ``"numpy"``, ``"compiled"`` or ``"auto"`` (pick by
+        width; see module docstring).  All backends are reproducible from the
+        same seed and produce identical net values and transition counts;
+        ``"compiled"`` only differs from ``"numpy"`` in how the gate sweep
+        executes (per-circuit generated C when available).
     """
 
     def __init__(
@@ -107,11 +113,14 @@ class ZeroDelaySimulator:
         circuit = self.program.circuit
         self.backend = resolve_backend(backend, width)
         self._vec = None
-        if self.backend == "numpy":
+        if self.backend in ("numpy", "compiled"):
             from repro.simulation.vectorized import VectorizedZeroDelaySimulator
 
             self._vec = VectorizedZeroDelaySimulator(
-                self.program, width=width, node_capacitance=node_capacitance
+                self.program,
+                width=width,
+                node_capacitance=node_capacitance,
+                sweep="codegen" if self.backend == "compiled" else "auto",
             )
             self.circuit = circuit
             self.width = width

@@ -43,11 +43,27 @@ def test_builtin_engines_are_registered():
     names = simulator_names()
     assert "zero-delay" in names
     assert "event-driven" in names
+    assert "compiled" in names
+    assert "event-driven-compiled" in names
+    # alias resolves to the same class as the canonical name
+    assert get_simulator("zero-delay-compiled") is get_simulator("compiled")
+
+
+def _state_backend(name) -> str:
+    """The state-engine backend a sampler would pair with simulator *name*.
+
+    Mirrors the samplers' resolution: a registered simulator may pin the
+    state backend (the compiled engines route the shared sweeps through the
+    codegen kernel); otherwise the width-based auto pick applies.
+    """
+    return getattr(get_simulator(name), "state_backend", None) or "auto"
 
 
 def _run_ensemble(name, program, caps, width, latch_bits, input_bits):
     """Drive one ensemble of *width* lanes; return (energies, latch states)."""
-    state = ZeroDelaySimulator(program, width=width, node_capacitance=caps)
+    state = ZeroDelaySimulator(
+        program, width=width, node_capacitance=caps, backend=_state_backend(name)
+    )
     power = get_simulator(name)(
         program,
         width=width,
@@ -108,7 +124,9 @@ def test_measure_total_equals_lane_sum(name, program, caps):
     )
     energies, _ = _run_ensemble(name, program, caps, width, latch_bits, input_bits)
 
-    state = ZeroDelaySimulator(program, width=width, node_capacitance=caps)
+    state = ZeroDelaySimulator(
+        program, width=width, node_capacitance=caps, backend=_state_backend(name)
+    )
     power = get_simulator(name)(
         program, width=width, node_capacitance=caps, delay_model="type-table"
     )
